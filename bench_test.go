@@ -1,0 +1,282 @@
+// Benchmarks: one per table/figure of the paper (running the same harness
+// as cmd/dpbench at reduced scale so `go test -bench=.` stays tractable),
+// plus construction and query micro-benchmarks for the released methods.
+//
+// Full-scale regeneration of the paper's numbers is cmd/dpbench's job;
+// see EXPERIMENTS.md for recorded results.
+package dpgrid
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/eval"
+)
+
+// benchOpts runs the harness at 2% of the paper's N with 25 queries per
+// size class, keeping per-iteration cost low while exercising every code
+// path of the corresponding experiment.
+func benchOpts() eval.ExpOptions {
+	return eval.ExpOptions{Scale: 0.02, Queries: 25, Seed: 5}
+}
+
+// BenchmarkTableII regenerates Table II (suggested vs observed-best grid
+// sizes for UG and AG on all four datasets, both epsilon values).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.TableII(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d, want 4", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (Kst, Khy vs UG size sweep); one
+// sub-benchmark per dataset at eps = 1 (the paper's right-hand panels).
+func BenchmarkFigure2(b *testing.B) {
+	for _, ds := range []string{"road", "checkin", "landmark", "storage"} {
+		b.Run(ds, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Figure2(ds, 1, benchOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (hierarchy/wavelet effect over a
+// fixed base grid) on the paper's two datasets.
+func BenchmarkFigure3(b *testing.B) {
+	for _, ds := range []string{"checkin", "landmark"} {
+		b.Run(ds, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Figure3(ds, 1, benchOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates the three Figure 4 panel families (AG
+// parameter sensitivity) on checkin.
+func BenchmarkFigure4(b *testing.B) {
+	panels := []struct {
+		name  string
+		panel eval.Figure4Panel
+	}{
+		{"compare", eval.Fig4Compare},
+		{"varyM1", eval.Fig4VaryM1},
+		{"varyAlphaC2", eval.Fig4VaryAlphaC2},
+	}
+	for _, p := range panels {
+		b.Run(p.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Figure4("checkin", 1, p.panel, 0, benchOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5 regenerates the final relative-error comparison on all
+// four datasets (Khy, U-best, W-best, A-best, U-sugg, A-sugg).
+func BenchmarkFigure5(b *testing.B) {
+	for _, ds := range []string{"road", "checkin", "landmark", "storage"} {
+		b.Run(ds, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Figure5(ds, 1, benchOpts()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6 is the Figure 5 run read through absolute-error
+// candlesticks (the paper's Figure 6), including rendering.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Figure5("landmark", 1, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.WriteAbsTable(io.Discard, "Figure 6")
+	}
+}
+
+// BenchmarkDimensionalityAblation regenerates the section IV-C analysis
+// (border fractions and measured 2D hierarchy gain).
+func BenchmarkDimensionalityAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Dimensionality(1, eval.ExpOptions{Scale: 0.01, Queries: 10, Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierarchyGainByDimension measures hierarchy benefit in 1/2/3
+// dimensions (the paper's section IV-C prediction, implemented).
+func BenchmarkHierarchyGainByDimension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.HierarchyGainByDimension(1, eval.ExpOptions{Scale: 0.02, Queries: 30, Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationC sweeps the Guideline 1 constant (design-choice
+// ablation from DESIGN.md).
+func BenchmarkAblationC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.AblationC("landmark", 1, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationComponents isolates constrained inference and budget
+// allocation contributions in AG and KD-hybrid.
+func BenchmarkAblationComponents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.AblationComponents("landmark", 1, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- construction / query micro-benchmarks ----
+
+func benchPoints(n int) ([]Point, Domain) {
+	rng := rand.New(rand.NewSource(1))
+	dom, _ := NewDomain(0, 0, 100, 100)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	return pts, dom
+}
+
+func BenchmarkBuildUG100k(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildUniformGrid(pts, dom, 1, UGOptions{}, NewNoiseSource(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildAG100k(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{}, NewNoiseSource(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildKDHybrid100k(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildKDTree(pts, dom, 1, KDTreeOptions{Method: KDHybrid}, NewNoiseSource(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildPrivlet100k(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildPrivlet(pts, dom, 1, PrivletOptions{GridSize: 100}, NewNoiseSource(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryUG(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	syn, err := BuildUniformGrid(pts, dom, 1, UGOptions{}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRect(13.7, 21.1, 77.3, 88.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = syn.Query(r)
+	}
+}
+
+func BenchmarkQueryAG(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	syn, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRect(13.7, 21.1, 77.3, 88.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = syn.Query(r)
+	}
+}
+
+func BenchmarkQueryKDHybrid(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	syn, err := BuildKDTree(pts, dom, 1, KDTreeOptions{Method: KDHybrid}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := NewRect(13.7, 21.1, 77.3, 88.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = syn.Query(r)
+	}
+}
+
+func BenchmarkBuildHierarchy100k(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildHierarchy(pts, dom, 1, HierarchyOptions{GridSize: 128, Branching: 4, Depth: 3}, NewNoiseSource(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthesize100k(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	syn, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := syn.Synthesize(100_000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeAG(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	syn, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteSynopsis(io.Discard, syn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

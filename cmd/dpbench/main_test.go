@@ -1,0 +1,95 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickArgs(extra ...string) []string {
+	base := []string{"-scale", "0.02", "-queries", "10", "-seed", "3"}
+	return append(base, extra...)
+}
+
+func TestRunTable2(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "table2"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table II", "road", "checkin", "landmark", "storage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigurePanel(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "fig5", "-dataset", "storage", "-eps", "1"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "Khy") || !strings.Contains(out, "A-sugg") {
+		t.Errorf("unexpected fig5 output:\n%s", out)
+	}
+	if strings.Contains(out, "dataset=road") {
+		t.Error("dataset filter ignored")
+	}
+}
+
+func TestRunFig6AbsoluteError(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "fig6", "-dataset", "storage", "-eps", "1"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "absolute error") {
+		t.Error("fig6 must render absolute errors")
+	}
+}
+
+func TestRunDim(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "dim", "-eps", "1"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dimensionality") {
+		t.Error("dim output missing header")
+	}
+}
+
+func TestRunAblate(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "ablate", "-dataset", "landmark", "-eps", "1"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Guideline 1 constant") || !strings.Contains(out, "A-sugg-noCI") {
+		t.Errorf("ablate output incomplete:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(quickArgs("-exp", "bogus"), &sb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunCommaSeparatedExperiments(t *testing.T) {
+	var sb strings.Builder
+	err := run(quickArgs("-exp", "table2,dim", "-eps", "1"), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "dimensionality") {
+		t.Error("comma-separated experiments not both run")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	got := intersect([]string{"a", "b", "c"}, []string{"b", "c", "d"})
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("intersect = %v", got)
+	}
+}

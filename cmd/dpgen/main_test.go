@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/datasets"
+)
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pts.csv")
+	if err := run([]string{"-dataset", "storage", "-scale", "0.1", "-seed", "2", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pts, err := datasets.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 920 {
+		t.Errorf("points = %d, want 920 (storage at scale 0.1)", len(pts))
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "bogus"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run([]string{"-dataset", "storage", "-scale", "0.1", "-o", "/nonexistent-dir/x.csv"}); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

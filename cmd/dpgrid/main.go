@@ -1,0 +1,217 @@
+// Command dpgrid builds a differentially private synopsis from a CSV of
+// points and answers rectangular count queries with it.
+//
+// Usage:
+//
+//	# Answer one query (domain inferred from flags, not from the data):
+//	dpgrid -in points.csv -domain="-125,30,-100,50" -method ag -eps 1 \
+//	       -query="-123,45,-120,48"
+//
+//	# Answer queries streamed as "x0,y0,x1,y1" lines from a file:
+//	dpgrid -in points.csv -domain="0,0,100,100" -method ug -eps 0.5 \
+//	       -queries queries.csv
+//
+// The synopsis is built once (consuming the full epsilon); every query
+// answered afterwards is free post-processing.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dpgrid/dpgrid"
+	"github.com/dpgrid/dpgrid/internal/datasets"
+)
+
+func nowNanos() int64 { return time.Now().UnixNano() }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dpgrid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dpgrid", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV of x,y points (required unless -load)")
+	domainFlag := fs.String("domain", "", "public domain as minX,minY,maxX,maxY (required with -in; do not derive from private data)")
+	method := fs.String("method", "ag", "synopsis method: ug|ag|kdhybrid|kdstandard|privlet")
+	eps := fs.Float64("eps", 1, "privacy budget epsilon")
+	gridSize := fs.Int("m", 0, "grid size override (ug/privlet); 0 = Guideline 1")
+	seed := fs.Int64("seed", 0, "noise seed (0 = non-deterministic)")
+	queryFlag := fs.String("query", "", "single query rectangle x0,y0,x1,y1")
+	queriesFile := fs.String("queries", "", "file of query rectangles, one x0,y0,x1,y1 per line")
+	saveFile := fs.String("save", "", "write the built synopsis (ug/ag) to this file for later -load")
+	loadFile := fs.String("load", "", "load a previously saved synopsis instead of building one")
+	synthesize := fs.Int("synthesize", 0, "sample this many synthetic points from the synopsis as CSV on stdout (-1 = synopsis's own size estimate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *loadFile == "" && *in == "" {
+		return fmt.Errorf("-in is required (or -load a saved synopsis)")
+	}
+	if *loadFile != "" && *in != "" {
+		return fmt.Errorf("-in and -load are mutually exclusive")
+	}
+	if *loadFile == "" && *domainFlag == "" {
+		return fmt.Errorf("-domain is required (the domain must be public knowledge)")
+	}
+	if *queryFlag == "" && *queriesFile == "" && *saveFile == "" && *synthesize == 0 {
+		return fmt.Errorf("need -query, -queries, -save, or -synthesize")
+	}
+
+	var syn dpgrid.Synopsis
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			return err
+		}
+		syn, err = dpgrid.ReadSynopsis(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		nums, err := parseFloats(*domainFlag, 4)
+		if err != nil {
+			return fmt.Errorf("bad -domain: %w", err)
+		}
+		dom, err := dpgrid.NewDomain(nums[0], nums[1], nums[2], nums[3])
+		if err != nil {
+			return err
+		}
+
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		points, err := datasets.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+
+		src := dpgrid.NewNoiseSource(*seed)
+		if *seed == 0 {
+			src = dpgrid.NewNoiseSource(int64(os.Getpid())*1e9 + nowNanos())
+		}
+
+		switch *method {
+		case "ug":
+			syn, err = dpgrid.BuildUniformGrid(points, dom, *eps, dpgrid.UGOptions{GridSize: *gridSize}, src)
+		case "ag":
+			syn, err = dpgrid.BuildAdaptiveGrid(points, dom, *eps, dpgrid.AGOptions{}, src)
+		case "kdhybrid":
+			syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDHybrid}, src)
+		case "kdstandard":
+			syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDStandard}, src)
+		case "privlet":
+			m := *gridSize
+			if m == 0 {
+				m = dpgrid.SuggestedGridSize(len(points), *eps)
+			}
+			syn, err = dpgrid.BuildPrivlet(points, dom, *eps, dpgrid.PrivletOptions{GridSize: m}, src)
+		default:
+			return fmt.Errorf("unknown method %q", *method)
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			return err
+		}
+		if err := dpgrid.WriteSynopsis(f, syn); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *synthesize != 0 {
+		n := *synthesize
+		if n < 0 {
+			n = 0 // the library's "use the synopsis's own estimate"
+		}
+		rng := rand.New(rand.NewSource(*seed + 1))
+		var pts []dpgrid.Point
+		var synthErr error
+		switch v := syn.(type) {
+		case *dpgrid.UniformGrid:
+			pts, synthErr = v.Synthesize(n, rng)
+		case *dpgrid.AdaptiveGrid:
+			pts, synthErr = v.Synthesize(n, rng)
+		default:
+			return fmt.Errorf("-synthesize requires a ug or ag synopsis, have %T", syn)
+		}
+		if synthErr != nil {
+			return synthErr
+		}
+		if err := datasets.WriteCSV(w, pts); err != nil {
+			return err
+		}
+	}
+
+	if *queryFlag == "" && *queriesFile == "" {
+		return nil
+	}
+
+	answer := func(spec string) error {
+		q, err := parseFloats(spec, 4)
+		if err != nil {
+			return fmt.Errorf("bad query %q: %w", spec, err)
+		}
+		r := dpgrid.NewRect(q[0], q[1], q[2], q[3])
+		fmt.Fprintf(w, "%s\t%.2f\n", spec, syn.Query(r))
+		return nil
+	}
+
+	if *queryFlag != "" {
+		return answer(*queryFlag)
+	}
+	qf, err := os.Open(*queriesFile)
+	if err != nil {
+		return err
+	}
+	defer qf.Close()
+	scanner := bufio.NewScanner(qf)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := answer(line); err != nil {
+			return err
+		}
+	}
+	return scanner.Err()
+}
+
+func parseFloats(s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated numbers, got %d", n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/datasets"
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+func writeTestCSV(t *testing.T, n int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	path := filepath.Join(t.TempDir(), "pts.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := datasets.WriteCSV(f, pts); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSingleQuery(t *testing.T) {
+	csv := writeTestCSV(t, 20000)
+	for _, method := range []string{"ug", "ag", "kdhybrid", "kdstandard", "privlet"} {
+		var sb strings.Builder
+		err := run([]string{
+			"-in", csv, "-domain", "0,0,100,100", "-method", method,
+			"-eps", "1", "-seed", "7", "-query", "0,0,50,50",
+		}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		fields := strings.Fields(sb.String())
+		if len(fields) != 2 {
+			t.Fatalf("%s: output %q", method, sb.String())
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("%s: bad answer %q", method, fields[1])
+		}
+		// Uniform data: quarter of the domain ~ 5000 with noise slack.
+		if v < 3500 || v > 6500 {
+			t.Errorf("%s: answer %g, want ~5000", method, v)
+		}
+	}
+}
+
+func TestRunQueriesFile(t *testing.T) {
+	csv := writeTestCSV(t, 5000)
+	qfile := filepath.Join(t.TempDir(), "q.txt")
+	content := "# comment line\n0,0,50,50\n\n50,50,100,100\n"
+	if err := os.WriteFile(qfile, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{
+		"-in", csv, "-domain", "0,0,100,100", "-method", "ug",
+		"-eps", "1", "-seed", "7", "-queries", qfile,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("answers = %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	csv := writeTestCSV(t, 10)
+	cases := [][]string{
+		{"-domain", "0,0,1,1", "-query", "0,0,1,1"},                             // no -in
+		{"-in", csv, "-query", "0,0,1,1"},                                       // no -domain
+		{"-in", csv, "-domain", "0,0,1,1"},                                      // no query
+		{"-in", csv, "-domain", "0,0,1", "-query", "0,0,1,1"},                   // bad domain arity
+		{"-in", csv, "-domain", "0,0,abc,1", "-query", "0,0,1,1"},               // bad number
+		{"-in", csv, "-domain", "0,0,1,1", "-query", "0,0,1,1", "-method", "x"}, // bad method
+		{"-in", "/no/such/file.csv", "-domain", "0,0,1,1", "-query", "0,0,1,1"},
+		{"-in", csv, "-domain", "0,0,1,1", "-query", "0,0,zz,1"}, // bad query
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+func TestRunSaveAndLoad(t *testing.T) {
+	csv := writeTestCSV(t, 10000)
+	synFile := filepath.Join(t.TempDir(), "synopsis.json")
+
+	// Build once, save, and answer a query in the same invocation.
+	var sb strings.Builder
+	err := run([]string{
+		"-in", csv, "-domain", "0,0,100,100", "-method", "ag",
+		"-eps", "1", "-seed", "7", "-save", synFile, "-query", "0,0,50,50",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sb.String()
+
+	// Load the saved synopsis (no raw data) and ask the same query: the
+	// answer must be identical.
+	sb.Reset()
+	err = run([]string{"-load", synFile, "-query", "0,0,50,50"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != first {
+		t.Errorf("loaded synopsis answered differently:\n%q\nvs\n%q", sb.String(), first)
+	}
+}
+
+func TestRunSaveOnly(t *testing.T) {
+	csv := writeTestCSV(t, 1000)
+	synFile := filepath.Join(t.TempDir(), "syn.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-in", csv, "-domain", "0,0,100,100", "-method", "ug",
+		"-eps", "1", "-seed", "3", "-save", synFile,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(synFile); err != nil {
+		t.Errorf("synopsis file missing: %v", err)
+	}
+}
+
+func TestRunLoadAndInExclusive(t *testing.T) {
+	csv := writeTestCSV(t, 10)
+	var sb strings.Builder
+	err := run([]string{"-in", csv, "-load", "x.json", "-query", "0,0,1,1"}, &sb)
+	if err == nil {
+		t.Error("-in with -load accepted")
+	}
+}
+
+func TestRunSynthesize(t *testing.T) {
+	csv := writeTestCSV(t, 5000)
+	var sb strings.Builder
+	err := run([]string{
+		"-in", csv, "-domain", "0,0,100,100", "-method", "ag",
+		"-eps", "1", "-seed", "7", "-synthesize", "1000",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := datasets.ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1000 {
+		t.Fatalf("synthesized %d points, want 1000", len(pts))
+	}
+	for i, p := range pts {
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("point %d (%v) outside domain", i, p)
+		}
+	}
+}
+
+func TestRunSynthesizeRejectsKDTree(t *testing.T) {
+	csv := writeTestCSV(t, 100)
+	var sb strings.Builder
+	err := run([]string{
+		"-in", csv, "-domain", "0,0,100,100", "-method", "kdhybrid",
+		"-eps", "1", "-seed", "7", "-synthesize", "10",
+	}, &sb)
+	if err == nil {
+		t.Error("kd-tree synthesize accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats(" 1, 2.5 ,3,-4 ", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2.5, 3, -4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("parseFloats[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if _, err := parseFloats("1,2,3", 4); err == nil {
+		t.Error("wrong arity accepted")
+	}
+}

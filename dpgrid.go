@@ -1,0 +1,169 @@
+// Package dpgrid publishes differentially private synopses of
+// two-dimensional (geospatial) point datasets, implementing the methods
+// of Qardaji, Yang, Li: "Differentially Private Grids for Geospatial
+// Data" (ICDE 2013).
+//
+// The two primary methods are:
+//
+//   - UniformGrid (UG): an m x m equi-width grid of Laplace-noised cell
+//     counts, with the grid size chosen by the paper's Guideline 1
+//     (m = sqrt(N*eps/c), c = 10) unless overridden.
+//
+//   - AdaptiveGrid (AG): a coarse first-level grid whose cells are each
+//     re-partitioned adaptively based on their noisy counts (Guideline 2),
+//     with constrained inference reconciling the two levels. AG
+//     consistently outperforms UG and the recursive-partitioning state of
+//     the art in the paper's evaluation — and in this reproduction.
+//
+// The package also exposes the baselines the paper compares against
+// (KD-standard/KD-hybrid trees, Privlet wavelets, grid hierarchies) so
+// downstream users can run their own comparisons.
+//
+// A synopsis answers axis-aligned rectangular count queries: cells fully
+// inside the query contribute their noisy counts; partially covered cells
+// contribute proportionally to the overlapped area (the uniformity
+// assumption). Building a synopsis consumes the entire epsilon it is
+// given; answering any number of queries afterwards consumes nothing
+// (post-processing).
+//
+// # Quick start
+//
+//	dom, _ := dpgrid.NewDomain(-125, 30, -100, 50)
+//	syn, err := dpgrid.BuildAdaptiveGrid(points, dom, 1.0, dpgrid.AGOptions{}, dpgrid.NewNoiseSource(42))
+//	if err != nil { ... }
+//	estimate := syn.Query(dpgrid.NewRect(-123, 45, -120, 48))
+//
+// For reproducible experiments pass a seeded NoiseSource; for deployment
+// implement NoiseSource over crypto/rand.
+package dpgrid
+
+import (
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/hierarchy"
+	"github.com/dpgrid/dpgrid/internal/kdtree"
+	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/wavelet"
+)
+
+// Point is a data tuple viewed as a point in the plane.
+type Point = geom.Point
+
+// Rect is an axis-aligned rectangle [MinX, MaxX] x [MinY, MaxY].
+type Rect = geom.Rect
+
+// Domain is the bounding rectangle of a dataset; its boundaries are
+// public knowledge and part of every released synopsis.
+type Domain = geom.Domain
+
+// NewRect returns the rectangle with the given corners, normalizing the
+// corner order.
+func NewRect(x0, y0, x1, y1 float64) Rect { return geom.NewRect(x0, y0, x1, y1) }
+
+// NewDomain returns a Domain with the given bounds, validating that they
+// are finite with positive extent.
+func NewDomain(minX, minY, maxX, maxY float64) (Domain, error) {
+	return geom.NewDomain(minX, minY, maxX, maxY)
+}
+
+// BoundingDomain returns the smallest valid domain covering all points.
+// Note: deriving the domain from the data leaks the extremes; prefer a
+// fixed public domain when the data is sensitive.
+func BoundingDomain(points []Point) (Domain, error) { return geom.BoundingDomain(points) }
+
+// NoiseSource supplies the randomness for every mechanism. Uniform must
+// return values in [0, 1).
+type NoiseSource = noise.Source
+
+// NewNoiseSource returns a deterministic source seeded with seed,
+// suitable for reproducible experiments.
+func NewNoiseSource(seed int64) NoiseSource { return noise.NewSource(seed) }
+
+// Synopsis is a released differentially private summary that answers
+// rectangular count queries. Queries are pure post-processing: they spend
+// no additional privacy budget.
+type Synopsis interface {
+	// Query estimates the number of data points in r.
+	Query(r Rect) float64
+}
+
+// UGOptions configures BuildUniformGrid; the zero value applies the
+// paper's Guideline 1 defaults.
+type UGOptions = core.UGOptions
+
+// AGOptions configures BuildAdaptiveGrid; the zero value applies the
+// paper's defaults (alpha = 0.5, c = 10, c2 = 5, m1 rule).
+type AGOptions = core.AGOptions
+
+// UniformGrid is the UG synopsis.
+type UniformGrid = core.UniformGrid
+
+// AdaptiveGrid is the AG synopsis.
+type AdaptiveGrid = core.AdaptiveGrid
+
+// BuildUniformGrid constructs a UG synopsis of points over dom under
+// eps-differential privacy.
+func BuildUniformGrid(points []Point, dom Domain, eps float64, opts UGOptions, src NoiseSource) (*UniformGrid, error) {
+	return core.BuildUniformGrid(points, dom, eps, opts, src)
+}
+
+// BuildAdaptiveGrid constructs an AG synopsis of points over dom under
+// eps-differential privacy.
+func BuildAdaptiveGrid(points []Point, dom Domain, eps float64, opts AGOptions, src NoiseSource) (*AdaptiveGrid, error) {
+	return core.BuildAdaptiveGrid(points, dom, eps, opts, src)
+}
+
+// SuggestedGridSize returns Guideline 1's grid size for n points under
+// budget eps with the default constant c = 10.
+func SuggestedGridSize(n int, eps float64) int {
+	return core.SuggestedUGSize(float64(n), eps, core.DefaultC)
+}
+
+// Baseline methods from the paper's evaluation. These exist so library
+// users can reproduce comparisons; for new applications prefer
+// BuildAdaptiveGrid.
+
+// KDTreeOptions configures BuildKDTree.
+type KDTreeOptions = kdtree.Options
+
+// KDMethod selects the kd-tree variant.
+type KDMethod = kdtree.Method
+
+// KD-tree variants.
+const (
+	KDStandard = kdtree.Standard
+	KDHybrid   = kdtree.Hybrid
+)
+
+// KDTree is a kd-tree / quadtree synopsis.
+type KDTree = kdtree.Tree
+
+// BuildKDTree constructs a KD-standard or KD-hybrid synopsis (Cormode et
+// al., ICDE 2012), the recursive-partitioning baseline of the paper.
+func BuildKDTree(points []Point, dom Domain, eps float64, opts KDTreeOptions, src NoiseSource) (*KDTree, error) {
+	return kdtree.BuildTree(points, dom, eps, opts, src)
+}
+
+// PrivletOptions configures BuildPrivlet.
+type PrivletOptions = wavelet.Options
+
+// Privlet is a Haar-wavelet synopsis.
+type Privlet = wavelet.Privlet
+
+// BuildPrivlet constructs a Privlet wavelet synopsis (Xiao et al., TKDE
+// 2011) over an m x m grid.
+func BuildPrivlet(points []Point, dom Domain, eps float64, opts PrivletOptions, src NoiseSource) (*Privlet, error) {
+	return wavelet.BuildPrivlet(points, dom, eps, opts, src)
+}
+
+// HierarchyOptions configures BuildHierarchy.
+type HierarchyOptions = hierarchy.Options
+
+// Hierarchy is a multi-level grid synopsis with constrained inference.
+type Hierarchy = hierarchy.Hierarchy
+
+// BuildHierarchy constructs an H_{b,d} grid-hierarchy synopsis (the
+// paper's Figure 3 baseline).
+func BuildHierarchy(points []Point, dom Domain, eps float64, opts HierarchyOptions, src NoiseSource) (*Hierarchy, error) {
+	return hierarchy.BuildHierarchy(points, dom, eps, opts, src)
+}

@@ -1,0 +1,75 @@
+package dpgrid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dpgrid/dpgrid/internal/pointindex"
+	"github.com/dpgrid/dpgrid/internal/query"
+)
+
+// ErrorStats summarizes a synopsis's error distribution over a workload,
+// using the paper's metrics: relative error |est - true| / max(true,
+// 0.001*N) and absolute error |est - true|, each with the five-number
+// candlestick summary the paper plots (p25, median, p75, p95, mean).
+type ErrorStats struct {
+	Queries           int
+	MeanRelativeError float64
+	MeanAbsoluteError float64
+	RelP25, RelMedian float64
+	RelP75, RelP95    float64
+	AbsP25, AbsMedian float64
+	AbsP75, AbsP95    float64
+}
+
+// Evaluate measures a synopsis against ground truth: it answers every
+// query both exactly (from points) and privately (from syn) and returns
+// the error statistics. Use it to compare methods or parameter choices on
+// your own data before releasing.
+//
+// Evaluation touches the raw data, so it is for the data holder's
+// pre-release tuning only — its outputs are not differentially private.
+func Evaluate(syn Synopsis, points []Point, dom Domain, queries []Rect) (ErrorStats, error) {
+	if syn == nil {
+		return ErrorStats{}, fmt.Errorf("dpgrid: nil synopsis")
+	}
+	if len(queries) == 0 {
+		return ErrorStats{}, fmt.Errorf("dpgrid: no queries")
+	}
+	idx, err := pointindex.New(dom, points)
+	if err != nil {
+		return ErrorStats{}, fmt.Errorf("dpgrid: %w", err)
+	}
+	rho := query.Rho(idx.Len())
+	rel := make([]float64, len(queries))
+	abs := make([]float64, len(queries))
+	for i, q := range queries {
+		truth := float64(idx.Count(q))
+		est := syn.Query(q)
+		rel[i] = query.RelativeError(est, truth, rho)
+		abs[i] = query.AbsoluteError(est, truth)
+	}
+	rc := query.Summarize(rel)
+	ac := query.Summarize(abs)
+	return ErrorStats{
+		Queries:           len(queries),
+		MeanRelativeError: rc.Mean,
+		MeanAbsoluteError: ac.Mean,
+		RelP25:            rc.P25,
+		RelMedian:         rc.Median,
+		RelP75:            rc.P75,
+		RelP95:            rc.P95,
+		AbsP25:            ac.P25,
+		AbsMedian:         ac.Median,
+		AbsP75:            ac.P75,
+		AbsP95:            ac.P95,
+	}, nil
+}
+
+// RandomQueries generates count random axis-aligned query rectangles of
+// extent w x h placed uniformly inside dom — the paper's workload shape.
+// Use a fixed seed for reproducible evaluations.
+func RandomQueries(dom Domain, w, h float64, count int, seed int64) ([]Rect, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return query.Generate(rng, dom, w, h, count)
+}

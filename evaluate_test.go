@@ -1,0 +1,81 @@
+package dpgrid
+
+import (
+	"testing"
+)
+
+func TestEvaluateComparesMethods(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 100, 100)
+	pts := examplePoints(71, 50000, dom)
+	queries, err := RandomQueries(dom, 20, 20, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ag, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{}, NewNoiseSource(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A badly over-partitioned UG for contrast.
+	ug, err := BuildUniformGrid(pts, dom, 1, UGOptions{GridSize: 900}, NewNoiseSource(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agStats, err := Evaluate(ag, pts, dom, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ugStats, err := Evaluate(ug, pts, dom, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agStats.Queries != 100 {
+		t.Errorf("Queries = %d, want 100", agStats.Queries)
+	}
+	if agStats.MeanRelativeError <= 0 {
+		t.Errorf("AG mean RE = %g, want > 0", agStats.MeanRelativeError)
+	}
+	if agStats.MeanRelativeError >= ugStats.MeanRelativeError {
+		t.Errorf("AG (%g) should beat an over-partitioned UG (%g)",
+			agStats.MeanRelativeError, ugStats.MeanRelativeError)
+	}
+	// Candlestick ordering sanity.
+	if !(agStats.RelP25 <= agStats.RelMedian && agStats.RelMedian <= agStats.RelP75 && agStats.RelP75 <= agStats.RelP95) {
+		t.Errorf("candlestick out of order: %+v", agStats)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 1, 1)
+	ug, err := BuildUniformGrid(nil, dom, 1, UGOptions{GridSize: 2}, NewNoiseSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(nil, nil, dom, []Rect{NewRect(0, 0, 1, 1)}); err == nil {
+		t.Error("nil synopsis accepted")
+	}
+	if _, err := Evaluate(ug, nil, dom, nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestRandomQueriesReproducible(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 10, 10)
+	a, err := RandomQueries(dom, 2, 2, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomQueries(dom, 2, 2, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	if _, err := RandomQueries(dom, 20, 2, 5, 1); err == nil {
+		t.Error("oversized query accepted")
+	}
+}

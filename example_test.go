@@ -1,0 +1,82 @@
+package dpgrid_test
+
+import (
+	"fmt"
+
+	"github.com/dpgrid/dpgrid"
+)
+
+// The examples use a tiny fixed dataset so output is deterministic with
+// the zero-noise-free seeded source.
+
+func exampleData() ([]dpgrid.Point, dpgrid.Domain) {
+	dom, _ := dpgrid.NewDomain(0, 0, 10, 10)
+	var pts []dpgrid.Point
+	for i := 0; i < 1000; i++ {
+		// A diagonal band of points.
+		x := float64(i%100) / 10
+		y := x + float64(i%7)/10 - 0.3
+		if y < 0 {
+			y = 0
+		}
+		if y > 10 {
+			y = 10
+		}
+		pts = append(pts, dpgrid.Point{X: x, Y: y})
+	}
+	return pts, dom
+}
+
+func ExampleBuildUniformGrid() {
+	pts, dom := exampleData()
+	syn, err := dpgrid.BuildUniformGrid(pts, dom, 1.0, dpgrid.UGOptions{GridSize: 10}, dpgrid.NewNoiseSource(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("grid size: %dx%d\n", syn.GridSize(), syn.GridSize())
+	fmt.Printf("answer within noise of truth: %t\n", syn.Query(dpgrid.NewRect(0, 0, 10, 10)) > 900)
+	// Output:
+	// grid size: 10x10
+	// answer within noise of truth: true
+}
+
+func ExampleBuildAdaptiveGrid() {
+	pts, dom := exampleData()
+	syn, err := dpgrid.BuildAdaptiveGrid(pts, dom, 1.0, dpgrid.AGOptions{}, dpgrid.NewNoiseSource(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("first level: %dx%d\n", syn.M1(), syn.M1())
+	fmt.Printf("answer within noise of truth: %t\n", syn.Query(dpgrid.NewRect(0, 0, 10, 10)) > 900)
+	// Output:
+	// first level: 10x10
+	// answer within noise of truth: true
+}
+
+func ExampleSuggestedGridSize() {
+	// Guideline 1 for a million-point dataset at eps = 1 (Table II's
+	// checkin row).
+	fmt.Println(dpgrid.SuggestedGridSize(1_000_000, 1.0))
+	// Output:
+	// 316
+}
+
+func ExampleEvaluate() {
+	pts, dom := exampleData()
+	syn, err := dpgrid.BuildAdaptiveGrid(pts, dom, 1.0, dpgrid.AGOptions{}, dpgrid.NewNoiseSource(3))
+	if err != nil {
+		panic(err)
+	}
+	queries, err := dpgrid.RandomQueries(dom, 3, 3, 50, 4)
+	if err != nil {
+		panic(err)
+	}
+	stats, err := dpgrid.Evaluate(syn, pts, dom, queries)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("evaluated %d queries; errors are finite: %t\n",
+		stats.Queries, stats.MeanRelativeError >= 0 && stats.MeanAbsoluteError >= 0)
+	// Output:
+	// evaluated 50 queries; errors are finite: true
+}

@@ -1,0 +1,102 @@
+// Method shootout: a miniature version of the paper's final comparison
+// (Figure 5) run through the public API — KD-hybrid vs UG vs Privlet vs
+// AG on one dataset, one epsilon, with mean relative error per query
+// size class.
+//
+//	go run ./examples/method_shootout
+//
+// Expected shape (the paper's headline result): AG < UG ~ KD-hybrid, with
+// Privlet competitive only at large grid sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"github.com/dpgrid/dpgrid"
+	"github.com/dpgrid/dpgrid/internal/datasets"
+	"github.com/dpgrid/dpgrid/internal/pointindex"
+)
+
+const (
+	eps          = 1.0
+	queriesPerSz = 100
+)
+
+func main() {
+	data, err := datasets.ByName("landmark", 0.1, 9) // 90k points
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := pointindex.New(data.Domain, data.Points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rho := 0.001 * float64(data.N())
+
+	suggested := dpgrid.SuggestedGridSize(data.N(), eps)
+	methods := []struct {
+		name string
+		syn  dpgrid.Synopsis
+	}{
+		{"KD-hybrid", must(dpgrid.BuildKDTree(data.Points, data.Domain, eps,
+			dpgrid.KDTreeOptions{Method: dpgrid.KDHybrid}, dpgrid.NewNoiseSource(31)))},
+		{"UG (Guideline 1)", must(dpgrid.BuildUniformGrid(data.Points, data.Domain, eps,
+			dpgrid.UGOptions{}, dpgrid.NewNoiseSource(32)))},
+		{"Privlet", must(dpgrid.BuildPrivlet(data.Points, data.Domain, eps,
+			dpgrid.PrivletOptions{GridSize: suggested}, dpgrid.NewNoiseSource(33)))},
+		{"AG (Guideline 2)", must(dpgrid.BuildAdaptiveGrid(data.Points, data.Domain, eps,
+			dpgrid.AGOptions{}, dpgrid.NewNoiseSource(34)))},
+	}
+
+	fmt.Printf("landmark stand-in: N=%d, eps=%g, %d queries per size\n\n", data.N(), eps, queriesPerSz)
+	fmt.Printf("%-18s", "method")
+	for s := 1; s <= 6; s++ {
+		fmt.Printf(" %8s", fmt.Sprintf("q%d", s))
+	}
+	fmt.Printf(" %9s\n", "overall")
+
+	rng := rand.New(rand.NewSource(77))
+	// Same workloads for every method.
+	workloads := make([][]dpgrid.Rect, 6)
+	truths := make([][]float64, 6)
+	for s := 1; s <= 6; s++ {
+		w, h := data.QuerySize(s)
+		qs := make([]dpgrid.Rect, queriesPerSz)
+		ts := make([]float64, queriesPerSz)
+		for i := range qs {
+			x0 := data.Domain.MinX + rng.Float64()*(data.Domain.Width()-w)
+			y0 := data.Domain.MinY + rng.Float64()*(data.Domain.Height()-h)
+			qs[i] = dpgrid.NewRect(x0, y0, x0+w, y0+h)
+			ts[i] = float64(idx.Count(qs[i]))
+		}
+		workloads[s-1] = qs
+		truths[s-1] = ts
+	}
+
+	for _, m := range methods {
+		fmt.Printf("%-18s", m.name)
+		var overall float64
+		for s := 0; s < 6; s++ {
+			var sum float64
+			for i, q := range workloads[s] {
+				est := m.syn.Query(q)
+				sum += math.Abs(est-truths[s][i]) / math.Max(truths[s][i], rho)
+			}
+			mean := sum / float64(len(workloads[s]))
+			overall += mean
+			fmt.Printf(" %8.4f", mean)
+		}
+		fmt.Printf(" %9.4f\n", overall/6)
+	}
+	fmt.Println("\n(lower is better; the AG row should win, reproducing Figure 5's shape)")
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,113 @@
+// Package accuracy encodes the paper's error analysis (sections II-B,
+// IV-A, IV-B, IV-C) as executable formulas, so the analysis itself is
+// testable: the package's tests verify each prediction against measured
+// noise from the actual mechanisms.
+//
+// Two error sources (section II-B):
+//
+//   - noise error: summing q noisy cells adds variance q * 2/eps^2;
+//   - non-uniformity error: partially covered border cells are estimated
+//     under the uniformity assumption, with error bounded by the point
+//     mass in those cells.
+//
+// Their opposite dependence on grid size m yields Guideline 1.
+package accuracy
+
+import "math"
+
+// LaplaceStd returns the standard deviation sqrt(2)*sens/eps of one
+// Laplace-mechanism answer (section II-A).
+func LaplaceStd(sens, eps float64) float64 {
+	return math.Sqrt2 * sens / eps
+}
+
+// UGNoiseStd returns the paper's section IV-A noise-error standard
+// deviation for a UG query selecting fraction r of the domain on an
+// m x m grid under budget eps: sqrt(2*r)*m/eps (the query covers about
+// r*m^2 cells, each with variance 2/eps^2).
+func UGNoiseStd(r float64, m int, eps float64) float64 {
+	return math.Sqrt(2*r) * float64(m) / eps
+}
+
+// UGNonUniformityError returns the section IV-A non-uniformity error
+// estimate sqrt(r)*N/(c0*m): the query border crosses ~sqrt(r)*m cells
+// holding ~sqrt(r)*N/m points, of which a 1/c0 portion is mis-estimated.
+func UGNonUniformityError(r float64, n float64, m int, c0 float64) float64 {
+	return math.Sqrt(r) * n / (c0 * float64(m))
+}
+
+// UGTotalError returns the sum of the two error terms for one query.
+func UGTotalError(r, n float64, m int, eps, c0 float64) float64 {
+	return UGNoiseStd(r, m, eps) + UGNonUniformityError(r, n, m, c0)
+}
+
+// OptimalUGSize minimizes UGTotalError over m analytically:
+// m* = sqrt(n*eps/(sqrt(2)*c0)). With c = sqrt(2)*c0 this is Guideline
+// 1's sqrt(n*eps/c); the paper's c = 10 corresponds to c0 = 10/sqrt(2).
+func OptimalUGSize(n, eps, c0 float64) float64 {
+	if n <= 0 || eps <= 0 || c0 <= 0 {
+		return 1
+	}
+	return math.Sqrt(n * eps / (math.Sqrt2 * c0))
+}
+
+// AGCellNoiseStd returns the section IV-B average noise error for a query
+// whose border crosses an AG first-level cell partitioned into m2 x m2
+// leaves with leaf budget (1-alpha)*eps: with constrained inference the
+// query is answered by about m2^2/4 leaf cells, giving
+// sqrt(m2^2/4) * sqrt(2)/((1-alpha)*eps).
+func AGCellNoiseStd(m2 int, alpha, eps float64) float64 {
+	return math.Sqrt(float64(m2*m2)/4) * math.Sqrt2 / ((1 - alpha) * eps)
+}
+
+// AGOptimalM2 minimizes the AG per-cell error sum analytically:
+// m2* = sqrt(nCell*(1-alpha)*eps / (sqrt(2)*c0/2)); with c2 = c/2 =
+// sqrt(2)*c0/2 this is Guideline 2's sqrt(nCell*(1-alpha)*eps/c2).
+func AGOptimalM2(nCell, alpha, eps, c0 float64) float64 {
+	if nCell <= 0 || eps <= 0 || c0 <= 0 || alpha >= 1 {
+		return 1
+	}
+	return math.Sqrt(nCell * (1 - alpha) * eps / (math.Sqrt2 * c0 / 2))
+}
+
+// ConstrainedInferenceVariance returns the variance of the reconciled
+// first-level count v' in AG's two-level constrained inference
+// (section IV-B): combining v (variance 2/(alpha*eps)^2) with the sum of
+// m2^2 leaves (variance m2^2*2/((1-alpha)*eps)^2) by inverse-variance
+// weighting.
+func ConstrainedInferenceVariance(m2 int, alpha, eps float64) float64 {
+	v1 := 2 / (alpha * eps) / (alpha * eps)
+	v2 := float64(m2*m2) * 2 / ((1 - alpha) * eps) / ((1 - alpha) * eps)
+	return 1 / (1/v1 + 1/v2)
+}
+
+// BorderFraction returns the section IV-C border fraction for dimension
+// d: the portion of the domain a query's border occupies after grouping
+// b cells (total, not per axis) of an M-cell leaf domain into one parent:
+// 2*d * b^(1/d) / M^(1/d). For d = 1 this is 2b/M; for d = 2 it is
+// 4*sqrt(b)/sqrt(M) — the paper's example values 0.0008 and 0.08 at
+// M = 10000, b = 4.
+func BorderFraction(d int, b, m float64) float64 {
+	if d < 1 || b <= 0 || m <= 0 {
+		return 0
+	}
+	dd := float64(d)
+	return 2 * dd * math.Pow(b, 1/dd) / math.Pow(m, 1/dd)
+}
+
+// PrivletFullDomainVariance returns the exact variance of the
+// full-domain query under the Privlet mechanism on an m x m grid
+// (padded size p): only the base coefficient survives, giving
+// 2*rho^4/eps^2 with rho = 1+log2(p).
+func PrivletFullDomainVariance(p int, eps float64) float64 {
+	rho := 1 + math.Log2(float64(p))
+	rho2 := rho * rho
+	return 2 * rho2 * rho2 / (eps * eps)
+}
+
+// HierarchyLevelVariance returns the per-node noise variance in a
+// depth-level hierarchy that splits eps uniformly: 2*(depth/eps)^2.
+func HierarchyLevelVariance(depth int, eps float64) float64 {
+	s := float64(depth) / eps
+	return 2 * s * s
+}

@@ -1,0 +1,162 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+func TestLaplaceStdMatchesMechanism(t *testing.T) {
+	// Empirical std of the mechanism must match the formula.
+	src := noise.NewSource(1)
+	mech, err := noise.NewMechanism(0.5, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		d := mech.Perturb(0)
+		sumSq += d * d
+	}
+	got := math.Sqrt(sumSq / n)
+	want := LaplaceStd(1, 0.5)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("empirical std %g, formula %g", got, want)
+	}
+}
+
+// TestUGNoiseStdMatchesMeasured validates the section IV-A noise-error
+// formula against the real UG mechanism on empty data (truth 0, so every
+// answer is pure noise error).
+func TestUGNoiseStdMatchesMeasured(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 1, 1)
+	const m = 32
+	const eps = 1.0
+	const r = 0.25 // quarter-domain query
+	q := geom.NewRect(0, 0, 0.5, 0.5)
+
+	const trials = 400
+	var sumSq float64
+	for i := 0; i < trials; i++ {
+		ug, err := core.BuildUniformGrid(nil, dom, eps, core.UGOptions{GridSize: m}, noise.NewSource(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := ug.Query(q)
+		sumSq += v * v
+	}
+	got := math.Sqrt(sumSq / trials)
+	want := UGNoiseStd(r, m, eps) // sqrt(0.5)*32 = 22.6
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("measured noise std %g, formula %g", got, want)
+	}
+}
+
+func TestOptimalUGSizeMatchesGuideline1(t *testing.T) {
+	// With c = sqrt(2)*c0 the analytic optimum is Guideline 1.
+	const c = core.DefaultC
+	c0 := c / math.Sqrt2
+	for _, tc := range []struct{ n, eps float64 }{
+		{1e6, 1}, {1e6, 0.1}, {9200, 1}, {1.6e6, 0.1},
+	} {
+		analytic := OptimalUGSize(tc.n, tc.eps, c0)
+		guideline := core.GuidelineGridSize(tc.n, tc.eps, c)
+		if math.Abs(analytic-guideline) > 1e-9*guideline {
+			t.Errorf("n=%g eps=%g: analytic %g != guideline %g", tc.n, tc.eps, analytic, guideline)
+		}
+	}
+}
+
+func TestOptimalUGSizeIsTheMinimum(t *testing.T) {
+	// The analytic optimum must (approximately) minimize UGTotalError.
+	const n, eps, c0, r = 1e6, 1.0, 7.07, 0.04
+	opt := OptimalUGSize(n, eps, c0)
+	at := func(m float64) float64 { return UGTotalError(r, n, int(m), eps, c0) }
+	if at(opt) > at(opt*2) || at(opt) > at(opt/2) {
+		t.Errorf("error at optimum %g not below 2x (%g) or 0.5x (%g)",
+			at(opt), at(opt*2), at(opt/2))
+	}
+	// Degenerate inputs floor at 1.
+	if OptimalUGSize(0, 1, 1) != 1 || OptimalUGSize(1, 0, 1) != 1 {
+		t.Error("degenerate OptimalUGSize should be 1")
+	}
+}
+
+func TestAGOptimalM2MatchesGuideline2(t *testing.T) {
+	const c = core.DefaultC
+	c0 := c / math.Sqrt2
+	const alpha = 0.5
+	for _, tc := range []struct{ nCell, eps float64 }{
+		{100, 1}, {4000, 0.5}, {50, 0.1},
+	} {
+		analytic := AGOptimalM2(tc.nCell, alpha, tc.eps, c0)
+		// Guideline 2: sqrt(nCell*(1-alpha)*eps/c2), c2 = c/2.
+		guideline := math.Sqrt(tc.nCell * (1 - alpha) * tc.eps / (c / 2))
+		if math.Abs(analytic-guideline) > 1e-9*guideline {
+			t.Errorf("nCell=%g: analytic %g != guideline %g", tc.nCell, analytic, guideline)
+		}
+	}
+}
+
+// TestConstrainedInferenceVarianceMatchesMeasured validates the CI
+// variance formula against the real AG mechanism on empty data.
+func TestConstrainedInferenceVarianceMatchesMeasured(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 2, 2)
+	const eps = 1.0
+	const alpha = 0.5
+	const trials = 500
+	var sumSq float64
+	for i := 0; i < trials; i++ {
+		ag, err := core.BuildAdaptiveGrid(nil, dom, eps, core.AGOptions{M1: 2, Alpha: alpha}, noise.NewSource(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := ag.CellTotal(0, 0)
+		sumSq += v * v
+	}
+	got := sumSq / trials
+	// Empty data: m2 = 1 everywhere.
+	want := ConstrainedInferenceVariance(1, alpha, eps)
+	if math.Abs(got-want)/want > 0.2 {
+		t.Errorf("measured CI variance %g, formula %g", got, want)
+	}
+}
+
+func TestBorderFractionPaperExample(t *testing.T) {
+	// Section IV-C: M = 10000, b = 4 -> 1D: 0.0008, 2D: 0.08.
+	if got := BorderFraction(1, 4, 10000); math.Abs(got-0.0008) > 1e-12 {
+		t.Errorf("1D border fraction = %g, want 0.0008", got)
+	}
+	if got := BorderFraction(2, 4, 10000); math.Abs(got-0.08) > 1e-12 {
+		t.Errorf("2D border fraction = %g, want 0.08", got)
+	}
+	// Monotone growth with dimension (the paper's prediction).
+	prev := 0.0
+	for d := 1; d <= 4; d++ {
+		cur := BorderFraction(d, 4, 10000)
+		if cur <= prev {
+			t.Errorf("border fraction not growing at d=%d: %g <= %g", d, cur, prev)
+		}
+		prev = cur
+	}
+	if BorderFraction(0, 4, 100) != 0 {
+		t.Error("degenerate dimension should return 0")
+	}
+}
+
+func TestHierarchyLevelVariance(t *testing.T) {
+	if got, want := HierarchyLevelVariance(3, 1), 18.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("HierarchyLevelVariance(3, 1) = %g, want %g", got, want)
+	}
+}
+
+func TestPrivletFullDomainVarianceFormula(t *testing.T) {
+	// rho = 1 + log2(256) = 9; variance = 2*9^4 = 13122.
+	if got := PrivletFullDomainVariance(256, 1); math.Abs(got-13122) > 1e-9 {
+		t.Errorf("PrivletFullDomainVariance(256, 1) = %g, want 13122", got)
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/grid"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+// AGOptions configures BuildAdaptiveGrid. The zero value reproduces the
+// paper's defaults: alpha = 0.5, c = 10, c2 = c/2, m1 from the
+// max(10, sqrt(N*eps/c)/4) rule.
+type AGOptions struct {
+	// M1 fixes the first-level grid size (the paper's A_{m1,c2}
+	// notation). When 0, the m1 rule of section IV-B chooses it.
+	M1 int
+	// Alpha is the fraction of eps spent on first-level counts; 0 means
+	// DefaultAlpha. Must lie in (0, 1).
+	Alpha float64
+	// C is the Guideline 1 constant used by the m1 rule; 0 means DefaultC.
+	C float64
+	// C2 is the Guideline 2 constant; 0 means C/2.
+	C2 float64
+	// MaxM2 caps each cell's second-level grid size; 0 means DefaultMaxM2.
+	MaxM2 int
+	// NBudgetFrac, when positive, spends that fraction of eps on a noisy
+	// estimate of N for the m1 rule (see UGOptions.NBudgetFrac).
+	NBudgetFrac float64
+	// DisableInference skips the constrained-inference step and answers
+	// from raw second-level counts only. It exists for ablation studies
+	// (quantifying how much CI contributes to AG); it wastes the level-1
+	// budget and should not be used outside experiments.
+	DisableInference bool
+}
+
+// AdaptiveGrid is the AG synopsis (section IV-B): a coarse m1 x m1 first
+// level whose cells are each re-partitioned into an adaptively sized
+// m2 x m2 second level, with constrained inference reconciling the two
+// levels. Queries are answered from the post-inference leaf counts, whose
+// consistency with the first level makes the greedy two-level answering
+// strategy equal to a pure leaf sum.
+type AdaptiveGrid struct {
+	dom   geom.Domain
+	eps   float64
+	alpha float64
+	m1    int
+
+	cells    []agCell     // row-major m1*m1
+	level1   *grid.Prefix // prefix sums over post-inference cell totals
+	leafPop  int          // total number of leaf cells (diagnostics)
+	maxM2    int          // largest m2 chosen (diagnostics)
+	epsLevel [2]float64   // actual budget split (diagnostics)
+}
+
+// agCell holds one first-level cell's second-level synopsis.
+type agCell struct {
+	rect   geom.Rect
+	m2     int
+	total  float64      // post-inference cell count v'
+	leaves *grid.Prefix // post-inference leaf counts over rect
+}
+
+// BuildAdaptiveGrid constructs an AG synopsis of points over dom under
+// eps-differential privacy.
+func BuildAdaptiveGrid(points []geom.Point, dom geom.Domain, eps float64, opts AGOptions, src noise.Source) (*AdaptiveGrid, error) {
+	return BuildAdaptiveGridSeq(geom.SlicePoints(points), dom, eps, opts, src)
+}
+
+// BuildAdaptiveGridSeq is BuildAdaptiveGrid over a streaming point
+// source, for datasets that do not fit in memory (the paper's two-pass
+// construction; choosing m1 from the data adds one extra counting scan
+// when M1 is 0).
+func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts AGOptions, src noise.Source) (*AdaptiveGrid, error) {
+	if src == nil {
+		return nil, errors.New("core: nil noise source")
+	}
+	budget, err := noise.NewBudget(eps)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	alpha := opts.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	if !(alpha > 0 && alpha < 1) {
+		return nil, fmt.Errorf("core: alpha must be in (0,1), got %g", alpha)
+	}
+	c := opts.C
+	if c == 0 {
+		c = DefaultC
+	}
+	c2 := opts.C2
+	if c2 == 0 {
+		c2 = c / 2
+	}
+	if c <= 0 || c2 <= 0 {
+		return nil, fmt.Errorf("core: constants must be positive (c=%g, c2=%g)", c, c2)
+	}
+	maxM2 := opts.MaxM2
+	if maxM2 == 0 {
+		maxM2 = DefaultMaxM2
+	}
+	if maxM2 < 1 {
+		return nil, fmt.Errorf("core: MaxM2 must be positive, got %d", maxM2)
+	}
+	if opts.NBudgetFrac < 0 || opts.NBudgetFrac >= 1 {
+		return nil, fmt.Errorf("core: NBudgetFrac must be in [0, 1), got %g", opts.NBudgetFrac)
+	}
+
+	remaining := eps
+	m1 := opts.M1
+	if m1 == 0 {
+		nInt, err := countInDomain(seq, dom)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(nInt)
+		if opts.NBudgetFrac > 0 {
+			nEps, err := budget.SpendFraction(opts.NBudgetFrac)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			nMech, err := noise.NewMechanism(nEps, 1, src)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			n = math.Max(0, nMech.Perturb(n))
+			remaining = budget.Remaining()
+		}
+		m1 = SuggestedM1(n, remaining, c)
+	} else if m1 < 0 {
+		return nil, fmt.Errorf("core: m1 must be positive, got %d", m1)
+	}
+
+	eps1 := alpha * remaining
+	eps2 := (1 - alpha) * remaining
+
+	// First pass: exact first-level histogram, then noise with eps1.
+	level1, err := grid.FromSeq(dom, m1, m1, seq)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := budget.Spend(eps1); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	mech1, err := noise.NewMechanism(eps1, 1, src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	noisy1 := level1.Clone()
+	mech1.PerturbAll(noisy1.Values())
+
+	// Choose each cell's m2 from its *noisy* count (Guideline 2), so the
+	// choice itself consumes no extra budget.
+	m2s := make([]int, m1*m1)
+	maxChosen := 1
+	leafTotal := 0
+	for i, v := range noisy1.Values() {
+		m2 := SuggestedM2(v, eps2, c2, maxM2)
+		m2s[i] = m2
+		leafTotal += m2 * m2
+		if m2 > maxChosen {
+			maxChosen = m2
+		}
+	}
+
+	// Second pass: exact leaf histograms (the paper's "two passes over the
+	// dataset"), then noise with eps2.
+	leafCounts := make([][]float64, m1*m1)
+	for i, m2 := range m2s {
+		leafCounts[i] = make([]float64, m2*m2)
+	}
+	err = seq.ForEach(func(p geom.Point) {
+		if !dom.Contains(p) {
+			return
+		}
+		ix, iy := dom.CellIndex(p, m1, m1)
+		k := iy*m1 + ix
+		m2 := m2s[k]
+		cellRect := dom.CellRect(ix, iy, m1, m1)
+		lx, ly := leafIndex(p, cellRect, m2)
+		leafCounts[k][ly*m2+lx]++
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: second pass: %w", err)
+	}
+	if err := budget.Spend(eps2); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	mech2, err := noise.NewMechanism(eps2, 1, src)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	for _, leaves := range leafCounts {
+		mech2.PerturbAll(leaves)
+	}
+
+	// Constrained inference per first-level cell (section IV-B):
+	//   v'  = (a^2 m2^2 * v + (1-a)^2 * sum(u)) / ((1-a)^2 + a^2 m2^2)
+	//   u' += (v' - sum(u)) / m2^2
+	// (the paper's u' equation omits the 1/m2^2; equal distribution over
+	// the leaves is required for sum(u') = v' — see DESIGN.md).
+	ag := &AdaptiveGrid{
+		dom:     dom,
+		eps:     eps,
+		alpha:   alpha,
+		m1:      m1,
+		cells:   make([]agCell, m1*m1),
+		leafPop: leafTotal,
+		maxM2:   maxChosen,
+	}
+	ag.epsLevel = [2]float64{eps1, eps2}
+	totals, err := grid.New(dom, m1, m1)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	a2 := alpha * alpha
+	b2 := (1 - alpha) * (1 - alpha)
+	for iy := 0; iy < m1; iy++ {
+		for ix := 0; ix < m1; ix++ {
+			k := iy*m1 + ix
+			m2 := m2s[k]
+			leaves := leafCounts[k]
+			v := noisy1.At(ix, iy)
+			var sumU float64
+			for _, u := range leaves {
+				sumU += u
+			}
+			m2sq := float64(m2 * m2)
+			denom := b2 + a2*m2sq
+			vPrime := (a2*m2sq*v + b2*sumU) / denom
+			diff := (vPrime - sumU) / m2sq
+			if opts.DisableInference {
+				vPrime = sumU
+				diff = 0
+			}
+			cellRect := dom.CellRect(ix, iy, m1, m1)
+			cellDom := geom.Domain{Rect: cellRect}
+			leafGrid, err := grid.New(cellDom, m2, m2)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			for i, u := range leaves {
+				leafGrid.Values()[i] = u + diff
+			}
+			ag.cells[k] = agCell{
+				rect:   cellRect,
+				m2:     m2,
+				total:  vPrime,
+				leaves: grid.NewPrefix(leafGrid),
+			}
+			totals.Set(ix, iy, vPrime)
+		}
+	}
+	ag.level1 = grid.NewPrefix(totals)
+	return ag, nil
+}
+
+// leafIndex maps p into the lx, ly leaf cell of an m2 x m2 grid over cell.
+func leafIndex(p geom.Point, cell geom.Rect, m2 int) (lx, ly int) {
+	w := cell.Width() / float64(m2)
+	h := cell.Height() / float64(m2)
+	lx = int((p.X - cell.MinX) / w)
+	ly = int((p.Y - cell.MinY) / h)
+	if lx >= m2 {
+		lx = m2 - 1
+	}
+	if ly >= m2 {
+		ly = m2 - 1
+	}
+	if lx < 0 {
+		lx = 0
+	}
+	if ly < 0 {
+		ly = 0
+	}
+	return lx, ly
+}
+
+// Query estimates the number of data points in r. First-level cells fully
+// inside r contribute their reconciled totals through a prefix-sum block;
+// boundary cells are answered from their second-level leaves with the
+// uniformity assumption.
+func (a *AdaptiveGrid) Query(r geom.Rect) float64 {
+	clipped, ok := a.dom.Clip(r)
+	if !ok {
+		return 0
+	}
+	m1 := a.m1
+	w, h := a.dom.CellSize(m1, m1)
+	bx0 := clampInt(int(math.Floor((clipped.MinX-a.dom.MinX)/w)), 0, m1-1)
+	bx1 := clampInt(int(math.Floor((clipped.MaxX-a.dom.MinX)/w)), 0, m1-1)
+	by0 := clampInt(int(math.Floor((clipped.MinY-a.dom.MinY)/h)), 0, m1-1)
+	by1 := clampInt(int(math.Floor((clipped.MaxY-a.dom.MinY)/h)), 0, m1-1)
+
+	// Interior first-level cells (strictly inside the touched range) are
+	// fully covered: O(1) via the level-1 prefix table.
+	var total float64
+	if bx0+1 < bx1 && by0+1 < by1 {
+		total += a.level1.BlockSum(bx0+1, by0+1, bx1, by1)
+	}
+
+	cellQuery := func(bx, by int) {
+		cell := &a.cells[by*m1+bx]
+		if clipped.ContainsRect(cell.rect) {
+			total += cell.total
+			return
+		}
+		total += cell.leaves.Query(clipped)
+	}
+	for by := by0; by <= by1; by++ {
+		cellQuery(bx0, by)
+		if bx1 != bx0 {
+			cellQuery(bx1, by)
+		}
+	}
+	for bx := bx0 + 1; bx < bx1; bx++ {
+		cellQuery(bx, by0)
+		if by1 != by0 {
+			cellQuery(bx, by1)
+		}
+	}
+	return total
+}
+
+// M1 returns the first-level grid size.
+func (a *AdaptiveGrid) M1() int { return a.m1 }
+
+// Alpha returns the budget split parameter.
+func (a *AdaptiveGrid) Alpha() float64 { return a.alpha }
+
+// Epsilon returns the total privacy budget consumed.
+func (a *AdaptiveGrid) Epsilon() float64 { return a.eps }
+
+// Domain returns the synopsis domain.
+func (a *AdaptiveGrid) Domain() geom.Domain { return a.dom }
+
+// TotalEstimate returns the noisy estimate of the dataset size.
+func (a *AdaptiveGrid) TotalEstimate() float64 { return a.level1.Total() }
+
+// LeafCells returns the total number of second-level cells in the synopsis.
+func (a *AdaptiveGrid) LeafCells() int { return a.leafPop }
+
+// MaxM2 returns the largest second-level grid size chosen by Guideline 2.
+func (a *AdaptiveGrid) MaxM2() int { return a.maxM2 }
+
+// CellM2 returns the second-level grid size chosen for first-level cell
+// (ix, iy).
+func (a *AdaptiveGrid) CellM2(ix, iy int) int {
+	if ix < 0 || ix >= a.m1 || iy < 0 || iy >= a.m1 {
+		return 0
+	}
+	return a.cells[iy*a.m1+ix].m2
+}
+
+// CellTotal returns the post-inference count of first-level cell (ix, iy).
+func (a *AdaptiveGrid) CellTotal(ix, iy int) float64 {
+	if ix < 0 || ix >= a.m1 || iy < 0 || iy >= a.m1 {
+		return 0
+	}
+	return a.cells[iy*a.m1+ix].total
+}
+
+// BudgetSplit returns the epsilon spent on the two levels.
+func (a *AdaptiveGrid) BudgetSplit() (level1, level2 float64) {
+	return a.epsLevel[0], a.epsLevel[1]
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

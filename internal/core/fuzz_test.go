@@ -1,0 +1,72 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+// FuzzParseUniformGrid: the synopsis parser must never panic and must
+// either return a valid, queryable synopsis or an error, no matter the
+// input bytes. Run with `go test -fuzz=FuzzParseUniformGrid ./internal/core`.
+func FuzzParseUniformGrid(f *testing.F) {
+	// Seed corpus: a valid file, a truncation of it, and garbage.
+	dom := geom.MustDomain(0, 0, 4, 4)
+	ug, err := BuildUniformGrid(nil, dom, 1, UGOptions{GridSize: 2}, noise.Zero)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ug.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"format":"dpgrid/uniform-grid","version":1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"format":"dpgrid/uniform-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"m":1,"counts":[1e308]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		syn, err := ParseUniformGrid(data)
+		if err != nil {
+			return
+		}
+		// A successfully parsed synopsis must answer queries with finite
+		// values.
+		got := syn.Query(geom.NewRect(-1e9, -1e9, 1e9, 1e9))
+		if got != got { // NaN check
+			t.Fatalf("parsed synopsis produced NaN answer")
+		}
+	})
+}
+
+// FuzzParseAdaptiveGrid mirrors FuzzParseUniformGrid for AG files.
+func FuzzParseAdaptiveGrid(f *testing.F) {
+	dom := geom.MustDomain(0, 0, 4, 4)
+	ag, err := BuildAdaptiveGrid(nil, dom, 1, AGOptions{M1: 2}, noise.Zero)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ag.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)*2/3])
+	f.Add([]byte(`{"format":"dpgrid/adaptive-grid","version":1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		syn, err := ParseAdaptiveGrid(data)
+		if err != nil {
+			return
+		}
+		got := syn.Query(geom.NewRect(0, 0, 4, 4))
+		if got != got {
+			t.Fatalf("parsed synopsis produced NaN answer")
+		}
+	})
+}

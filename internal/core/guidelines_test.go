@@ -1,0 +1,94 @@
+package core
+
+import "testing"
+
+// TestSuggestedUGSizeMatchesTableII pins Guideline 1 against the "UG sugg."
+// column of the paper's Table II for all four datasets and both epsilon
+// values. (storage is "about 9K"; N = 9200 reproduces the table's 10/30.)
+func TestSuggestedUGSizeMatchesTableII(t *testing.T) {
+	cases := []struct {
+		dataset string
+		n       float64
+		eps     float64
+		want    int
+	}{
+		{"road", 1.6e6, 1, 400},
+		{"road", 1.6e6, 0.1, 126},
+		{"checkin", 1e6, 1, 316},
+		{"checkin", 1e6, 0.1, 100},
+		{"landmark", 0.9e6, 1, 300},
+		{"landmark", 0.9e6, 0.1, 95},
+		{"storage", 9200, 1, 30},
+		{"storage", 9200, 0.1, 10},
+	}
+	for _, tc := range cases {
+		if got := SuggestedUGSize(tc.n, tc.eps, DefaultC); got != tc.want {
+			t.Errorf("SuggestedUGSize(%s, eps=%g) = %d, want %d", tc.dataset, tc.eps, got, tc.want)
+		}
+	}
+}
+
+// TestSuggestedM1MatchesPaper pins the m1 rule against Figure 4's
+// "suggested m1" annotations and Figure 5's A_{m1,5} labels.
+func TestSuggestedM1MatchesPaper(t *testing.T) {
+	cases := []struct {
+		dataset string
+		n       float64
+		eps     float64
+		want    int
+	}{
+		{"checkin", 1e6, 0.1, 25},    // Fig 4(b)
+		{"checkin", 1e6, 1, 79},      // Fig 4(f)
+		{"landmark", 0.9e6, 0.1, 24}, // Fig 4(j)
+		{"landmark", 0.9e6, 1, 75},   // Fig 4(n)
+		{"road", 1.6e6, 0.1, 32},     // Fig 5(a): A_{32,5}
+		{"road", 1.6e6, 1, 100},      // Fig 5(c): A_{100,5}
+		{"storage", 9200, 0.1, 10},   // Fig 5(m): A_{10,5} (floor at 10)
+		{"storage", 9200, 1, 10},     // Fig 5(o): A_{10,5} (floor at 10)
+	}
+	for _, tc := range cases {
+		if got := SuggestedM1(tc.n, tc.eps, DefaultC); got != tc.want {
+			t.Errorf("SuggestedM1(%s, eps=%g) = %d, want %d", tc.dataset, tc.eps, got, tc.want)
+		}
+	}
+}
+
+func TestGuidelineGridSizeDegenerate(t *testing.T) {
+	for _, tc := range []struct{ n, eps, c float64 }{
+		{0, 1, 10}, {-5, 1, 10}, {100, 0, 10}, {100, 1, 0}, {100, -1, 10},
+	} {
+		if got := GuidelineGridSize(tc.n, tc.eps, tc.c); got != 1 {
+			t.Errorf("GuidelineGridSize(%g,%g,%g) = %g, want degenerate 1", tc.n, tc.eps, tc.c, got)
+		}
+	}
+	if got := SuggestedUGSize(0, 1, 10); got != 1 {
+		t.Errorf("SuggestedUGSize on empty data = %d, want 1", got)
+	}
+}
+
+func TestSuggestedM2(t *testing.T) {
+	// N' = 100 points, remaining eps 0.5, c2 = 5:
+	// ceil(sqrt(100*0.5/5)) = ceil(3.162) = 4.
+	if got := SuggestedM2(100, 0.5, 5, DefaultMaxM2); got != 4 {
+		t.Errorf("SuggestedM2(100, 0.5, 5) = %d, want 4", got)
+	}
+	// Negative noisy counts degrade to a single cell.
+	if got := SuggestedM2(-20, 0.5, 5, DefaultMaxM2); got != 1 {
+		t.Errorf("SuggestedM2(negative) = %d, want 1", got)
+	}
+	// The cap binds.
+	if got := SuggestedM2(1e12, 1, 5, 64); got != 64 {
+		t.Errorf("SuggestedM2 cap = %d, want 64", got)
+	}
+	// Exact squares use ceil, so a marginally larger argument bumps up.
+	if got := SuggestedM2(80, 0.5, 5, DefaultMaxM2); got != 3 {
+		// sqrt(80*0.5/5) = sqrt(8) = 2.83 -> 3
+		t.Errorf("SuggestedM2(80, 0.5, 5) = %d, want 3", got)
+	}
+}
+
+func TestSuggestedM1FloorsAtTen(t *testing.T) {
+	if got := SuggestedM1(100, 0.1, DefaultC); got != MinM1 {
+		t.Errorf("tiny dataset m1 = %d, want %d", got, MinM1)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+func TestUGSerializeRoundTrip(t *testing.T) {
+	dom := geom.MustDomain(-10, 5, 30, 45)
+	pts := clusteredPoints(41, 5000, dom)
+	orig, err := BuildUniformGrid(pts, dom, 0.7, UGOptions{GridSize: 17}, noise.NewSource(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ParseUniformGrid(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.GridSize() != 17 || loaded.Epsilon() != 0.7 {
+		t.Errorf("metadata lost: m=%d eps=%g", loaded.GridSize(), loaded.Epsilon())
+	}
+	// Every query must answer identically.
+	for _, r := range []geom.Rect{
+		geom.NewRect(-10, 5, 30, 45),
+		geom.NewRect(0, 10, 15, 30),
+		geom.NewRect(-9.5, 5.5, -2.25, 12.125),
+	} {
+		if a, b := orig.Query(r), loaded.Query(r); a != b {
+			t.Errorf("Query(%v): %g before, %g after round trip", r, a, b)
+		}
+	}
+}
+
+func TestAGSerializeRoundTrip(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 20, 20)
+	pts := clusteredPoints(42, 8000, dom)
+	orig, err := BuildAdaptiveGrid(pts, dom, 1.2, AGOptions{M1: 6, Alpha: 0.4}, noise.NewSource(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ParseAdaptiveGrid(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.M1() != 6 || loaded.Alpha() != 0.4 || loaded.Epsilon() != 1.2 {
+		t.Errorf("metadata lost: m1=%d alpha=%g eps=%g", loaded.M1(), loaded.Alpha(), loaded.Epsilon())
+	}
+	if loaded.LeafCells() != orig.LeafCells() {
+		t.Errorf("leaf cells %d != %d", loaded.LeafCells(), orig.LeafCells())
+	}
+	for _, r := range []geom.Rect{
+		geom.NewRect(0, 0, 20, 20),
+		geom.NewRect(3.3, 4.4, 15.5, 16.6),
+		geom.NewRect(9.99, 9.99, 10.01, 10.01),
+	} {
+		a, b := orig.Query(r), loaded.Query(r)
+		if math.Abs(a-b) > 1e-9*(1+math.Abs(a)) {
+			t.Errorf("Query(%v): %g before, %g after round trip", r, a, b)
+		}
+	}
+	// TotalEstimate survives.
+	if math.Abs(loaded.TotalEstimate()-orig.TotalEstimate()) > 1e-9*(1+math.Abs(orig.TotalEstimate())) {
+		t.Errorf("TotalEstimate %g != %g", loaded.TotalEstimate(), orig.TotalEstimate())
+	}
+}
+
+func TestReadEnvelope(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 1, 1)
+	ug, err := BuildUniformGrid(nil, dom, 1, UGOptions{GridSize: 2}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ug.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadEnvelope(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Format != FormatUG || env.Version != serializeVersion {
+		t.Errorf("envelope = %+v", env)
+	}
+	if _, err := ReadEnvelope([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadEnvelope([]byte(`{"version":1}`)); err == nil {
+		t.Error("missing format tag accepted")
+	}
+}
+
+// corruptUG returns a valid serialized UG that f may mutate before
+// re-serialization.
+func corruptUG(t *testing.T, f func(m map[string]any)) []byte {
+	t.Helper()
+	dom := geom.MustDomain(0, 0, 4, 4)
+	ug, err := BuildUniformGrid(nil, dom, 1, UGOptions{GridSize: 2}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ug.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	f(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseUniformGridRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(m map[string]any)
+	}{
+		{"wrong format", func(m map[string]any) { m["format"] = "bogus" }},
+		{"future version", func(m map[string]any) { m["version"] = 99 }},
+		{"zero m", func(m map[string]any) { m["m"] = 0 }},
+		{"counts length mismatch", func(m map[string]any) { m["counts"] = []float64{1, 2, 3} }},
+		{"bad epsilon", func(m map[string]any) { m["epsilon"] = -1 }},
+		{"bad domain", func(m map[string]any) { m["domain"] = []float64{5, 5, 1, 1} }},
+		{"nan count", func(m map[string]any) { m["counts"] = []any{1.0, "NaN", 3.0, 4.0} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := corruptUG(t, tc.mut)
+			if _, err := ParseUniformGrid(data); err == nil {
+				t.Error("corrupted synopsis accepted")
+			}
+		})
+	}
+}
+
+func TestParseAdaptiveGridRejectsCorruption(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 4, 4)
+	ag, err := BuildAdaptiveGrid(nil, dom, 1, AGOptions{M1: 2}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ag.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(m map[string]any)) []byte {
+		var m map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		out, _ := json.Marshal(m)
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"wrong format", mutate(func(m map[string]any) { m["format"] = FormatUG })},
+		{"bad alpha", mutate(func(m map[string]any) { m["alpha"] = 2.0 })},
+		{"cells mismatch", mutate(func(m map[string]any) { m["m1"] = 5 })},
+		{"not json", []byte("{{{{")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseAdaptiveGrid(tc.data); err == nil {
+				t.Error("corrupted synopsis accepted")
+			}
+		})
+	}
+}
+
+func TestParseUGWrongKind(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 4, 4)
+	ag, err := BuildAdaptiveGrid(nil, dom, 1, AGOptions{M1: 2}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ag.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseUniformGrid(buf.Bytes()); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Errorf("AG file parsed as UG: %v", err)
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/pointindex"
+)
+
+func TestSearchCum(t *testing.T) {
+	cum := []float64{1, 3, 6, 10}
+	cases := []struct {
+		u    float64
+		want int
+	}{
+		{0, 0}, {0.99, 0}, {1, 1}, {2.5, 1}, {3, 2}, {5.9, 2}, {6, 3}, {9.99, 3},
+	}
+	for _, tc := range cases {
+		if got := searchCum(cum, tc.u); got != tc.want {
+			t.Errorf("searchCum(%g) = %d, want %d", tc.u, got, tc.want)
+		}
+	}
+}
+
+func TestUGSynthesizePreservesDistribution(t *testing.T) {
+	// Build UG on clustered data with zero noise; the synthetic sample's
+	// region masses must match the original's at grid granularity.
+	dom := geom.MustDomain(0, 0, 16, 16)
+	pts := clusteredPoints(31, 20000, dom)
+	ug, err := BuildUniformGrid(pts, dom, 1, UGOptions{GridSize: 8}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := ug.Synthesize(40000, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(synth) != 40000 {
+		t.Fatalf("synthetic size = %d, want 40000", len(synth))
+	}
+	origIdx, err := pointindex.New(dom, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthIdx, err := pointindex.New(dom, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synthIdx.Dropped() != 0 {
+		t.Errorf("%d synthetic points fell outside the domain", synthIdx.Dropped())
+	}
+	// Compare mass fractions over grid-aligned quadrants.
+	for _, r := range []geom.Rect{
+		geom.NewRect(0, 0, 8, 8), geom.NewRect(8, 8, 16, 16),
+		geom.NewRect(0, 8, 8, 16), geom.NewRect(8, 0, 16, 8),
+	} {
+		origFrac := float64(origIdx.Count(r)) / float64(origIdx.Len())
+		synthFrac := float64(synthIdx.Count(r)) / float64(synthIdx.Len())
+		if math.Abs(origFrac-synthFrac) > 0.02 {
+			t.Errorf("region %v: orig frac %.4f, synth frac %.4f", r, origFrac, synthFrac)
+		}
+	}
+}
+
+func TestUGSynthesizeDefaultSize(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := uniformPoints(32, 5000, dom)
+	ug, err := BuildUniformGrid(pts, dom, 1, UGOptions{GridSize: 10}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := ug.Synthesize(0, rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero noise: default size equals the true count exactly.
+	if len(synth) != 5000 {
+		t.Errorf("default synthetic size = %d, want 5000", len(synth))
+	}
+}
+
+func TestAGSynthesizePreservesDistribution(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 16, 16)
+	pts := clusteredPoints(33, 20000, dom)
+	ag, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{M1: 4}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := ag.Synthesize(30000, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	origIdx, _ := pointindex.New(dom, pts)
+	synthIdx, err := pointindex.New(dom, synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []geom.Rect{
+		geom.NewRect(0, 0, 4, 4), geom.NewRect(4, 4, 12, 12), geom.NewRect(12, 0, 16, 16),
+	} {
+		origFrac := float64(origIdx.Count(r)) / float64(origIdx.Len())
+		synthFrac := float64(synthIdx.Count(r)) / float64(synthIdx.Len())
+		if math.Abs(origFrac-synthFrac) > 0.02 {
+			t.Errorf("region %v: orig frac %.4f, synth frac %.4f", r, origFrac, synthFrac)
+		}
+	}
+}
+
+func TestSynthesizeEdgeCases(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	ug, err := BuildUniformGrid(nil, dom, 1, UGOptions{GridSize: 4}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty synopsis (all counts zero): nothing to sample, no error.
+	synth, err := ug.Synthesize(100, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(synth) != 0 {
+		t.Errorf("empty synopsis produced %d points", len(synth))
+	}
+	// Nil rng is rejected.
+	if _, err := ug.Synthesize(10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestSynthesizeWithNoiseClampsNegatives(t *testing.T) {
+	// With real noise, some cells go negative; sampling must still work
+	// and produce in-domain points only.
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := uniformPoints(34, 500, dom)
+	ug, err := BuildUniformGrid(pts, dom, 0.1, UGOptions{GridSize: 16}, noise.NewSource(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := ug.Synthesize(1000, rand.New(rand.NewSource(34)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range synth {
+		if !dom.Contains(p) {
+			t.Fatalf("synthetic point %d (%v) outside domain", i, p)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/pointindex"
+)
+
+func uniformPoints(seed int64, n int, dom geom.Domain) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{
+			X: dom.MinX + rng.Float64()*dom.Width(),
+			Y: dom.MinY + rng.Float64()*dom.Height(),
+		}
+	}
+	return pts
+}
+
+func clusteredPoints(seed int64, n int, dom geom.Domain) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, 0, n)
+	// Two tight clusters plus sparse background, so non-uniformity matters.
+	centers := []geom.Point{
+		{X: dom.MinX + 0.25*dom.Width(), Y: dom.MinY + 0.25*dom.Height()},
+		{X: dom.MinX + 0.7*dom.Width(), Y: dom.MinY + 0.8*dom.Height()},
+	}
+	for len(pts) < n {
+		var p geom.Point
+		switch rng.Intn(10) {
+		case 0: // background
+			p = geom.Point{X: dom.MinX + rng.Float64()*dom.Width(), Y: dom.MinY + rng.Float64()*dom.Height()}
+		default:
+			c := centers[rng.Intn(len(centers))]
+			p = geom.Point{
+				X: c.X + rng.NormFloat64()*dom.Width()/40,
+				Y: c.Y + rng.NormFloat64()*dom.Height()/40,
+			}
+		}
+		if dom.Contains(p) {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestBuildUniformGridValidation(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := uniformPoints(1, 100, dom)
+	src := noise.NewSource(1)
+	if _, err := BuildUniformGrid(pts, dom, 0, UGOptions{}, src); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := BuildUniformGrid(pts, dom, -1, UGOptions{}, src); err == nil {
+		t.Error("eps<0 accepted")
+	}
+	if _, err := BuildUniformGrid(pts, dom, 1, UGOptions{}, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := BuildUniformGrid(pts, dom, 1, UGOptions{GridSize: -3}, src); err == nil {
+		t.Error("negative grid size accepted")
+	}
+	if _, err := BuildUniformGrid(pts, dom, 1, UGOptions{NBudgetFrac: 1.0}, src); err == nil {
+		t.Error("NBudgetFrac=1 accepted")
+	}
+	if _, err := BuildUniformGrid(pts, dom, 1, UGOptions{C: -2}, src); err == nil {
+		t.Error("negative c accepted")
+	}
+}
+
+func TestUGZeroNoiseAlignedQueriesExact(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 16, 16)
+	pts := clusteredPoints(2, 5000, dom)
+	ug, err := BuildUniformGrid(pts, dom, 1, UGOptions{GridSize: 8}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := pointindex.New(dom, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries aligned to the 8x8 grid (cell width 2) must be exact under
+	// zero noise.
+	for _, r := range []geom.Rect{
+		geom.NewRect(0, 0, 16, 16),
+		geom.NewRect(2, 2, 10, 12),
+		geom.NewRect(0, 0, 2, 2),
+		geom.NewRect(14, 14, 16, 16),
+	} {
+		got := ug.Query(r)
+		want := float64(idx.Count(r))
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("zero-noise Query(%v) = %g, want %g", r, got, want)
+		}
+	}
+}
+
+func TestUGZeroNoiseTotalEstimate(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := uniformPoints(3, 1234, dom)
+	ug, err := BuildUniformGrid(pts, dom, 0.5, UGOptions{}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ug.TotalEstimate(); math.Abs(got-1234) > 1e-6 {
+		t.Errorf("TotalEstimate = %g, want 1234", got)
+	}
+}
+
+func TestUGUsesGuidelineSize(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := uniformPoints(4, 10000, dom)
+	eps := 1.0
+	ug, err := BuildUniformGrid(pts, dom, eps, UGOptions{}, noise.NewSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SuggestedUGSize(10000, eps, DefaultC) // sqrt(10000/10) ~ 32
+	if got := ug.GridSize(); got != want {
+		t.Errorf("GridSize = %d, want Guideline 1 value %d", got, want)
+	}
+	if ug.Epsilon() != eps {
+		t.Errorf("Epsilon = %g, want %g", ug.Epsilon(), eps)
+	}
+}
+
+func TestUGExplicitSizeOverridesGuideline(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := uniformPoints(5, 1000, dom)
+	ug, err := BuildUniformGrid(pts, dom, 1, UGOptions{GridSize: 7}, noise.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ug.GridSize(); got != 7 {
+		t.Errorf("GridSize = %d, want 7", got)
+	}
+}
+
+func TestUGNoisyNEstimate(t *testing.T) {
+	// With NBudgetFrac > 0 the pipeline is end-to-end DP; the chosen size
+	// should still land near the true-N guideline for a large dataset.
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := uniformPoints(6, 50000, dom)
+	ug, err := BuildUniformGrid(pts, dom, 1, UGOptions{NBudgetFrac: 0.02}, noise.NewSource(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SuggestedUGSize(50000, 0.98, DefaultC)
+	if got := ug.GridSize(); got < want-2 || got > want+2 {
+		t.Errorf("GridSize with noisy N = %d, want within 2 of %d", got, want)
+	}
+}
+
+func TestUGDeterministicGivenSeed(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := clusteredPoints(7, 2000, dom)
+	build := func() *UniformGrid {
+		ug, err := BuildUniformGrid(pts, dom, 0.5, UGOptions{GridSize: 12}, noise.NewSource(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ug
+	}
+	a, b := build(), build()
+	r := geom.NewRect(1.5, 2.5, 8.5, 9.5)
+	if a.Query(r) != b.Query(r) {
+		t.Error("same seed produced different synopses")
+	}
+}
+
+func TestUGNoiseMagnitudeMatchesTheory(t *testing.T) {
+	// Empty dataset: every noisy cell is pure Laplace noise with scale
+	// 1/eps; the variance of the full-domain query over m^2 cells should
+	// be about m^2 * 2/eps^2.
+	dom := geom.MustDomain(0, 0, 1, 1)
+	const eps = 0.5
+	const m = 8
+	const trials = 400
+	var sumSq float64
+	for i := 0; i < trials; i++ {
+		ug, err := BuildUniformGrid(nil, dom, eps, UGOptions{GridSize: m}, noise.NewSource(int64(1000+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := ug.Query(geom.NewRect(0, 0, 1, 1))
+		sumSq += v * v
+	}
+	got := sumSq / trials
+	want := float64(m*m) * 2 / (eps * eps)
+	if math.Abs(got-want)/want > 0.25 {
+		t.Errorf("full-query noise variance = %g, want ~%g", got, want)
+	}
+}
+
+func TestUGQueryOutsideDomain(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	ug, err := BuildUniformGrid(uniformPoints(8, 100, dom), dom, 1, UGOptions{GridSize: 4}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ug.Query(geom.NewRect(20, 20, 30, 30)); got != 0 {
+		t.Errorf("outside query = %g, want 0", got)
+	}
+}
+
+func TestUGEmptyDataset(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	ug, err := BuildUniformGrid(nil, dom, 1, UGOptions{}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ug.GridSize(); got != 1 {
+		t.Errorf("empty-data grid size = %d, want 1", got)
+	}
+	if got := ug.Query(geom.NewRect(0, 0, 10, 10)); got != 0 {
+		t.Errorf("empty-data query = %g, want 0", got)
+	}
+}

@@ -1,0 +1,68 @@
+package datasets
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// WriteCSV writes points as "x,y" records.
+func WriteCSV(w io.Writer, points []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	rec := make([]string, 2)
+	for _, p := range points {
+		rec[0] = strconv.FormatFloat(p.X, 'g', -1, 64)
+		rec[1] = strconv.FormatFloat(p.Y, 'g', -1, 64)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("datasets: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("datasets: write csv: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads "x,y" records into points. Records with a wrong field
+// count or unparsable numbers produce an error identifying the line.
+func ReadCSV(r io.Reader) ([]geom.Point, error) {
+	var pts []geom.Point
+	if err := streamCSV(r, func(p geom.Point) { pts = append(pts, p) }); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// streamCSV parses "x,y" records from r, invoking fn per point without
+// retaining them.
+func streamCSV(r io.Reader, fn func(geom.Point)) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	cr.ReuseRecord = true
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		line++
+		if err != nil {
+			return fmt.Errorf("datasets: read csv line %d: %w", line, err)
+		}
+		x, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return fmt.Errorf("datasets: read csv line %d: bad x %q", line, rec[0])
+		}
+		y, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return fmt.Errorf("datasets: read csv line %d: bad y %q", line, rec[1])
+		}
+		fn(geom.Point{X: x, Y: y})
+	}
+}

@@ -1,0 +1,240 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/pointindex"
+)
+
+// Small scale keeps generator tests fast; shape checks do not need full N.
+const testScale = 0.02
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		d, err := ByName(name, testScale, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Name != name {
+			t.Errorf("Name = %q, want %q", d.Name, name)
+		}
+		if d.N() == 0 {
+			t.Errorf("%s: empty dataset", name)
+		}
+	}
+	if _, err := ByName("nope", 1, 1); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if _, err := ByName("road", 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := ByName("road", 9, 1); err == nil {
+		t.Error("huge scale accepted")
+	}
+}
+
+func TestGeneratorsRespectDomainAndSize(t *testing.T) {
+	wantN := map[string]int{
+		"road":     int(1.6e6 * testScale),
+		"checkin":  int(1e6 * testScale),
+		"landmark": int(0.9e6 * testScale),
+		"storage":  int(9200 * testScale),
+	}
+	for _, name := range Names() {
+		d, err := ByName(name, testScale, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.N() != wantN[name] {
+			t.Errorf("%s: N = %d, want %d", name, d.N(), wantN[name])
+		}
+		for i, p := range d.Points {
+			if !d.Domain.Contains(p) {
+				t.Fatalf("%s: point %d (%v) outside domain %v", name, i, p, d.Domain)
+			}
+		}
+	}
+}
+
+func TestDomainSizesMatchTableII(t *testing.T) {
+	wants := map[string][2]float64{
+		"road":     {25, 20},
+		"checkin":  {360, 150},
+		"landmark": {60, 40},
+		"storage":  {60, 40},
+	}
+	for name, want := range wants {
+		d, err := ByName(name, testScale, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d.Domain.Width()-want[0]) > 1e-9 || math.Abs(d.Domain.Height()-want[1]) > 1e-9 {
+			t.Errorf("%s: domain %gx%g, want %gx%g", name, d.Domain.Width(), d.Domain.Height(), want[0], want[1])
+		}
+	}
+}
+
+func TestQuerySizesMatchTableII(t *testing.T) {
+	d, err := ByName("checkin", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table II: checkin q1 = 6x3, q6 = 192x96.
+	if w, h := d.QuerySize(1); w != 6 || h != 3 {
+		t.Errorf("checkin q1 = %gx%g, want 6x3", w, h)
+	}
+	if w, h := d.QuerySize(6); w != 192 || h != 96 {
+		t.Errorf("checkin q6 = %gx%g, want 192x96", w, h)
+	}
+	r, err := ByName("road", testScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, h := r.QuerySize(6); w != 16 || h != 16 {
+		t.Errorf("road q6 = %gx%g, want 16x16", w, h)
+	}
+}
+
+func TestQuerySizePanicsOutOfRange(t *testing.T) {
+	d, _ := ByName("storage", testScale, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("QuerySize(0) did not panic")
+		}
+	}()
+	d.QuerySize(0)
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, _ := ByName("landmark", testScale, 42)
+	b, _ := ByName("landmark", testScale, 42)
+	if len(a.Points) != len(b.Points) {
+		t.Fatal("different sizes for same seed")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs for same seed", i)
+		}
+	}
+	c, _ := ByName("landmark", testScale, 43)
+	same := true
+	for i := range a.Points {
+		if a.Points[i] != c.Points[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestRoadHasBlankMiddleAndDenseStates(t *testing.T) {
+	d, err := ByName("road", testScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := pointindex.New(d.Domain, d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(idx.Len())
+	// The two state regions hold nearly everything.
+	wa := float64(idx.Count(geom.NewRect(-125, 45, -116, 50)))
+	nm := float64(idx.Count(geom.NewRect(-110, 30, -102, 38)))
+	if (wa+nm)/total < 0.95 {
+		t.Errorf("states hold %g of mass, want >= 0.95", (wa+nm)/total)
+	}
+	// The middle of the domain is blank (the property driving the paper's
+	// q5 relative-error peak on road).
+	middle := float64(idx.Count(geom.NewRect(-116, 38, -110, 45)))
+	if middle/total > 0.01 {
+		t.Errorf("blank middle holds %g of mass, want ~0", middle/total)
+	}
+}
+
+func TestCheckinSkewAcrossContinents(t *testing.T) {
+	d, err := ByName("checkin", testScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := pointindex.New(d.Domain, d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := float64(idx.Len())
+	northAmerica := float64(idx.Count(geom.NewRect(-130, 20, -60, 55)))
+	pacific := float64(idx.Count(geom.NewRect(-170, -60, -130, 10))) // open ocean
+	if northAmerica/total < 0.3 {
+		t.Errorf("North America holds %g, want >= 0.3", northAmerica/total)
+	}
+	if pacific/total > 0.01 {
+		t.Errorf("Pacific holds %g, want ~0", pacific/total)
+	}
+}
+
+func TestLandmarkEastWestGradient(t *testing.T) {
+	d, err := ByName("landmark", testScale, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := pointindex.New(d.Domain, d.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	east := idx.Count(geom.NewRect(-100, 18, -70, 58))
+	west := idx.Count(geom.NewRect(-130, 18, -100, 58))
+	if east <= west {
+		t.Errorf("east %d should out-populate west %d", east, west)
+	}
+}
+
+func TestStorageSmallN(t *testing.T) {
+	d, err := ByName("storage", 1.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 9200 {
+		t.Errorf("storage N = %d, want 9200 (Table II parity)", d.N())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := []geom.Point{{X: 1.5, Y: -2.25}, {X: 0, Y: 0}, {X: -125.125, Y: 49.999}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Errorf("point %d = %v, want %v", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2,3\n")); err == nil {
+		t.Error("wrong field count accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("abc,2\n")); err == nil {
+		t.Error("bad x accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,xyz\n")); err == nil {
+		t.Error("bad y accepted")
+	}
+	got, err := ReadCSV(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %v, %d points", err, len(got))
+	}
+}

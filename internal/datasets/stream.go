@@ -1,0 +1,28 @@
+package datasets
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// CSVFileSeq streams points from a CSV file of "x,y" records without
+// loading them into memory, re-opening the file on every pass. It
+// implements geom.PointSeq, so UG (one scan) and AG (two scans) can be
+// built over datasets larger than RAM — the paper's section IV-C
+// efficiency argument.
+type CSVFileSeq struct {
+	Path string
+}
+
+// ForEach implements geom.PointSeq.
+func (s CSVFileSeq) ForEach(fn func(geom.Point)) error {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return fmt.Errorf("datasets: %w", err)
+	}
+	defer f.Close()
+	// Stream record by record instead of materializing the slice.
+	return streamCSV(f, fn)
+}

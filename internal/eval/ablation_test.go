@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+func TestAblationCShowsBowl(t *testing.T) {
+	rows, err := AblationC("landmark", 1, ExpOptions{Scale: 0.1, Queries: 40, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	// Grid size decreases as c grows.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].GridSize >= rows[i-1].GridSize {
+			t.Errorf("grid size not decreasing: c=%g -> %d, c=%g -> %d",
+				rows[i-1].C, rows[i-1].GridSize, rows[i].C, rows[i].GridSize)
+		}
+	}
+	// The extremes must be worse than the best interior value (the bowl).
+	best := rows[0].MeanRE
+	for _, r := range rows {
+		if r.MeanRE < best {
+			best = r.MeanRE
+		}
+	}
+	if rows[0].MeanRE <= best || rows[len(rows)-1].MeanRE <= best {
+		t.Errorf("no bowl: edges %.4f / %.4f, best %.4f",
+			rows[0].MeanRE, rows[len(rows)-1].MeanRE, best)
+	}
+}
+
+func TestAblationComponentsCIHelpsAG(t *testing.T) {
+	res, err := AblationComponents("landmark", 1, ExpOptions{Scale: 0.1, Queries: 50, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, m := range res.Methods {
+		byName[m.Method] = m.RelAll.Mean
+	}
+	if byName["A-sugg"] >= byName["A-sugg-noCI"] {
+		t.Errorf("constrained inference should help AG: with %.4f, without %.4f",
+			byName["A-sugg"], byName["A-sugg-noCI"])
+	}
+	for _, name := range []string{"Khy", "Khy-noCI", "Khy-uniform", "Khy-noCI-uniform", "Quad"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("missing method %s", name)
+		}
+	}
+}
+
+func TestQuadtreeBuilds(t *testing.T) {
+	d := quickDataset(t, "storage")
+	syn, err := Quadtree().Build(d.Points, d.Domain, 1, noise.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := syn.Query(geom.NewRect(d.Domain.MinX, d.Domain.MinY, d.Domain.MaxX, d.Domain.MaxY))
+	if full < float64(d.N())/2 || full > float64(d.N())*2 {
+		t.Errorf("quadtree full query %g implausible for N=%d", full, d.N())
+	}
+}
+
+func TestWriteAblationC(t *testing.T) {
+	rows := []AblationCRow{{C: 5, GridSize: 40, MeanRE: 0.05}, {C: 10, GridSize: 28, MeanRE: 0.03}}
+	var sb strings.Builder
+	WriteAblationC(&sb, "landmark", 1, rows)
+	out := sb.String()
+	if !strings.Contains(out, "<- best") || !strings.Contains(out, "landmark") {
+		t.Errorf("missing markers in output:\n%s", out)
+	}
+}

@@ -1,0 +1,34 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/dpgrid/dpgrid/internal/plot"
+)
+
+// WriteCharts renders the Result in the paper's two visual forms: a line
+// chart of mean relative error per query size class (the paper's
+// left-column figures) and a candlestick chart of the pooled relative
+// errors (the right-column figures).
+func (r *Result) WriteCharts(w io.Writer, title string) error {
+	xLabels := make([]string, len(r.Sizes))
+	for i, s := range r.Sizes {
+		xLabels[i] = fmt.Sprintf("q%d", s)
+	}
+	series := make([]plot.Series, len(r.Methods))
+	sticks := make([]plot.Stick, len(r.Methods))
+	for i, m := range r.Methods {
+		series[i] = plot.Series{Label: m.Method, Values: m.MeanRE}
+		sticks[i] = plot.Stick{
+			Label: m.Method,
+			P25:   m.RelAll.P25, Median: m.RelAll.Median,
+			P75: m.RelAll.P75, P95: m.RelAll.P95, Mean: m.RelAll.Mean,
+		}
+	}
+	if err := plot.Lines(w, fmt.Sprintf("%s: mean relative error by query size (%s, eps=%g)", title, r.Dataset, r.Eps), xLabels, series, 12); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return plot.Candles(w, fmt.Sprintf("%s: pooled relative error (%s, eps=%g)", title, r.Dataset, r.Eps), sticks, 64)
+}

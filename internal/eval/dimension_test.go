@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHierarchyGainShrinksWithDimension is the measured version of the
+// paper's section IV-C prediction: hierarchy gain 1D >> 2D > 3D.
+func TestHierarchyGainShrinksWithDimension(t *testing.T) {
+	rows, err := HierarchyGainByDimension(1, ExpOptions{Scale: 0.05, Queries: 60, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for i, dim := range []int{1, 2, 3, 4} {
+		if rows[i].Dim != dim {
+			t.Fatalf("row %d is dim %d, want %d", i, rows[i].Dim, dim)
+		}
+	}
+	for _, r := range rows[:3] {
+		if r.Leaves != 262144 || r.Fanout != 64 || r.Depth != 4 {
+			t.Errorf("dim %d config mismatch: %+v", r.Dim, r)
+		}
+	}
+	g1, g2, g3, g4 := rows[0].Gain, rows[1].Gain, rows[2].Gain, rows[3].Gain
+	if !(g1 > g2 && g2 > g3) {
+		t.Errorf("gains not monotone decreasing: 1D %.2f, 2D %.2f, 3D %.2f", g1, g2, g3)
+	}
+	if g1 < 3 {
+		t.Errorf("1D gain %.2f, want >= 3 (hierarchies must clearly win in 1D)", g1)
+	}
+	if g3 > 1.2 {
+		t.Errorf("3D gain %.2f, want <= 1.2 (hierarchies must stop helping in 3D)", g3)
+	}
+	if g4 > 1.2 {
+		t.Errorf("4D gain %.2f, want <= 1.2 (the paper's higher-dimension prediction)", g4)
+	}
+}
+
+func TestHierarchyGainValidation(t *testing.T) {
+	if _, err := HierarchyGainByDimension(0, ExpOptions{}); err == nil {
+		t.Error("zero eps accepted")
+	}
+}
+
+func TestWriteHierarchyGain(t *testing.T) {
+	rows := []HierarchyGainRow{{Dim: 1, Leaves: 10, Fanout: 2, Depth: 2, FlatErr: 4, HierErr: 2, Gain: 2}}
+	var sb strings.Builder
+	WriteHierarchyGain(&sb, rows, 0.5)
+	if !strings.Contains(sb.String(), "2.00x") {
+		t.Errorf("output missing gain:\n%s", sb.String())
+	}
+}

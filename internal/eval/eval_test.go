@@ -1,0 +1,293 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/datasets"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+var errTest = errors.New("synthetic build failure")
+
+// quick options for tests: small data, few queries.
+func quickOpts() ExpOptions {
+	return ExpOptions{Scale: 0.02, Queries: 40, Seed: 11}
+}
+
+func quickDataset(t *testing.T, name string) *datasets.Dataset {
+	t.Helper()
+	d, err := datasets.ByName(name, 0.02, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRunValidation(t *testing.T) {
+	d := quickDataset(t, "storage")
+	if _, err := Run(Config{Dataset: nil, Eps: 1}, []MethodSpec{UG(8)}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := Run(Config{Dataset: d, Eps: 0}, []MethodSpec{UG(8)}); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := Run(Config{Dataset: d, Eps: 1}, nil); err == nil {
+		t.Error("no methods accepted")
+	}
+}
+
+func TestRunBasicStructure(t *testing.T) {
+	d := quickDataset(t, "storage")
+	res, err := Run(Config{Dataset: d, Eps: 1, QueriesPerSize: 20, Seed: 3},
+		[]MethodSpec{UG(8), AGSuggested()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Methods) != 2 {
+		t.Fatalf("methods = %d, want 2", len(res.Methods))
+	}
+	if len(res.Methods[0].MeanRE) != 6 {
+		t.Fatalf("size classes = %d, want 6", len(res.Methods[0].MeanRE))
+	}
+	if res.Methods[0].RelAll.N != 120 { // 6 sizes x 20 queries
+		t.Errorf("pooled samples = %d, want 120", res.Methods[0].RelAll.N)
+	}
+	for _, m := range res.Methods {
+		for si, re := range m.MeanRE {
+			if re < 0 {
+				t.Errorf("%s size %d: negative RE %g", m.Method, si, re)
+			}
+		}
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	d := quickDataset(t, "landmark")
+	cfg := Config{Dataset: d, Eps: 0.5, QueriesPerSize: 15, Seed: 9}
+	a, err := Run(cfg, []MethodSpec{UGSuggested()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, []MethodSpec{UGSuggested()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Methods[0].RelAll != b.Methods[0].RelAll {
+		t.Error("same config produced different results")
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	d := quickDataset(t, "landmark")
+	methods := []MethodSpec{UG(8), UG(16), AGSuggested(), Khy()}
+	seq, err := Run(Config{Dataset: d, Eps: 1, QueriesPerSize: 15, Seed: 31}, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(Config{Dataset: d, Eps: 1, QueriesPerSize: 15, Seed: 31, Parallel: true}, methods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Methods {
+		if seq.Methods[i].RelAll != par.Methods[i].RelAll {
+			t.Errorf("method %s: parallel %+v != sequential %+v",
+				seq.Methods[i].Method, par.Methods[i].RelAll, seq.Methods[i].RelAll)
+		}
+		if seq.Methods[i].Method != par.Methods[i].Method {
+			t.Errorf("method order changed: %s vs %s", seq.Methods[i].Method, par.Methods[i].Method)
+		}
+	}
+}
+
+func TestRunParallelPropagatesBuildErrors(t *testing.T) {
+	d := quickDataset(t, "storage")
+	bad := MethodSpec{Name: "boom", Build: func([]geom.Point, geom.Domain, float64, noise.Source) (Synopsis, error) {
+		return nil, errTest
+	}}
+	if _, err := Run(Config{Dataset: d, Eps: 1, QueriesPerSize: 5, Seed: 1, Parallel: true},
+		[]MethodSpec{UG(4), bad}); err == nil {
+		t.Error("parallel run swallowed a build error")
+	}
+}
+
+func TestRunTrialsPoolErrors(t *testing.T) {
+	d := quickDataset(t, "storage")
+	res, err := Run(Config{Dataset: d, Eps: 1, QueriesPerSize: 10, Trials: 3, Seed: 5},
+		[]MethodSpec{UG(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Methods[0].RelAll.N != 180 { // 3 trials x 6 sizes x 10 queries
+		t.Errorf("pooled samples = %d, want 180", res.Methods[0].RelAll.N)
+	}
+}
+
+func TestMethodNames(t *testing.T) {
+	cases := map[string]MethodSpec{
+		"Kst":    Kst(),
+		"Khy":    Khy(),
+		"U64":    UG(64),
+		"U-sugg": UGSuggested(),
+		"W360":   Privlet(360),
+		"H2,3":   H(2, 3, 360),
+		"A16,5":  AG(16, 5, 0),
+		"A-sugg": AGSuggested(),
+	}
+	for want, spec := range cases {
+		if spec.Name != want {
+			t.Errorf("method name = %q, want %q", spec.Name, want)
+		}
+	}
+	if got := AG(16, 5, 0.25).Name; got != "A16,5(a=0.25)" {
+		t.Errorf("alpha-variant name = %q", got)
+	}
+}
+
+func TestAllMethodsBuildAndAnswer(t *testing.T) {
+	d := quickDataset(t, "landmark")
+	specs := []MethodSpec{
+		Kst(), Khy(), UG(16), UGSuggested(), Privlet(16),
+		H(2, 2, 16), AG(8, 5, 0), AGSuggested(),
+	}
+	for _, spec := range specs {
+		syn, err := spec.Build(d.Points, d.Domain, 1, noise.NewSource(1))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		got := syn.Query(geom.NewRect(d.Domain.MinX, d.Domain.MinY, d.Domain.MaxX, d.Domain.MaxY))
+		if got < float64(d.N())/2 || got > float64(d.N())*2 {
+			t.Errorf("%s: full-domain answer %g implausible for N=%d", spec.Name, got, d.N())
+		}
+	}
+}
+
+func TestSizeLadder(t *testing.T) {
+	l := sizeLadder(100, 4)
+	if len(l) < 5 {
+		t.Fatalf("ladder too short: %v", l)
+	}
+	for i := 1; i < len(l); i++ {
+		if l[i] <= l[i-1] {
+			t.Fatalf("ladder not strictly increasing: %v", l)
+		}
+	}
+	if l[0] != 25 || l[len(l)-1] != 400 {
+		t.Errorf("ladder = %v, want 25..400", l)
+	}
+	// Tiny suggested size still respects the floor.
+	l = sizeLadder(4, 4)
+	if l[0] < 4 {
+		t.Errorf("ladder below floor: %v", l)
+	}
+}
+
+func TestShapeAGBeatsUGSuggestedBeatsNothing(t *testing.T) {
+	// The paper's headline shape on a non-uniform dataset: AG-suggested
+	// beats UG-suggested on pooled mean relative error. Moderate size so
+	// the effect is clear above noise.
+	d, err := datasets.ByName("landmark", 0.1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Dataset: d, Eps: 1, QueriesPerSize: 60, Seed: 13},
+		[]MethodSpec{UGSuggested(), AGSuggested()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ug := res.Methods[0].RelAll.Mean
+	ag := res.Methods[1].RelAll.Mean
+	if ag >= ug {
+		t.Errorf("AG pooled mean RE %g should beat UG %g (paper's main result)", ag, ug)
+	}
+}
+
+func TestBestUGSizeFindsInterior(t *testing.T) {
+	d := quickDataset(t, "landmark")
+	best, lo, hi, err := BestUGSize(d, 1, ExpOptions{Scale: 0.02, Queries: 30, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < lo || best > hi {
+		t.Errorf("best %d outside range [%d, %d]", best, lo, hi)
+	}
+	if best <= 2 {
+		t.Errorf("best size %d suspiciously small", best)
+	}
+}
+
+func TestWriteTableOutput(t *testing.T) {
+	d := quickDataset(t, "storage")
+	res, err := Run(Config{Dataset: d, Eps: 1, QueriesPerSize: 10, Seed: 2},
+		[]MethodSpec{UG(8), AGSuggested()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	res.WriteTable(&sb, "test")
+	out := sb.String()
+	for _, want := range []string{"U8", "A-sugg", "q1", "q6", "mean", "storage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	res.WriteAbsTable(&sb, "test")
+	if !strings.Contains(sb.String(), "absolute error") {
+		t.Error("abs table missing header")
+	}
+}
+
+func TestFigure4PanelValidation(t *testing.T) {
+	if _, err := Figure4("storage", 1, Figure4Panel(99), 0, quickOpts()); err == nil {
+		t.Error("unknown panel accepted")
+	}
+}
+
+func TestFigure2QuickRun(t *testing.T) {
+	res, err := Figure2("storage", 1, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Methods[0].Method != "Kst" || res.Methods[1].Method != "Khy" {
+		t.Errorf("Figure 2 must lead with Kst, Khy; got %s, %s",
+			res.Methods[0].Method, res.Methods[1].Method)
+	}
+	if len(res.Methods) < 5 {
+		t.Errorf("Figure 2 has %d methods, want >= 5", len(res.Methods))
+	}
+}
+
+func TestFigure5QuickRun(t *testing.T) {
+	res, err := Figure5("storage", 1, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Methods) != 6 {
+		t.Fatalf("Figure 5 has %d methods, want 6", len(res.Methods))
+	}
+	if res.Methods[0].Method != "Khy" {
+		t.Errorf("first method = %s, want Khy", res.Methods[0].Method)
+	}
+	if res.Methods[5].Method != "A-sugg" {
+		t.Errorf("last method = %s, want A-sugg", res.Methods[5].Method)
+	}
+}
+
+func TestDimensionalityRows(t *testing.T) {
+	rows, err := Dimensionality(1, ExpOptions{Scale: 0.01, Queries: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's core claim: the 2D border fraction dwarfs the 1D one.
+		if r.Border2D <= r.Border1D {
+			t.Errorf("b=%d: border2D %g should exceed border1D %g", r.B, r.Border2D, r.Border1D)
+		}
+	}
+}

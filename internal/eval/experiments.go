@@ -1,0 +1,430 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/datasets"
+)
+
+// ExpOptions tunes how the figure drivers run. The zero value reproduces
+// the paper's setup at full scale.
+type ExpOptions struct {
+	// Scale multiplies every dataset's N (1 = Table II sizes). Smaller
+	// values make quick runs and benches tractable.
+	Scale float64
+	// Queries per size class; 0 means 200 (the paper's count).
+	Queries int
+	// Trials per method; 0 means 1.
+	Trials int
+	// Seed drives dataset generation, workloads, and noise.
+	Seed int64
+	// Parallel evaluates the methods of each experiment concurrently;
+	// results are bit-identical to sequential runs.
+	Parallel bool
+}
+
+func (o ExpOptions) normalized() ExpOptions {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Queries == 0 {
+		o.Queries = 200
+	}
+	if o.Trials == 0 {
+		o.Trials = 1
+	}
+	return o
+}
+
+func (o ExpOptions) dataset(name string) (*datasets.Dataset, error) {
+	return datasets.ByName(name, o.Scale, o.Seed+7777)
+}
+
+func (o ExpOptions) config(d *datasets.Dataset, eps float64) Config {
+	return Config{
+		Dataset:        d,
+		Eps:            eps,
+		QueriesPerSize: o.Queries,
+		Trials:         o.Trials,
+		Seed:           o.Seed,
+		Parallel:       o.Parallel,
+	}
+}
+
+// sizeLadder returns a deduplicated ladder of grid sizes around a
+// suggested size s: s * {1/4, 1/2.8, 1/2, 1/1.4, 1, 1.4, 2, 2.8, 4}.
+func sizeLadder(s int, minSize int) []int {
+	factors := []float64{0.25, 1 / 2.8, 0.5, 1 / 1.4, 1, 1.4, 2, 2.8, 4}
+	seen := map[int]bool{}
+	var out []int
+	for _, f := range factors {
+		v := int(math.Round(float64(s) * f))
+		if v < minSize {
+			v = minSize
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bestIndexWithin returns the methods whose pooled mean RE is within tol
+// (fractionally) of the minimum, as index list, plus the argmin.
+func bestIndexWithin(r *Result, tol float64) (best int, near []int) {
+	best = r.Best()
+	minRE := r.Methods[best].RelAll.Mean
+	for i := range r.Methods {
+		if r.Methods[i].RelAll.Mean <= minRE*(1+tol) {
+			near = append(near, i)
+		}
+	}
+	return best, near
+}
+
+// BestUGSize sweeps UG over a ladder around the Guideline 1 size and
+// returns the experimentally best size plus the near-optimal range
+// (the "UG actual" column of Table II).
+func BestUGSize(d *datasets.Dataset, eps float64, o ExpOptions) (best int, lo, hi int, err error) {
+	o = o.normalized()
+	sugg := core.SuggestedUGSize(float64(d.N()), eps, core.DefaultC)
+	ladder := sizeLadder(sugg, 2)
+	var methods []MethodSpec
+	for _, m := range ladder {
+		methods = append(methods, UG(m))
+	}
+	res, err := Run(o.config(d, eps), methods)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bi, near := bestIndexWithin(res, 0.10)
+	lo, hi = ladder[near[0]], ladder[near[len(near)-1]]
+	return ladder[bi], lo, hi, nil
+}
+
+// BestAGM1 sweeps AG's first-level size over a ladder around the m1 rule
+// and returns the experimentally best m1 plus the near-optimal range.
+func BestAGM1(d *datasets.Dataset, eps float64, o ExpOptions) (best int, lo, hi int, err error) {
+	o = o.normalized()
+	sugg := core.SuggestedM1(float64(d.N()), eps, core.DefaultC)
+	ladder := sizeLadder(sugg, 2)
+	var methods []MethodSpec
+	for _, m1 := range ladder {
+		methods = append(methods, AG(m1, core.DefaultC2, 0))
+	}
+	res, err := Run(o.config(d, eps), methods)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bi, near := bestIndexWithin(res, 0.10)
+	lo, hi = ladder[near[0]], ladder[near[len(near)-1]]
+	return ladder[bi], lo, hi, nil
+}
+
+// TableIIRow is one dataset's row of Table II.
+type TableIIRow struct {
+	Dataset       string
+	N             int
+	DomainW       float64
+	DomainH       float64
+	Q1W, Q1H      float64
+	Q6W, Q6H      float64
+	UGSuggested   map[float64]int
+	UGBestRange   map[float64][2]int
+	AGM1Suggested map[float64]int
+	AGM1BestRange map[float64][2]int
+}
+
+// TableII reproduces the paper's Table II: per dataset, the suggested
+// UG size and the experimentally observed best ranges for UG and AG at
+// eps = 1 and eps = 0.1.
+func TableII(o ExpOptions) ([]TableIIRow, error) {
+	o = o.normalized()
+	epsValues := []float64{1, 0.1}
+	var rows []TableIIRow
+	for _, name := range datasets.Names() {
+		d, err := o.dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		row := TableIIRow{
+			Dataset:       name,
+			N:             d.N(),
+			DomainW:       d.Domain.Width(),
+			DomainH:       d.Domain.Height(),
+			UGSuggested:   map[float64]int{},
+			UGBestRange:   map[float64][2]int{},
+			AGM1Suggested: map[float64]int{},
+			AGM1BestRange: map[float64][2]int{},
+		}
+		row.Q1W, row.Q1H = d.QuerySize(1)
+		row.Q6W, row.Q6H = d.QuerySize(6)
+		for _, eps := range epsValues {
+			row.UGSuggested[eps] = core.SuggestedUGSize(float64(d.N()), eps, core.DefaultC)
+			row.AGM1Suggested[eps] = core.SuggestedM1(float64(d.N()), eps, core.DefaultC)
+			_, lo, hi, err := BestUGSize(d, eps, o)
+			if err != nil {
+				return nil, err
+			}
+			row.UGBestRange[eps] = [2]int{lo, hi}
+			_, alo, ahi, err := BestAGM1(d, eps, o)
+			if err != nil {
+				return nil, err
+			}
+			row.AGM1BestRange[eps] = [2]int{alo, ahi}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure2 compares KD-standard, KD-hybrid and UG at several grid sizes
+// (the paper's Figure 2, one panel per dataset x eps).
+func Figure2(name string, eps float64, o ExpOptions) (*Result, error) {
+	o = o.normalized()
+	d, err := o.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	sugg := core.SuggestedUGSize(float64(d.N()), eps, core.DefaultC)
+	methods := []MethodSpec{Kst(), Khy()}
+	for _, m := range sizeLadder(sugg, 4) {
+		methods = append(methods, UG(m))
+	}
+	return Run(o.config(d, eps), methods)
+}
+
+// Figure3 analyzes the effect of hierarchies over a fixed 360 grid
+// (the paper's Figure 3; checkin and landmark only, as in the paper).
+// The base stays at (multiples of) 360 regardless of Scale: 360 is the
+// least size divisible for every H_{b,d} configuration in the figure
+// (2^3, 3^2, 4, 5, 6 all divide it), which is presumably why the paper
+// chose it.
+func Figure3(name string, eps float64, o ExpOptions) (*Result, error) {
+	o = o.normalized()
+	d, err := o.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	base := 360
+	if o.Scale > 1 {
+		base = int(math.Round(360*math.Sqrt(o.Scale)/360)) * 360
+		base = max(base, 360)
+	}
+	bestU, _, _, err := BestUGSize(d, eps, o)
+	if err != nil {
+		return nil, err
+	}
+	methods := []MethodSpec{
+		UG(bestU),
+		UG(base),
+		Privlet(base),
+		H(2, 4, base), H(2, 3, base), H(3, 3, base),
+		H(4, 2, base), H(5, 2, base), H(6, 2, base),
+	}
+	return Run(o.config(d, eps), methods)
+}
+
+// Figure4Panel selects one of the paper's Figure 4 panel families.
+type Figure4Panel int
+
+const (
+	// Fig4Compare: AG at several m1 vs best UG and Privlet (panels a,e,i,m).
+	Fig4Compare Figure4Panel = iota
+	// Fig4VaryM1: sweep m1 with c2 = 5 (panels b,f,j,n).
+	Fig4VaryM1
+	// Fig4VaryAlphaC2: fix m1, vary alpha in {0.25, 0.5, 0.75} and
+	// c2 in {5, 10, 15} (panels c,d,g,h,k,l,o,p).
+	Fig4VaryAlphaC2
+)
+
+// Figure4 runs one panel family of the paper's Figure 4 on a dataset.
+// m1fix is only used by Fig4VaryAlphaC2 (0 picks the suggested m1).
+func Figure4(name string, eps float64, panel Figure4Panel, m1fix int, o ExpOptions) (*Result, error) {
+	o = o.normalized()
+	d, err := o.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	suggM1 := core.SuggestedM1(float64(d.N()), eps, core.DefaultC)
+	switch panel {
+	case Fig4Compare:
+		bestU, _, _, err := BestUGSize(d, eps, o)
+		if err != nil {
+			return nil, err
+		}
+		methods := []MethodSpec{UG(bestU), Privlet(bestU)}
+		for _, f := range []float64{0.5, 1, 2} {
+			m1 := int(math.Round(float64(suggM1) * f))
+			if m1 < 2 {
+				m1 = 2
+			}
+			methods = append(methods, AG(m1, core.DefaultC2, 0))
+		}
+		return Run(o.config(d, eps), methods)
+	case Fig4VaryM1:
+		bestU, _, _, err := BestUGSize(d, eps, o)
+		if err != nil {
+			return nil, err
+		}
+		methods := []MethodSpec{UG(bestU), Privlet(bestU)}
+		for _, m1 := range sizeLadder(suggM1, 2) {
+			methods = append(methods, AG(m1, core.DefaultC2, 0))
+		}
+		return Run(o.config(d, eps), methods)
+	case Fig4VaryAlphaC2:
+		m1 := m1fix
+		if m1 == 0 {
+			m1 = suggM1
+		}
+		var methods []MethodSpec
+		for _, alpha := range []float64{0.25, 0.5, 0.75} {
+			for _, c2 := range []float64{5, 10, 15} {
+				methods = append(methods, AG(m1, c2, alpha))
+			}
+		}
+		return Run(o.config(d, eps), methods)
+	default:
+		return nil, fmt.Errorf("eval: unknown Figure 4 panel %d", int(panel))
+	}
+}
+
+// Figure5 is the paper's final relative-error comparison: KD-hybrid, the
+// experimentally best UG, Privlet at that size, the experimentally best
+// AG, UG at the suggested size, and AG at the suggested size. Figure 6 is
+// the same run read through the absolute-error candlesticks (AbsAll).
+func Figure5(name string, eps float64, o ExpOptions) (*Result, error) {
+	o = o.normalized()
+	d, err := o.dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	bestU, _, _, err := BestUGSize(d, eps, o)
+	if err != nil {
+		return nil, err
+	}
+	bestM1, _, _, err := BestAGM1(d, eps, o)
+	if err != nil {
+		return nil, err
+	}
+	methods := []MethodSpec{
+		Khy(),
+		UG(bestU),
+		Privlet(bestU),
+		AG(bestM1, core.DefaultC2, 0),
+		UGSuggested(),
+		AGSuggested(),
+	}
+	return Run(o.config(d, eps), methods)
+}
+
+// DimensionalityRow quantifies section IV-C's analysis for one grouping
+// factor b: the fraction of a query's area that must be answered at leaf
+// granularity in 1D (2b/M after grouping b cells of an M-cell domain)
+// versus 2D (4*sqrt(b)/sqrt(M)).
+type DimensionalityRow struct {
+	M, B           int
+	Border1D       float64
+	Border2D       float64
+	MeasuredGain2D float64 // pooled-mean-RE(flat) / pooled-mean-RE(H_{b,2})
+}
+
+// Dimensionality reproduces the section IV-C analysis: analytic border
+// fractions plus a measured 2D hierarchy gain on the checkin dataset.
+func Dimensionality(eps float64, o ExpOptions) ([]DimensionalityRow, error) {
+	o = o.normalized()
+	d, err := o.dataset("checkin")
+	if err != nil {
+		return nil, err
+	}
+	const m = 240 // divisible by 2..6
+	var rows []DimensionalityRow
+	for _, b := range []int{2, 3, 4, 5, 6} {
+		res, err := Run(o.config(d, eps), []MethodSpec{UG(m), H(b, 2, m)})
+		if err != nil {
+			return nil, err
+		}
+		M := m * m
+		row := DimensionalityRow{
+			M:        M,
+			B:        b * b,
+			Border1D: 2 * float64(b*b) / float64(M),
+			Border2D: 4 * float64(b) / float64(m),
+		}
+		flat := res.Methods[0].RelAll.Mean
+		hier := res.Methods[1].RelAll.Mean
+		if hier > 0 {
+			row.MeasuredGain2D = flat / hier
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteTable renders a Result as an aligned text table: one row per
+// method with per-size-class mean relative errors, the pooled relative-
+// error candlestick, and build cost.
+func (r *Result) WriteTable(w io.Writer, title string) {
+	fmt.Fprintf(w, "== %s: dataset=%s eps=%g N=%d ==\n", title, r.Dataset, r.Eps, r.N)
+	fmt.Fprintf(w, "%-14s", "method")
+	for _, s := range r.Sizes {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("q%d", s))
+	}
+	fmt.Fprintf(w, " | %8s %8s %8s %8s %8s | %8s\n", "mean", "p25", "med", "p75", "p95", "build_s")
+	for _, m := range r.Methods {
+		fmt.Fprintf(w, "%-14s", m.Method)
+		for _, re := range m.MeanRE {
+			fmt.Fprintf(w, " %8.4f", re)
+		}
+		c := m.RelAll
+		fmt.Fprintf(w, " | %8.4f %8.4f %8.4f %8.4f %8.4f | %8.3f\n",
+			c.Mean, c.P25, c.Median, c.P75, c.P95, m.BuildSeconds)
+	}
+}
+
+// WriteAbsTable renders the absolute-error candlesticks (the paper's
+// Figure 6 view of a Figure 5 run).
+func (r *Result) WriteAbsTable(w io.Writer, title string) {
+	fmt.Fprintf(w, "== %s (absolute error): dataset=%s eps=%g N=%d ==\n", title, r.Dataset, r.Eps, r.N)
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %10s\n", "method", "mean", "p25", "med", "p75", "p95")
+	for _, m := range r.Methods {
+		c := m.AbsAll
+		fmt.Fprintf(w, "%-14s %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			m.Method, c.Mean, c.P25, c.Median, c.P75, c.P95)
+	}
+}
+
+// WriteTableII renders Table II rows.
+func WriteTableII(w io.Writer, rows []TableIIRow) {
+	fmt.Fprintln(w, "== Table II: dataset parameters, suggested and observed-best grid sizes ==")
+	fmt.Fprintf(w, "%-10s %9s %9s %9s | %6s %11s %11s | %6s %11s %11s\n",
+		"dataset", "N", "domain", "q6", "sugg", "UG-best", "AG-best", "sugg", "UG-best", "AG-best")
+	fmt.Fprintf(w, "%-10s %9s %9s %9s | %-30s | %-30s\n", "", "", "", "", "eps=1", "eps=0.1")
+	for _, r := range rows {
+		ug1 := r.UGBestRange[1]
+		ag1 := r.AGM1BestRange[1]
+		ug01 := r.UGBestRange[0.1]
+		ag01 := r.AGM1BestRange[0.1]
+		fmt.Fprintf(w, "%-10s %9d %4gx%-4g %4gx%-4g | %6d %5d-%-5d %5d-%-5d | %6d %5d-%-5d %5d-%-5d\n",
+			r.Dataset, r.N, r.DomainW, r.DomainH, r.Q6W, r.Q6H,
+			r.UGSuggested[1], ug1[0], ug1[1], ag1[0], ag1[1],
+			r.UGSuggested[0.1], ug01[0], ug01[1], ag01[0], ag01[1])
+	}
+}
+
+// WriteDimensionality renders the section IV-C rows.
+func WriteDimensionality(w io.Writer, rows []DimensionalityRow, eps float64) {
+	fmt.Fprintf(w, "== Section IV-C: effect of dimensionality (eps=%g) ==\n", eps)
+	fmt.Fprintf(w, "%6s %6s %12s %12s %14s\n", "M", "b", "border-1D", "border-2D", "measured-gain")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %6d %12.5f %12.5f %14.3f\n", r.M, r.B, r.Border1D, r.Border2D, r.MeasuredGain2D)
+	}
+	fmt.Fprintln(w, "border-2D >> border-1D: hierarchies help far less in 2D (paper's example:")
+	fmt.Fprintln(w, "M=10000, b=4 gives 0.08 vs 0.0008); measured-gain near 1 confirms it.")
+}

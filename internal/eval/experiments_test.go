@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIIQuick(t *testing.T) {
+	rows, err := TableII(ExpOptions{Scale: 0.01, Queries: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		for _, eps := range []float64{1, 0.1} {
+			if r.UGSuggested[eps] < 1 {
+				t.Errorf("%s eps=%g: suggested UG %d", r.Dataset, eps, r.UGSuggested[eps])
+			}
+			rng := r.UGBestRange[eps]
+			if rng[0] > rng[1] || rng[0] < 1 {
+				t.Errorf("%s eps=%g: bad UG range %v", r.Dataset, eps, rng)
+			}
+			arng := r.AGM1BestRange[eps]
+			if arng[0] > arng[1] || arng[0] < 1 {
+				t.Errorf("%s eps=%g: bad AG range %v", r.Dataset, eps, arng)
+			}
+		}
+	}
+	var sb strings.Builder
+	WriteTableII(&sb, rows)
+	for _, want := range []string{"Table II", "road", "storage", "eps=0.1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Table II output missing %q", want)
+		}
+	}
+}
+
+func TestFigure3Quick(t *testing.T) {
+	res, err := Figure3("landmark", 1, ExpOptions{Scale: 0.02, Queries: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U-best, U-base, W-base, six hierarchies.
+	if len(res.Methods) != 9 {
+		t.Fatalf("methods = %d, want 9", len(res.Methods))
+	}
+	names := make([]string, len(res.Methods))
+	for i, m := range res.Methods {
+		names[i] = m.Method
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"W", "H2,4", "H2,3", "H3,3", "H4,2", "H5,2", "H6,2"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Figure 3 missing %s in %v", want, names)
+		}
+	}
+}
+
+func TestFigure4AllPanels(t *testing.T) {
+	o := ExpOptions{Scale: 0.02, Queries: 10, Seed: 3}
+	for _, panel := range []Figure4Panel{Fig4Compare, Fig4VaryM1, Fig4VaryAlphaC2} {
+		res, err := Figure4("landmark", 1, panel, 0, o)
+		if err != nil {
+			t.Fatalf("panel %d: %v", panel, err)
+		}
+		if len(res.Methods) < 3 {
+			t.Errorf("panel %d: only %d methods", panel, len(res.Methods))
+		}
+	}
+	// Explicit m1 for the alpha/c2 panel.
+	res, err := Figure4("landmark", 1, Fig4VaryAlphaC2, 12, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Methods[0].Method, "A12,") {
+		t.Errorf("m1fix ignored: %s", res.Methods[0].Method)
+	}
+}
+
+func TestDimensionalityWriter(t *testing.T) {
+	rows := []DimensionalityRow{{M: 100, B: 4, Border1D: 0.08, Border2D: 0.8, MeasuredGain2D: 1.1}}
+	var sb strings.Builder
+	WriteDimensionality(&sb, rows, 1)
+	if !strings.Contains(sb.String(), "dimensionality") {
+		t.Error("missing header")
+	}
+}
+
+func TestPooledMeanREAndBest(t *testing.T) {
+	d := quickDataset(t, "storage")
+	res, err := Run(Config{Dataset: d, Eps: 1, QueriesPerSize: 10, Seed: 4},
+		[]MethodSpec{UG(4), AGSuggested()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best()
+	if best < 0 || best >= len(res.Methods) {
+		t.Fatalf("Best = %d", best)
+	}
+	for i := range res.Methods {
+		if res.PooledMeanRE(best) > res.PooledMeanRE(i) {
+			t.Errorf("Best(%d) not minimal vs %d", best, i)
+		}
+	}
+}

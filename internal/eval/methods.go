@@ -1,0 +1,118 @@
+// Package eval is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (section V). It wires the synopsis
+// methods to the datasets, query workloads, and error metrics, and
+// renders results as text tables whose rows correspond to the paper's
+// plotted series.
+package eval
+
+import (
+	"fmt"
+
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/hierarchy"
+	"github.com/dpgrid/dpgrid/internal/kdtree"
+	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/wavelet"
+)
+
+// Synopsis is the common query interface every method releases.
+type Synopsis interface {
+	Query(r geom.Rect) float64
+}
+
+// Builder constructs a synopsis of points over dom under eps-DP.
+type Builder func(points []geom.Point, dom geom.Domain, eps float64, src noise.Source) (Synopsis, error)
+
+// MethodSpec names a method (using the paper's notation from Table I) and
+// knows how to build it.
+type MethodSpec struct {
+	Name  string
+	Build Builder
+}
+
+// Kst is the KD-standard baseline.
+func Kst() MethodSpec {
+	return MethodSpec{
+		Name: "Kst",
+		Build: func(pts []geom.Point, dom geom.Domain, eps float64, src noise.Source) (Synopsis, error) {
+			return kdtree.BuildTree(pts, dom, eps, kdtree.Options{Method: kdtree.Standard}, src)
+		},
+	}
+}
+
+// Khy is the KD-hybrid baseline.
+func Khy() MethodSpec {
+	return MethodSpec{
+		Name: "Khy",
+		Build: func(pts []geom.Point, dom geom.Domain, eps float64, src noise.Source) (Synopsis, error) {
+			return kdtree.BuildTree(pts, dom, eps, kdtree.Options{Method: kdtree.Hybrid}, src)
+		},
+	}
+}
+
+// UG is the uniform grid with a fixed size m (the paper's U_m).
+func UG(m int) MethodSpec {
+	return MethodSpec{
+		Name: fmt.Sprintf("U%d", m),
+		Build: func(pts []geom.Point, dom geom.Domain, eps float64, src noise.Source) (Synopsis, error) {
+			return core.BuildUniformGrid(pts, dom, eps, core.UGOptions{GridSize: m}, src)
+		},
+	}
+}
+
+// UGSuggested is the uniform grid with the Guideline 1 size.
+func UGSuggested() MethodSpec {
+	return MethodSpec{
+		Name: "U-sugg",
+		Build: func(pts []geom.Point, dom geom.Domain, eps float64, src noise.Source) (Synopsis, error) {
+			return core.BuildUniformGrid(pts, dom, eps, core.UGOptions{}, src)
+		},
+	}
+}
+
+// Privlet is the wavelet baseline on an m x m grid (the paper's W_m).
+func Privlet(m int) MethodSpec {
+	return MethodSpec{
+		Name: fmt.Sprintf("W%d", m),
+		Build: func(pts []geom.Point, dom geom.Domain, eps float64, src noise.Source) (Synopsis, error) {
+			return wavelet.BuildPrivlet(pts, dom, eps, wavelet.Options{GridSize: m}, src)
+		},
+	}
+}
+
+// H is the hierarchy baseline H_{b,d} over an m x m base grid.
+func H(b, d, m int) MethodSpec {
+	return MethodSpec{
+		Name: fmt.Sprintf("H%d,%d", b, d),
+		Build: func(pts []geom.Point, dom geom.Domain, eps float64, src noise.Source) (Synopsis, error) {
+			return hierarchy.BuildHierarchy(pts, dom, eps, hierarchy.Options{GridSize: m, Branching: b, Depth: d}, src)
+		},
+	}
+}
+
+// AG is the adaptive grid with fixed first-level size m1 and constant c2
+// (the paper's A_{m1,c2}); alpha is the budget split (0 = default 0.5).
+func AG(m1 int, c2, alpha float64) MethodSpec {
+	name := fmt.Sprintf("A%d,%g", m1, c2)
+	if alpha != 0 && alpha != core.DefaultAlpha {
+		name = fmt.Sprintf("A%d,%g(a=%g)", m1, c2, alpha)
+	}
+	return MethodSpec{
+		Name: name,
+		Build: func(pts []geom.Point, dom geom.Domain, eps float64, src noise.Source) (Synopsis, error) {
+			return core.BuildAdaptiveGrid(pts, dom, eps, core.AGOptions{M1: m1, C2: c2, Alpha: alpha}, src)
+		},
+	}
+}
+
+// AGSuggested is the adaptive grid with all parameters from the paper's
+// guidelines.
+func AGSuggested() MethodSpec {
+	return MethodSpec{
+		Name: "A-sugg",
+		Build: func(pts []geom.Point, dom geom.Domain, eps float64, src noise.Source) (Synopsis, error) {
+			return core.BuildAdaptiveGrid(pts, dom, eps, core.AGOptions{}, src)
+		},
+	}
+}

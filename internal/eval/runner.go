@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/dpgrid/dpgrid/internal/datasets"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/pointindex"
+	"github.com/dpgrid/dpgrid/internal/query"
+)
+
+// Config describes one experiment run (one dataset, one epsilon, a set of
+// methods evaluated on identical workloads).
+type Config struct {
+	Dataset *datasets.Dataset
+	Eps     float64
+	// QueriesPerSize is the number of random queries per size class;
+	// 0 means the paper's 200.
+	QueriesPerSize int
+	// Sizes lists the query size classes to evaluate; nil means 1..6.
+	Sizes []int
+	// Trials is the number of independently noised synopses per method;
+	// errors pool across trials. 0 means 1.
+	Trials int
+	// Seed drives workload generation and the noise sources.
+	Seed int64
+	// Parallel evaluates methods concurrently (one goroutine per
+	// method). Results are identical to the sequential run: every
+	// method's noise source is seeded independently and workloads are
+	// shared read-only.
+	Parallel bool
+}
+
+// MethodResult aggregates one method's errors over the workloads.
+type MethodResult struct {
+	Method string
+	// MeanRE[i] is the arithmetic-mean relative error of size class
+	// Sizes[i] (the paper's line plots).
+	MeanRE []float64
+	// RelAll and AbsAll are candlesticks pooled over every size class
+	// (the paper's candlestick plots, Figures 2-5 and 6).
+	RelAll query.Candlestick
+	AbsAll query.Candlestick
+	// BuildSeconds is the mean wall-clock cost of one synopsis build.
+	BuildSeconds float64
+}
+
+// Result is the outcome of Run.
+type Result struct {
+	Dataset string
+	Eps     float64
+	Sizes   []int
+	N       int
+	Methods []MethodResult
+}
+
+// Run evaluates methods on the configured workloads. Every method sees the
+// same queries and the same ground truth; noise sources are seeded
+// per-method (deterministically from cfg.Seed) so runs reproduce exactly.
+func Run(cfg Config, methods []MethodSpec) (*Result, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("eval: nil dataset")
+	}
+	if cfg.Eps <= 0 {
+		return nil, fmt.Errorf("eval: eps must be positive, got %g", cfg.Eps)
+	}
+	if len(methods) == 0 {
+		return nil, fmt.Errorf("eval: no methods")
+	}
+	qPerSize := cfg.QueriesPerSize
+	if qPerSize == 0 {
+		qPerSize = 200
+	}
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = []int{1, 2, 3, 4, 5, 6}
+	}
+	trials := cfg.Trials
+	if trials == 0 {
+		trials = 1
+	}
+
+	d := cfg.Dataset
+	idx, err := pointindex.New(d.Domain, d.Points)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	rho := query.Rho(idx.Len())
+
+	// Workloads and truths, shared by all methods.
+	wrng := rand.New(rand.NewSource(cfg.Seed))
+	workloads := make([][]geom.Rect, len(sizes))
+	truths := make([][]float64, len(sizes))
+	for si, size := range sizes {
+		w, h := d.QuerySize(size)
+		qs, err := query.Generate(wrng, d.Domain, w, h, qPerSize)
+		if err != nil {
+			return nil, fmt.Errorf("eval: size class %d: %w", size, err)
+		}
+		workloads[si] = qs
+		ts := make([]float64, len(qs))
+		for qi, q := range qs {
+			ts[qi] = float64(idx.Count(q))
+		}
+		truths[si] = ts
+	}
+
+	evalMethod := func(mi int, m MethodSpec) (MethodResult, error) {
+		mr := MethodResult{Method: m.Name, MeanRE: make([]float64, len(sizes))}
+		var relAll, absAll []float64
+		var buildTime time.Duration
+		for trial := 0; trial < trials; trial++ {
+			src := noise.NewSource(cfg.Seed + int64(mi)*1009 + int64(trial)*104729 + 1)
+			start := time.Now()
+			syn, err := m.Build(d.Points, d.Domain, cfg.Eps, src)
+			buildTime += time.Since(start)
+			if err != nil {
+				return MethodResult{}, fmt.Errorf("eval: build %s: %w", m.Name, err)
+			}
+			for si := range sizes {
+				var sumRE float64
+				for qi, q := range workloads[si] {
+					est := syn.Query(q)
+					truth := truths[si][qi]
+					re := query.RelativeError(est, truth, rho)
+					sumRE += re
+					relAll = append(relAll, re)
+					absAll = append(absAll, query.AbsoluteError(est, truth))
+				}
+				mr.MeanRE[si] += sumRE / float64(len(workloads[si]))
+			}
+		}
+		for si := range mr.MeanRE {
+			mr.MeanRE[si] /= float64(trials)
+		}
+		mr.RelAll = query.Summarize(relAll)
+		mr.AbsAll = query.Summarize(absAll)
+		mr.BuildSeconds = buildTime.Seconds() / float64(trials)
+		return mr, nil
+	}
+
+	res := &Result{Dataset: d.Name, Eps: cfg.Eps, Sizes: sizes, N: idx.Len()}
+	res.Methods = make([]MethodResult, len(methods))
+	if cfg.Parallel {
+		errs := make([]error, len(methods))
+		var wg sync.WaitGroup
+		for mi, m := range methods {
+			wg.Add(1)
+			go func(mi int, m MethodSpec) {
+				defer wg.Done()
+				res.Methods[mi], errs[mi] = evalMethod(mi, m)
+			}(mi, m)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for mi, m := range methods {
+			mr, err := evalMethod(mi, m)
+			if err != nil {
+				return nil, err
+			}
+			res.Methods[mi] = mr
+		}
+	}
+	return res, nil
+}
+
+// PooledMeanRE returns the mean relative error pooled over all size
+// classes for the method at index i (the paper's candlestick "black bar").
+func (r *Result) PooledMeanRE(i int) float64 { return r.Methods[i].RelAll.Mean }
+
+// Best returns the index of the method with the lowest pooled mean
+// relative error.
+func (r *Result) Best() int {
+	best := 0
+	for i := range r.Methods {
+		if r.Methods[i].RelAll.Mean < r.Methods[best].RelAll.Mean {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,30 @@
+package geom
+
+// PointSeq is a re-iterable stream of points. It abstracts the data
+// source so synopsis builders can scan datasets too large to hold in
+// memory (the paper's section IV-C efficiency claim: UG needs one scan,
+// AG two).
+//
+// ForEach must be callable multiple times, each call replaying the whole
+// stream in the same order (AG's second pass re-reads the data).
+type PointSeq interface {
+	ForEach(fn func(Point)) error
+}
+
+// SlicePoints adapts an in-memory point slice to PointSeq.
+type SlicePoints []Point
+
+// ForEach implements PointSeq.
+func (s SlicePoints) ForEach(fn func(Point)) error {
+	for _, p := range s {
+		fn(p)
+	}
+	return nil
+}
+
+// FuncSeq adapts a function to PointSeq; the function is invoked once per
+// ForEach call and must replay the full stream each time.
+type FuncSeq func(fn func(Point)) error
+
+// ForEach implements PointSeq.
+func (f FuncSeq) ForEach(fn func(Point)) error { return f(fn) }

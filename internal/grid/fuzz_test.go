@@ -1,0 +1,43 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// FuzzPrefixQueryMatchesNaive: for arbitrary query rectangles, the O(1)
+// prefix-sum answer must equal the O(m^2) per-cell reference.
+func FuzzPrefixQueryMatchesNaive(f *testing.F) {
+	dom := geom.MustDomain(-3, 2, 17, 31)
+	rng := rand.New(rand.NewSource(99))
+	c, err := New(dom, 11, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := range c.Values() {
+		c.Values()[i] = rng.Float64()*40 - 10
+	}
+	p := NewPrefix(c)
+
+	f.Add(0.0, 0.0, 1.0, 1.0)
+	f.Add(-3.0, 2.0, 17.0, 31.0)
+	f.Add(5.5, 5.5, 5.5, 5.5)
+	f.Add(-100.0, -100.0, 100.0, 100.0)
+
+	f.Fuzz(func(t *testing.T, x0, y0, x1, y1 float64) {
+		for _, v := range []float64{x0, y0, x1, y1} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		r := geom.NewRect(x0, y0, x1, y1)
+		got := p.Query(r)
+		want := c.QueryNaive(r)
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("Query(%v) = %g, naive = %g", r, got, want)
+		}
+	})
+}

@@ -1,0 +1,286 @@
+// Package grid implements the dense two-dimensional histogram substrate
+// that every grid-based synopsis in this repository is built on: cell
+// counts over an equi-width grid, and range queries answered under the
+// paper's uniformity assumption (section II-B) — cells fully inside a
+// query contribute their whole count, cells partially covered contribute
+// count * overlapFraction.
+//
+// Queries run in O(1) per call via a 2D prefix-sum table: a rectangle
+// decomposes into at most 3x3 = 9 axis-aligned blocks (full interior,
+// partial edge strips, partial corners), each summed with inclusion-
+// exclusion.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// Counts is a dense mx x my grid of float64 cell counts over a domain.
+// Counts may be fractional or negative once differential-privacy noise
+// has been added.
+type Counts struct {
+	dom  geom.Domain
+	mx   int
+	my   int
+	vals []float64 // row-major: vals[iy*mx + ix]
+}
+
+// New returns a zeroed mx x my grid over dom.
+func New(dom geom.Domain, mx, my int) (*Counts, error) {
+	if mx <= 0 || my <= 0 {
+		return nil, fmt.Errorf("grid: dimensions must be positive, got %dx%d", mx, my)
+	}
+	const maxCells = 1 << 28 // 256M cells * 8B = 2GB; refuse anything larger
+	if int64(mx)*int64(my) > maxCells {
+		return nil, fmt.Errorf("grid: %dx%d grid too large", mx, my)
+	}
+	return &Counts{dom: dom, mx: mx, my: my, vals: make([]float64, mx*my)}, nil
+}
+
+// FromPoints builds the exact histogram of points on an mx x my grid over
+// dom in a single pass (the paper's one-scan UG construction). Points
+// outside dom are ignored; callers that need strict validation should
+// check bounds beforehand.
+func FromPoints(dom geom.Domain, mx, my int, points []geom.Point) (*Counts, error) {
+	return FromSeq(dom, mx, my, geom.SlicePoints(points))
+}
+
+// FromSeq is FromPoints over a streaming point source, for datasets that
+// do not fit in memory.
+func FromSeq(dom geom.Domain, mx, my int, seq geom.PointSeq) (*Counts, error) {
+	c, err := New(dom, mx, my)
+	if err != nil {
+		return nil, err
+	}
+	err = seq.ForEach(func(p geom.Point) {
+		if !dom.Contains(p) {
+			return
+		}
+		ix, iy := dom.CellIndex(p, mx, my)
+		c.vals[iy*mx+ix]++
+	})
+	if err != nil {
+		return nil, fmt.Errorf("grid: scanning points: %w", err)
+	}
+	return c, nil
+}
+
+// Domain returns the grid's domain.
+func (c *Counts) Domain() geom.Domain { return c.dom }
+
+// Dims returns the grid dimensions (columns, rows).
+func (c *Counts) Dims() (mx, my int) { return c.mx, c.my }
+
+// At returns the count of cell (ix, iy). It panics on out-of-range
+// indices, mirroring slice semantics.
+func (c *Counts) At(ix, iy int) float64 {
+	c.check(ix, iy)
+	return c.vals[iy*c.mx+ix]
+}
+
+// Set assigns the count of cell (ix, iy).
+func (c *Counts) Set(ix, iy int, v float64) {
+	c.check(ix, iy)
+	c.vals[iy*c.mx+ix] = v
+}
+
+// Add increments the count of cell (ix, iy) by delta.
+func (c *Counts) Add(ix, iy int, delta float64) {
+	c.check(ix, iy)
+	c.vals[iy*c.mx+ix] += delta
+}
+
+func (c *Counts) check(ix, iy int) {
+	if ix < 0 || ix >= c.mx || iy < 0 || iy >= c.my {
+		panic(fmt.Sprintf("grid: index (%d,%d) out of range %dx%d", ix, iy, c.mx, c.my))
+	}
+}
+
+// Values exposes the backing slice (row-major) for bulk operations such as
+// adding noise to every cell. Mutations are visible to the grid.
+func (c *Counts) Values() []float64 { return c.vals }
+
+// Total returns the sum of all cell counts.
+func (c *Counts) Total() float64 {
+	var t float64
+	for _, v := range c.vals {
+		t += v
+	}
+	return t
+}
+
+// Clone returns a deep copy of the grid.
+func (c *Counts) Clone() *Counts {
+	out := &Counts{dom: c.dom, mx: c.mx, my: c.my, vals: make([]float64, len(c.vals))}
+	copy(out.vals, c.vals)
+	return out
+}
+
+// CellRect returns the rectangle of cell (ix, iy).
+func (c *Counts) CellRect(ix, iy int) geom.Rect {
+	return c.dom.CellRect(ix, iy, c.mx, c.my)
+}
+
+// QueryNaive answers a range query by iterating all cells and applying the
+// uniformity estimate per cell. O(mx*my); used as the reference
+// implementation in property tests.
+func (c *Counts) QueryNaive(r geom.Rect) float64 {
+	clipped, ok := c.dom.Clip(r)
+	if !ok {
+		return 0
+	}
+	var total float64
+	for iy := 0; iy < c.my; iy++ {
+		for ix := 0; ix < c.mx; ix++ {
+			f := c.CellRect(ix, iy).OverlapFraction(clipped)
+			if f > 0 {
+				total += f * c.vals[iy*c.mx+ix]
+			}
+		}
+	}
+	return total
+}
+
+// Prefix is an immutable prefix-sum view of a Counts grid providing O(1)
+// uniformity-estimate range queries. Build it once after the grid's counts
+// are final (e.g. after noise and constrained inference).
+type Prefix struct {
+	dom    geom.Domain
+	mx, my int
+	// sums[(iy)*(mx+1)+ix] = sum of cells with x < ix, y < iy.
+	sums []float64
+}
+
+// NewPrefix builds the prefix-sum table of c. O(mx*my) time and space.
+func NewPrefix(c *Counts) *Prefix {
+	mx, my := c.mx, c.my
+	p := &Prefix{dom: c.dom, mx: mx, my: my, sums: make([]float64, (mx+1)*(my+1))}
+	for iy := 0; iy < my; iy++ {
+		var rowAcc float64
+		for ix := 0; ix < mx; ix++ {
+			rowAcc += c.vals[iy*mx+ix]
+			p.sums[(iy+1)*(mx+1)+(ix+1)] = p.sums[iy*(mx+1)+(ix+1)] + rowAcc
+		}
+	}
+	return p
+}
+
+// Domain returns the domain of the underlying grid.
+func (p *Prefix) Domain() geom.Domain { return p.dom }
+
+// Dims returns the underlying grid dimensions.
+func (p *Prefix) Dims() (mx, my int) { return p.mx, p.my }
+
+// Total returns the sum of all cells.
+func (p *Prefix) Total() float64 { return p.sums[p.my*(p.mx+1)+p.mx] }
+
+// BlockSum returns the exact sum of cells with ix in [ix0, ix1) and iy in
+// [iy0, iy1). Indices are clamped to the grid.
+func (p *Prefix) BlockSum(ix0, iy0, ix1, iy1 int) float64 {
+	ix0 = clampInt(ix0, 0, p.mx)
+	ix1 = clampInt(ix1, 0, p.mx)
+	iy0 = clampInt(iy0, 0, p.my)
+	iy1 = clampInt(iy1, 0, p.my)
+	if ix0 >= ix1 || iy0 >= iy1 {
+		return 0
+	}
+	w := p.mx + 1
+	return p.sums[iy1*w+ix1] - p.sums[iy0*w+ix1] - p.sums[iy1*w+ix0] + p.sums[iy0*w+ix0]
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// axisSpan is a contiguous run of cell indices [i0, i1) that a query covers
+// with uniform weight w on one axis.
+type axisSpan struct {
+	i0, i1 int
+	w      float64
+}
+
+// axisSpans decomposes the continuous interval [lo, hi] (in cell units,
+// already clamped to [0, m]) into at most three weighted index runs:
+// a left partial cell, a full-weight middle run, and a right partial cell.
+func axisSpans(lo, hi float64, m int, out []axisSpan) []axisSpan {
+	out = out[:0]
+	if hi <= lo {
+		return out
+	}
+	loCell := int(math.Floor(lo))
+	hiCell := int(math.Floor(hi))
+	if loCell >= m {
+		loCell = m - 1
+	}
+	if loCell == hiCell {
+		// Entire interval inside one cell.
+		return append(out, axisSpan{i0: loCell, i1: loCell + 1, w: hi - lo})
+	}
+	// Left partial cell, unless lo sits exactly on a cell edge.
+	fullStart := loCell
+	if float64(loCell) != lo {
+		out = append(out, axisSpan{i0: loCell, i1: loCell + 1, w: float64(loCell+1) - lo})
+		fullStart = loCell + 1
+	}
+	// Full-weight middle run.
+	if fullStart < hiCell {
+		out = append(out, axisSpan{i0: fullStart, i1: hiCell, w: 1})
+	}
+	// Right partial cell, unless hi sits exactly on a cell edge (hiCell == m
+	// can only happen when hi == m, which is an edge).
+	if float64(hiCell) != hi && hiCell < m {
+		out = append(out, axisSpan{i0: hiCell, i1: hiCell + 1, w: hi - float64(hiCell)})
+	}
+	return out
+}
+
+// Query answers the range-count query r under the uniformity assumption.
+// The query is clipped to the domain first; a query outside the domain
+// returns 0.
+func (p *Prefix) Query(r geom.Rect) float64 {
+	clipped, ok := p.dom.Clip(r)
+	if !ok {
+		return 0
+	}
+	w, h := p.dom.CellSize(p.mx, p.my)
+	loX := (clipped.MinX - p.dom.MinX) / w
+	hiX := (clipped.MaxX - p.dom.MinX) / w
+	loY := (clipped.MinY - p.dom.MinY) / h
+	hiY := (clipped.MaxY - p.dom.MinY) / h
+	// Clamp to [0, m] against floating-point drift.
+	loX = clampFloat(loX, 0, float64(p.mx))
+	hiX = clampFloat(hiX, 0, float64(p.mx))
+	loY = clampFloat(loY, 0, float64(p.my))
+	hiY = clampFloat(hiY, 0, float64(p.my))
+
+	var xbuf, ybuf [3]axisSpan
+	xs := axisSpans(loX, hiX, p.mx, xbuf[:0])
+	ys := axisSpans(loY, hiY, p.my, ybuf[:0])
+
+	var total float64
+	for _, sy := range ys {
+		for _, sx := range xs {
+			total += sx.w * sy.w * p.BlockSum(sx.i0, sy.i0, sx.i1, sy.i1)
+		}
+	}
+	return total
+}
+
+func clampFloat(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,330 @@
+// Package grid3d implements three-dimensional differentially private
+// grids — flat (per-cell Laplace) and hierarchical with constrained
+// inference. Together with internal/hist1d it turns the paper's
+// section IV-C dimensionality *prediction* ("hierarchies would perform
+// even worse with higher dimensions") into a measured experiment: see
+// eval.HierarchyGainByDimension.
+package grid3d
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/infer"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+// Point3 is a point in three-dimensional space.
+type Point3 struct {
+	X, Y, Z float64
+}
+
+// Box is an axis-aligned box [MinX,MaxX] x [MinY,MaxY] x [MinZ,MaxZ].
+type Box struct {
+	MinX, MinY, MinZ float64
+	MaxX, MaxY, MaxZ float64
+}
+
+// NewBox returns a box with normalized corner order.
+func NewBox(x0, y0, z0, x1, y1, z1 float64) Box {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	if z0 > z1 {
+		z0, z1 = z1, z0
+	}
+	return Box{MinX: x0, MinY: y0, MinZ: z0, MaxX: x1, MaxY: y1, MaxZ: z1}
+}
+
+// Contains reports whether p lies inside b (boundary inclusive).
+func (b Box) Contains(p Point3) bool {
+	return p.X >= b.MinX && p.X <= b.MaxX &&
+		p.Y >= b.MinY && p.Y <= b.MaxY &&
+		p.Z >= b.MinZ && p.Z <= b.MaxZ
+}
+
+// Volume returns the box volume.
+func (b Box) Volume() float64 {
+	return (b.MaxX - b.MinX) * (b.MaxY - b.MinY) * (b.MaxZ - b.MinZ)
+}
+
+// valid reports whether the box has positive extent on every axis.
+func (b Box) valid() bool {
+	return b.MaxX > b.MinX && b.MaxY > b.MinY && b.MaxZ > b.MinZ &&
+		!math.IsNaN(b.MinX+b.MinY+b.MinZ+b.MaxX+b.MaxY+b.MaxZ) &&
+		!math.IsInf(b.MinX+b.MinY+b.MinZ+b.MaxX+b.MaxY+b.MaxZ, 0)
+}
+
+// Grid3 is an m x m x m grid of counts over a domain box with O(1)
+// uniformity-estimate box queries through a 3D prefix-sum table.
+type Grid3 struct {
+	dom Box
+	m   int
+	// prefix[(iz)*(m+1)^2 + (iy)*(m+1) + ix] = sum of cells with
+	// x < ix, y < iy, z < iz.
+	prefix []float64
+}
+
+// newGrid3 wraps raw cell values (row-major x fastest) into a queryable
+// grid.
+func newGrid3(dom Box, m int, vals []float64) *Grid3 {
+	w := m + 1
+	g := &Grid3{dom: dom, m: m, prefix: make([]float64, w*w*w)}
+	for iz := 0; iz < m; iz++ {
+		for iy := 0; iy < m; iy++ {
+			var rowAcc float64
+			for ix := 0; ix < m; ix++ {
+				rowAcc += vals[(iz*m+iy)*m+ix]
+				// P[z+1][y+1][x+1] = rowAcc + P[z][y+1][x+1] + P[z+1][y][x+1] - P[z][y][x+1]
+				g.prefix[((iz+1)*w+(iy+1))*w+(ix+1)] = rowAcc +
+					g.prefix[((iz)*w+(iy+1))*w+(ix+1)] +
+					g.prefix[((iz+1)*w+(iy))*w+(ix+1)] -
+					g.prefix[((iz)*w+(iy))*w+(ix+1)]
+			}
+		}
+	}
+	return g
+}
+
+// M returns the per-axis grid size.
+func (g *Grid3) M() int { return g.m }
+
+// Total returns the sum of all cells.
+func (g *Grid3) Total() float64 {
+	w := g.m + 1
+	return g.prefix[(g.m*w+g.m)*w+g.m]
+}
+
+// blockSum returns the exact sum over cell index ranges [x0,x1) x
+// [y0,y1) x [z0,z1) by 3D inclusion-exclusion.
+func (g *Grid3) blockSum(x0, y0, z0, x1, y1, z1 int) float64 {
+	w := g.m + 1
+	at := func(x, y, z int) float64 { return g.prefix[(z*w+y)*w+x] }
+	return at(x1, y1, z1) - at(x0, y1, z1) - at(x1, y0, z1) - at(x1, y1, z0) +
+		at(x0, y0, z1) + at(x0, y1, z0) + at(x1, y0, z0) - at(x0, y0, z0)
+}
+
+// span is a weighted run of cell indices on one axis.
+type span struct {
+	i0, i1 int
+	w      float64
+}
+
+// axisSpans decomposes the continuous interval [lo, hi] in cell units
+// (clamped to [0, m]) into at most three weighted runs.
+func axisSpans(lo, hi float64, m int, out []span) []span {
+	out = out[:0]
+	if hi <= lo {
+		return out
+	}
+	loCell := int(math.Floor(lo))
+	hiCell := int(math.Floor(hi))
+	if loCell >= m {
+		loCell = m - 1
+	}
+	if loCell == hiCell {
+		return append(out, span{loCell, loCell + 1, hi - lo})
+	}
+	fullStart := loCell
+	if float64(loCell) != lo {
+		out = append(out, span{loCell, loCell + 1, float64(loCell+1) - lo})
+		fullStart = loCell + 1
+	}
+	if fullStart < hiCell {
+		out = append(out, span{fullStart, hiCell, 1})
+	}
+	if float64(hiCell) != hi && hiCell < m {
+		out = append(out, span{hiCell, hiCell + 1, hi - float64(hiCell)})
+	}
+	return out
+}
+
+// Query estimates the count inside q under the uniformity assumption.
+func (g *Grid3) Query(q Box) float64 {
+	// Clip to the domain.
+	c := Box{
+		MinX: math.Max(q.MinX, g.dom.MinX), MaxX: math.Min(q.MaxX, g.dom.MaxX),
+		MinY: math.Max(q.MinY, g.dom.MinY), MaxY: math.Min(q.MaxY, g.dom.MaxY),
+		MinZ: math.Max(q.MinZ, g.dom.MinZ), MaxZ: math.Min(q.MaxZ, g.dom.MaxZ),
+	}
+	if c.MaxX <= c.MinX || c.MaxY <= c.MinY || c.MaxZ <= c.MinZ {
+		return 0
+	}
+	m := float64(g.m)
+	sx := (g.dom.MaxX - g.dom.MinX) / m
+	sy := (g.dom.MaxY - g.dom.MinY) / m
+	sz := (g.dom.MaxZ - g.dom.MinZ) / m
+	clampF := func(v float64) float64 { return math.Min(math.Max(v, 0), m) }
+	var bx, by, bz [3]span
+	xs := axisSpans(clampF((c.MinX-g.dom.MinX)/sx), clampF((c.MaxX-g.dom.MinX)/sx), g.m, bx[:0])
+	ys := axisSpans(clampF((c.MinY-g.dom.MinY)/sy), clampF((c.MaxY-g.dom.MinY)/sy), g.m, by[:0])
+	zs := axisSpans(clampF((c.MinZ-g.dom.MinZ)/sz), clampF((c.MaxZ-g.dom.MinZ)/sz), g.m, bz[:0])
+	var total float64
+	for _, szp := range zs {
+		for _, syp := range ys {
+			for _, sxp := range xs {
+				total += sxp.w * syp.w * szp.w *
+					g.blockSum(sxp.i0, syp.i0, szp.i0, sxp.i1, syp.i1, szp.i1)
+			}
+		}
+	}
+	return total
+}
+
+// histogram3 counts points into an m^3 grid (x fastest).
+func histogram3(points []Point3, dom Box, m int) []float64 {
+	vals := make([]float64, m*m*m)
+	sx := (dom.MaxX - dom.MinX) / float64(m)
+	sy := (dom.MaxY - dom.MinY) / float64(m)
+	sz := (dom.MaxZ - dom.MinZ) / float64(m)
+	clampI := func(i int) int {
+		if i >= m {
+			return m - 1
+		}
+		if i < 0 {
+			return 0
+		}
+		return i
+	}
+	for _, p := range points {
+		if !dom.Contains(p) {
+			continue
+		}
+		ix := clampI(int((p.X - dom.MinX) / sx))
+		iy := clampI(int((p.Y - dom.MinY) / sy))
+		iz := clampI(int((p.Z - dom.MinZ) / sz))
+		vals[(iz*m+iy)*m+ix]++
+	}
+	return vals
+}
+
+func validate(dom Box, m int, eps float64, src noise.Source) error {
+	if src == nil {
+		return errors.New("grid3d: nil noise source")
+	}
+	if !dom.valid() {
+		return fmt.Errorf("grid3d: invalid domain %+v", dom)
+	}
+	if m < 1 {
+		return fmt.Errorf("grid3d: grid size must be positive, got %d", m)
+	}
+	if int64(m)*int64(m)*int64(m) > 1<<27 {
+		return fmt.Errorf("grid3d: %d^3 grid too large", m)
+	}
+	if !(eps > 0) {
+		return fmt.Errorf("grid3d: epsilon must be positive, got %g", eps)
+	}
+	return nil
+}
+
+// BuildFlat3 releases a flat eps-DP m^3 grid (the 3D analogue of UG with
+// a fixed grid size).
+func BuildFlat3(points []Point3, dom Box, m int, eps float64, src noise.Source) (*Grid3, error) {
+	if err := validate(dom, m, eps, src); err != nil {
+		return nil, err
+	}
+	vals := histogram3(points, dom, m)
+	mech, err := noise.NewMechanism(eps, 1, src)
+	if err != nil {
+		return nil, fmt.Errorf("grid3d: %w", err)
+	}
+	mech.PerturbAll(vals)
+	return newGrid3(dom, m, vals), nil
+}
+
+// BuildHierarchical3 releases an eps-DP m^3 grid through a hierarchy that
+// groups b x b x b cells per level (depth levels total, eps/depth per
+// level) with constrained inference.
+func BuildHierarchical3(points []Point3, dom Box, m, b, depth int, eps float64, src noise.Source) (*Grid3, error) {
+	if err := validate(dom, m, eps, src); err != nil {
+		return nil, err
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("grid3d: depth must be >= 1, got %d", depth)
+	}
+	if depth > 1 && b < 2 {
+		return nil, fmt.Errorf("grid3d: branching must be >= 2, got %d", b)
+	}
+	sizes := make([]int, depth)
+	sizes[0] = m
+	for l := 1; l < depth; l++ {
+		if sizes[l-1]%b != 0 {
+			return nil, fmt.Errorf("grid3d: level size %d not divisible by %d", sizes[l-1], b)
+		}
+		sizes[l] = sizes[l-1] / b
+		if sizes[l] < 1 {
+			return nil, fmt.Errorf("grid3d: depth %d too deep for m=%d", depth, m)
+		}
+	}
+
+	exact := make([][]float64, depth)
+	exact[0] = histogram3(points, dom, m)
+	for l := 1; l < depth; l++ {
+		sm, fm := sizes[l], sizes[l-1]
+		exact[l] = make([]float64, sm*sm*sm)
+		for iz := 0; iz < fm; iz++ {
+			for iy := 0; iy < fm; iy++ {
+				for ix := 0; ix < fm; ix++ {
+					exact[l][((iz/b)*sm+(iy/b))*sm+(ix/b)] += exact[l-1][(iz*fm+iy)*fm+ix]
+				}
+			}
+		}
+	}
+
+	perLevel := eps / float64(depth)
+	variance := make([]float64, depth)
+	for l := 0; l < depth; l++ {
+		mech, err := noise.NewMechanism(perLevel, 1, src)
+		if err != nil {
+			return nil, fmt.Errorf("grid3d: %w", err)
+		}
+		mech.PerturbAll(exact[l])
+		variance[l] = mech.Variance()
+	}
+
+	offsets := make([]int, depth)
+	total := 0
+	for l := 0; l < depth; l++ {
+		offsets[l] = total
+		total += sizes[l] * sizes[l] * sizes[l]
+	}
+	forest := &infer.Forest{Nodes: make([]infer.Node, total)}
+	for l := 0; l < depth; l++ {
+		sm := sizes[l]
+		for iz := 0; iz < sm; iz++ {
+			for iy := 0; iy < sm; iy++ {
+				for ix := 0; ix < sm; ix++ {
+					idx := offsets[l] + (iz*sm+iy)*sm + ix
+					forest.Nodes[idx].Count = exact[l][(iz*sm+iy)*sm+ix]
+					forest.Nodes[idx].Variance = variance[l]
+					if l > 0 {
+						fm := sizes[l-1]
+						children := make([]int, 0, b*b*b)
+						for dz := 0; dz < b; dz++ {
+							for dy := 0; dy < b; dy++ {
+								for dx := 0; dx < b; dx++ {
+									cz, cy, cx := iz*b+dz, iy*b+dy, ix*b+dx
+									children = append(children, offsets[l-1]+(cz*fm+cy)*fm+cx)
+								}
+							}
+						}
+						forest.Nodes[idx].Children = children
+					}
+				}
+			}
+		}
+	}
+	top := sizes[depth-1]
+	for i := 0; i < top*top*top; i++ {
+		forest.Roots = append(forest.Roots, offsets[depth-1]+i)
+	}
+	est, err := forest.Infer()
+	if err != nil {
+		return nil, fmt.Errorf("grid3d: %w", err)
+	}
+	return newGrid3(dom, m, est[:m*m*m]), nil
+}

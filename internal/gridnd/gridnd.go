@@ -1,0 +1,467 @@
+// Package gridnd implements d-dimensional differentially private grids
+// for arbitrary d >= 1: dense histograms with d-dimensional prefix sums,
+// uniformity-estimate box queries, and flat or hierarchical (constrained
+// inference) noising.
+//
+// It generalizes internal/grid (d = 2) and internal/grid3d (d = 3); the
+// specialized packages remain for their richer APIs, and gridnd's tests
+// cross-validate against both. Its role in the reproduction is the
+// d = 4 row of eval.HierarchyGainByDimension, extending the paper's
+// section IV-C prediction ("hierarchies would perform even worse with
+// higher dimensions") one dimension past the paper's own discussion.
+package gridnd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/infer"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+// Domain is the d-dimensional bounding box of a dataset: axis k spans
+// [Lo[k], Hi[k]].
+type Domain struct {
+	Lo, Hi []float64
+}
+
+// NewDomain validates and returns a d-dimensional domain.
+func NewDomain(lo, hi []float64) (Domain, error) {
+	if len(lo) == 0 || len(lo) != len(hi) {
+		return Domain{}, fmt.Errorf("gridnd: dimension mismatch lo=%d hi=%d", len(lo), len(hi))
+	}
+	for k := range lo {
+		if math.IsNaN(lo[k]) || math.IsNaN(hi[k]) || math.IsInf(lo[k], 0) || math.IsInf(hi[k], 0) {
+			return Domain{}, fmt.Errorf("gridnd: non-finite bound on axis %d", k)
+		}
+		if !(hi[k] > lo[k]) {
+			return Domain{}, fmt.Errorf("gridnd: axis %d has non-positive extent [%g, %g]", k, lo[k], hi[k])
+		}
+	}
+	return Domain{Lo: append([]float64(nil), lo...), Hi: append([]float64(nil), hi...)}, nil
+}
+
+// Dims returns the dimensionality d.
+func (d Domain) Dims() int { return len(d.Lo) }
+
+// Contains reports whether point p (length d) is inside the domain,
+// boundary inclusive.
+func (d Domain) Contains(p []float64) bool {
+	if len(p) != d.Dims() {
+		return false
+	}
+	for k := range p {
+		if p[k] < d.Lo[k] || p[k] > d.Hi[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Box is a d-dimensional axis-aligned query box.
+type Box struct {
+	Lo, Hi []float64
+}
+
+// Grid is an m^d grid of counts over a domain with O(3^d) box queries via
+// a d-dimensional summed-area table.
+type Grid struct {
+	dom     Domain
+	d       int
+	m       int
+	strides []int     // strides of the (m+1)^d prefix array
+	prefix  []float64 // d-dimensional prefix sums
+}
+
+// maxCells bounds the total cell count.
+const maxCells = 1 << 26
+
+// cellsFor returns m^d, guarding overflow.
+func cellsFor(m, d int) (int, error) {
+	total := 1
+	for i := 0; i < d; i++ {
+		if total > maxCells/m {
+			return 0, fmt.Errorf("gridnd: %d^%d cells too large", m, d)
+		}
+		total *= m
+	}
+	return total, nil
+}
+
+// newGrid wraps raw cell values (axis 0 fastest) into a queryable grid.
+func newGrid(dom Domain, m int, vals []float64) *Grid {
+	d := dom.Dims()
+	side := m + 1
+	strides := make([]int, d)
+	s := 1
+	for k := 0; k < d; k++ {
+		strides[k] = s
+		s *= side
+	}
+	prefix := make([]float64, s)
+
+	// Scatter cell values into the prefix array at index+1 per axis.
+	cellStrides := make([]int, d)
+	cs := 1
+	for k := 0; k < d; k++ {
+		cellStrides[k] = cs
+		cs *= m
+	}
+	idx := make([]int, d)
+	for ci := range vals {
+		// Decompose ci into per-axis indices.
+		rem := ci
+		for k := d - 1; k >= 0; k-- {
+			idx[k] = rem / cellStrides[k]
+			rem %= cellStrides[k]
+		}
+		pi := 0
+		for k := 0; k < d; k++ {
+			pi += (idx[k] + 1) * strides[k]
+		}
+		prefix[pi] = vals[ci]
+	}
+
+	// Integrate along each axis in turn (standard summed-area table).
+	for k := 0; k < d; k++ {
+		stride := strides[k]
+		for i := range prefix {
+			// Position along axis k.
+			if (i/stride)%side == 0 {
+				continue
+			}
+			prefix[i] += prefix[i-stride]
+		}
+	}
+	return &Grid{dom: dom, d: d, m: m, strides: strides, prefix: prefix}
+}
+
+// M returns the per-axis grid size.
+func (g *Grid) M() int { return g.m }
+
+// Dims returns the dimensionality.
+func (g *Grid) Dims() int { return g.d }
+
+// Total returns the sum of all cells.
+func (g *Grid) Total() float64 { return g.prefix[len(g.prefix)-1] }
+
+// blockSum returns the exact sum over cell ranges [lo[k], hi[k]) per axis
+// via inclusion-exclusion over the 2^d corners: each corner picks lo or
+// hi per axis, with sign (-1)^(number of lo picks).
+func (g *Grid) blockSum(lo, hi []int) float64 {
+	var total float64
+	corners := 1 << g.d
+	for mask := 0; mask < corners; mask++ {
+		pi := 0
+		sign := 1
+		for k := 0; k < g.d; k++ {
+			if mask&(1<<k) != 0 {
+				pi += hi[k] * g.strides[k]
+			} else {
+				pi += lo[k] * g.strides[k]
+				sign = -sign
+			}
+		}
+		total += float64(sign) * g.prefix[pi]
+	}
+	return total
+}
+
+// span is a weighted run of cell indices on one axis.
+type span struct {
+	i0, i1 int
+	w      float64
+}
+
+func axisSpans(lo, hi float64, m int) []span {
+	var out []span
+	if hi <= lo {
+		return out
+	}
+	loCell := int(math.Floor(lo))
+	hiCell := int(math.Floor(hi))
+	if loCell >= m {
+		loCell = m - 1
+	}
+	if loCell == hiCell {
+		return append(out, span{loCell, loCell + 1, hi - lo})
+	}
+	fullStart := loCell
+	if float64(loCell) != lo {
+		out = append(out, span{loCell, loCell + 1, float64(loCell+1) - lo})
+		fullStart = loCell + 1
+	}
+	if fullStart < hiCell {
+		out = append(out, span{fullStart, hiCell, 1})
+	}
+	if float64(hiCell) != hi && hiCell < m {
+		out = append(out, span{hiCell, hiCell + 1, hi - float64(hiCell)})
+	}
+	return out
+}
+
+// Query estimates the count inside box under the uniformity assumption.
+// box must have the grid's dimensionality; mismatched boxes return 0.
+func (g *Grid) Query(box Box) float64 {
+	if len(box.Lo) != g.d || len(box.Hi) != g.d {
+		return 0
+	}
+	spans := make([][]span, g.d)
+	for k := 0; k < g.d; k++ {
+		lo := math.Max(box.Lo[k], g.dom.Lo[k])
+		hi := math.Min(box.Hi[k], g.dom.Hi[k])
+		if hi <= lo {
+			return 0
+		}
+		scale := float64(g.m) / (g.dom.Hi[k] - g.dom.Lo[k])
+		a := (lo - g.dom.Lo[k]) * scale
+		b := (hi - g.dom.Lo[k]) * scale
+		a = math.Min(math.Max(a, 0), float64(g.m))
+		b = math.Min(math.Max(b, 0), float64(g.m))
+		spans[k] = axisSpans(a, b, g.m)
+		if len(spans[k]) == 0 {
+			return 0
+		}
+	}
+	// Iterate the cartesian product of per-axis spans.
+	choice := make([]int, g.d)
+	lo := make([]int, g.d)
+	hi := make([]int, g.d)
+	var total float64
+	for {
+		w := 1.0
+		for k := 0; k < g.d; k++ {
+			sp := spans[k][choice[k]]
+			w *= sp.w
+			lo[k] = sp.i0
+			hi[k] = sp.i1
+		}
+		total += w * g.blockSum(lo, hi)
+		// Advance the odometer.
+		k := 0
+		for ; k < g.d; k++ {
+			choice[k]++
+			if choice[k] < len(spans[k]) {
+				break
+			}
+			choice[k] = 0
+		}
+		if k == g.d {
+			break
+		}
+	}
+	return total
+}
+
+// histogram counts points (each length d) into the m^d grid, axis 0
+// fastest. Out-of-domain points are dropped.
+func histogram(points [][]float64, dom Domain, m int) ([]float64, error) {
+	d := dom.Dims()
+	total, err := cellsFor(m, d)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, total)
+	for _, p := range points {
+		if !dom.Contains(p) {
+			continue
+		}
+		pi := 0
+		stride := 1
+		for k := 0; k < d; k++ {
+			scale := float64(m) / (dom.Hi[k] - dom.Lo[k])
+			i := int((p[k] - dom.Lo[k]) * scale)
+			if i >= m {
+				i = m - 1
+			}
+			if i < 0 {
+				i = 0
+			}
+			pi += i * stride
+			stride *= m
+		}
+		vals[pi]++
+	}
+	return vals, nil
+}
+
+func validate(dom Domain, m int, eps float64, src noise.Source) error {
+	if src == nil {
+		return errors.New("gridnd: nil noise source")
+	}
+	if dom.Dims() == 0 {
+		return errors.New("gridnd: zero-dimensional domain")
+	}
+	if m < 1 {
+		return fmt.Errorf("gridnd: grid size must be positive, got %d", m)
+	}
+	if !(eps > 0) {
+		return fmt.Errorf("gridnd: epsilon must be positive, got %g", eps)
+	}
+	return nil
+}
+
+// BuildFlat releases a flat eps-DP m^d grid.
+func BuildFlat(points [][]float64, dom Domain, m int, eps float64, src noise.Source) (*Grid, error) {
+	if err := validate(dom, m, eps, src); err != nil {
+		return nil, err
+	}
+	vals, err := histogram(points, dom, m)
+	if err != nil {
+		return nil, err
+	}
+	mech, err := noise.NewMechanism(eps, 1, src)
+	if err != nil {
+		return nil, fmt.Errorf("gridnd: %w", err)
+	}
+	mech.PerturbAll(vals)
+	return newGrid(dom, m, vals), nil
+}
+
+// BuildHierarchical releases an eps-DP m^d grid through a hierarchy that
+// groups b^d cells per level (depth levels, eps/depth per level) with
+// constrained inference.
+func BuildHierarchical(points [][]float64, dom Domain, m, b, depth int, eps float64, src noise.Source) (*Grid, error) {
+	if err := validate(dom, m, eps, src); err != nil {
+		return nil, err
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("gridnd: depth must be >= 1, got %d", depth)
+	}
+	if depth > 1 && b < 2 {
+		return nil, fmt.Errorf("gridnd: branching must be >= 2, got %d", b)
+	}
+	d := dom.Dims()
+	sizes := make([]int, depth)
+	sizes[0] = m
+	for l := 1; l < depth; l++ {
+		if sizes[l-1]%b != 0 {
+			return nil, fmt.Errorf("gridnd: level size %d not divisible by %d", sizes[l-1], b)
+		}
+		sizes[l] = sizes[l-1] / b
+	}
+
+	// Exact counts per level, aggregating up axis-wise.
+	exact := make([][]float64, depth)
+	var err error
+	exact[0], err = histogram(points, dom, m)
+	if err != nil {
+		return nil, err
+	}
+	cellCount := make([]int, depth)
+	cellCount[0] = len(exact[0])
+	for l := 1; l < depth; l++ {
+		n, err := cellsFor(sizes[l], d)
+		if err != nil {
+			return nil, err
+		}
+		cellCount[l] = n
+		exact[l] = make([]float64, n)
+		fm, sm := sizes[l-1], sizes[l]
+		idx := make([]int, d)
+		fineStrides := make([]int, d)
+		coarseStrides := make([]int, d)
+		fs, cs := 1, 1
+		for k := 0; k < d; k++ {
+			fineStrides[k] = fs
+			coarseStrides[k] = cs
+			fs *= fm
+			cs *= sm
+		}
+		for ci, v := range exact[l-1] {
+			rem := ci
+			for k := d - 1; k >= 0; k-- {
+				idx[k] = rem / fineStrides[k]
+				rem %= fineStrides[k]
+			}
+			pi := 0
+			for k := 0; k < d; k++ {
+				pi += (idx[k] / b) * coarseStrides[k]
+			}
+			exact[l][pi] += v
+		}
+	}
+
+	perLevel := eps / float64(depth)
+	variance := make([]float64, depth)
+	for l := 0; l < depth; l++ {
+		mech, err := noise.NewMechanism(perLevel, 1, src)
+		if err != nil {
+			return nil, fmt.Errorf("gridnd: %w", err)
+		}
+		mech.PerturbAll(exact[l])
+		variance[l] = mech.Variance()
+	}
+
+	// Constrained inference forest.
+	offsets := make([]int, depth)
+	total := 0
+	for l := 0; l < depth; l++ {
+		offsets[l] = total
+		total += cellCount[l]
+	}
+	forest := &infer.Forest{Nodes: make([]infer.Node, total)}
+	fanout := 1
+	for k := 0; k < d; k++ {
+		fanout *= b
+	}
+	for l := 0; l < depth; l++ {
+		sm := sizes[l]
+		smStrides := make([]int, d)
+		s := 1
+		for k := 0; k < d; k++ {
+			smStrides[k] = s
+			s *= sm
+		}
+		idx := make([]int, d)
+		for ci := 0; ci < cellCount[l]; ci++ {
+			node := offsets[l] + ci
+			forest.Nodes[node].Count = exact[l][ci]
+			forest.Nodes[node].Variance = variance[l]
+			if l > 0 {
+				rem := ci
+				for k := d - 1; k >= 0; k-- {
+					idx[k] = rem / smStrides[k]
+					rem %= smStrides[k]
+				}
+				fm := sizes[l-1]
+				fmStrides := make([]int, d)
+				fs := 1
+				for k := 0; k < d; k++ {
+					fmStrides[k] = fs
+					fs *= fm
+				}
+				children := make([]int, 0, fanout)
+				sub := make([]int, d)
+				for {
+					pi := 0
+					for k := 0; k < d; k++ {
+						pi += (idx[k]*b + sub[k]) * fmStrides[k]
+					}
+					children = append(children, offsets[l-1]+pi)
+					k := 0
+					for ; k < d; k++ {
+						sub[k]++
+						if sub[k] < b {
+							break
+						}
+						sub[k] = 0
+					}
+					if k == d {
+						break
+					}
+				}
+				forest.Nodes[node].Children = children
+			}
+		}
+	}
+	for i := 0; i < cellCount[depth-1]; i++ {
+		forest.Roots = append(forest.Roots, offsets[depth-1]+i)
+	}
+	est, err := forest.Infer()
+	if err != nil {
+		return nil, fmt.Errorf("gridnd: %w", err)
+	}
+	return newGrid(dom, m, est[:cellCount[0]]), nil
+}

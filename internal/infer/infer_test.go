@@ -1,0 +1,313 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildUniformTree builds a complete tree with the given fanout and depth
+// (depth 1 = a single leaf), filling counts from fill(level, index).
+func buildUniformTree(fanout, depth int, variance float64, fill func(level, idx int) float64) *Forest {
+	f := &Forest{}
+	var build func(level, idx int) int
+	counter := make(map[int]int)
+	build = func(level, idx int) int {
+		node := Node{Count: fill(level, idx), Variance: variance}
+		pos := len(f.Nodes)
+		f.Nodes = append(f.Nodes, node)
+		if level < depth-1 {
+			for c := 0; c < fanout; c++ {
+				child := build(level+1, counter[level+1])
+				counter[level+1]++
+				f.Nodes[pos].Children = append(f.Nodes[pos].Children, child)
+			}
+		}
+		return pos
+	}
+	f.Roots = []int{build(0, 0)}
+	return f
+}
+
+func TestInferExactCountsUnchanged(t *testing.T) {
+	// With zero-variance (exact) counts that are already consistent, CI
+	// must return them unchanged.
+	f := &Forest{
+		Nodes: []Node{
+			{Count: 10, Variance: 0, Children: []int{1, 2}},
+			{Count: 4, Variance: 0},
+			{Count: 6, Variance: 0},
+		},
+		Roots: []int{0},
+	}
+	u, err := f.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{10, 4, 6} {
+		if math.Abs(u[i]-want) > 1e-12 {
+			t.Errorf("u[%d] = %g, want %g", i, u[i], want)
+		}
+	}
+}
+
+func TestInferConsistency(t *testing.T) {
+	// Whatever the inputs, the output must satisfy parent = sum(children).
+	rng := rand.New(rand.NewSource(1))
+	f := buildUniformTree(3, 4, 2.0, func(level, idx int) float64 {
+		return rng.Float64() * 100
+	})
+	u, err := f.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, node := range f.Nodes {
+		if len(node.Children) == 0 {
+			continue
+		}
+		var sum float64
+		for _, c := range node.Children {
+			sum += u[c]
+		}
+		if math.Abs(sum-u[i]) > 1e-9*(1+math.Abs(u[i])) {
+			t.Errorf("node %d: children sum %g != %g", i, sum, u[i])
+		}
+	}
+}
+
+func TestInferMatchesPaperAGFormula(t *testing.T) {
+	// A 2-level tree with level-1 variance 2/(a*eps)^2 and m2^2 leaves of
+	// variance 2/((1-a)*eps)^2 must reproduce the paper's closed-form CI
+	// (section IV-B).
+	const (
+		alpha = 0.4
+		eps   = 1.0
+		m2    = 3
+	)
+	v := 50.0
+	leaves := []float64{2, 8, 3, 7, 1, 9, 4, 6, 5} // sum = 45
+	var1 := 2 / (alpha * eps) / (alpha * eps)
+	var2 := 2 / ((1 - alpha) * eps) / ((1 - alpha) * eps)
+
+	f := &Forest{Roots: []int{0}}
+	root := Node{Count: v, Variance: var1}
+	f.Nodes = append(f.Nodes, root)
+	for _, lv := range leaves {
+		f.Nodes = append(f.Nodes, Node{Count: lv, Variance: var2})
+		f.Nodes[0].Children = append(f.Nodes[0].Children, len(f.Nodes)-1)
+	}
+	u, err := f.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paper formulas.
+	m2sq := float64(m2 * m2)
+	sumU := 45.0
+	a2 := alpha * alpha
+	b2 := (1 - alpha) * (1 - alpha)
+	denom := b2 + a2*m2sq
+	vPrime := (a2*m2sq*v + b2*sumU) / denom
+	if math.Abs(u[0]-vPrime) > 1e-9 {
+		t.Errorf("root estimate %g, paper formula %g", u[0], vPrime)
+	}
+	for i, lv := range leaves {
+		want := lv + (vPrime-sumU)/m2sq
+		if math.Abs(u[i+1]-want) > 1e-9 {
+			t.Errorf("leaf %d estimate %g, paper formula %g", i, u[i+1], want)
+		}
+	}
+}
+
+func TestInferMatchesHayBinaryUniform(t *testing.T) {
+	// Hay et al.'s original formulation for a binary tree with uniform
+	// variance sigma^2: the bottom-up pass uses weights
+	// z_v = (2^h - 2^{h-1}) / (2^h - 1) * x_v + ... — rather than
+	// re-deriving constants, verify the defining optimality property:
+	// the result is consistent and has lower MSE than the raw leaves
+	// across random trials.
+	rng := rand.New(rand.NewSource(7))
+	const trials = 200
+	const sigma2 = 4.0
+	var mseRaw, mseCI float64
+	for trial := 0; trial < trials; trial++ {
+		// Truth: all counts zero; noisy observations ~ N-ish via sum of
+		// uniform noise (distribution irrelevant for the variance
+		// comparison, only independence and mean zero matter).
+		noise := func() float64 { return (rng.Float64()*2 - 1) * math.Sqrt(3*sigma2) }
+		f := buildUniformTree(2, 4, sigma2, func(level, idx int) float64 { return noise() })
+		u, err := f.Infer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, node := range f.Nodes {
+			if len(node.Children) == 0 {
+				mseRaw += f.Nodes[i].Count * f.Nodes[i].Count
+				mseCI += u[i] * u[i]
+			}
+		}
+	}
+	if mseCI >= mseRaw {
+		t.Errorf("CI leaf MSE %g not below raw leaf MSE %g", mseCI, mseRaw)
+	}
+}
+
+func TestInferStructuralNodes(t *testing.T) {
+	// A structural (unmeasured) root just sums its children.
+	f := &Forest{
+		Nodes: []Node{
+			{Variance: NoMeasurement, Children: []int{1, 2}},
+			{Count: 3, Variance: 1},
+			{Count: 4, Variance: 1},
+		},
+		Roots: []int{0},
+	}
+	u, err := f.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u[0]-7) > 1e-12 {
+		t.Errorf("structural root = %g, want 7", u[0])
+	}
+	if u[1] != 3 || u[2] != 4 {
+		t.Errorf("children changed: %g, %g", u[1], u[2])
+	}
+}
+
+func TestInferExactParentPinsChildren(t *testing.T) {
+	// Parent with zero variance forces children to absorb the whole
+	// adjustment.
+	f := &Forest{
+		Nodes: []Node{
+			{Count: 10, Variance: 0, Children: []int{1, 2}},
+			{Count: 3, Variance: 2},
+			{Count: 5, Variance: 2},
+		},
+		Roots: []int{0},
+	}
+	u, err := f.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[0] != 10 {
+		t.Errorf("exact parent moved to %g", u[0])
+	}
+	if math.Abs(u[1]+u[2]-10) > 1e-12 {
+		t.Errorf("children sum %g, want 10", u[1]+u[2])
+	}
+	// Equal variances: adjustment splits equally (+1 each).
+	if math.Abs(u[1]-4) > 1e-12 || math.Abs(u[2]-6) > 1e-12 {
+		t.Errorf("children = %g, %g, want 4, 6", u[1], u[2])
+	}
+}
+
+func TestInferHeterogeneousVarianceProportionalAdjustment(t *testing.T) {
+	// Children with unequal variances absorb the residual proportionally.
+	f := &Forest{
+		Nodes: []Node{
+			{Count: 12, Variance: 0, Children: []int{1, 2}},
+			{Count: 3, Variance: 1}, // gets 1/4 of the +6 residual? no: 1/(1+3)
+			{Count: 3, Variance: 3},
+		},
+		Roots: []int{0},
+	}
+	u, err := f.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual = 12 - 6 = 6; child 1 takes 6 * 1/4, child 2 takes 6 * 3/4.
+	if math.Abs(u[1]-4.5) > 1e-12 {
+		t.Errorf("low-variance child = %g, want 4.5", u[1])
+	}
+	if math.Abs(u[2]-7.5) > 1e-12 {
+		t.Errorf("high-variance child = %g, want 7.5", u[2])
+	}
+}
+
+func TestInferForestMultipleRoots(t *testing.T) {
+	f := &Forest{
+		Nodes: []Node{
+			{Count: 5, Variance: 1, Children: []int{2}},
+			{Count: 7, Variance: 1, Children: []int{3}},
+			{Count: 4, Variance: 1},
+			{Count: 8, Variance: 1},
+		},
+		Roots: []int{0, 1},
+	}
+	u, err := f.Infer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-child chains: parent and child combine to the same value.
+	if math.Abs(u[0]-u[2]) > 1e-12 {
+		t.Errorf("tree 0 inconsistent: %g vs %g", u[0], u[2])
+	}
+	if math.Abs(u[1]-u[3]) > 1e-12 {
+		t.Errorf("tree 1 inconsistent: %g vs %g", u[1], u[3])
+	}
+	if math.Abs(u[0]-4.5) > 1e-12 { // inverse-variance average of 5 and 4
+		t.Errorf("tree 0 estimate %g, want 4.5", u[0])
+	}
+}
+
+func TestValidateRejectsMalformedForests(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Forest
+	}{
+		{"out of range child", Forest{Nodes: []Node{{Children: []int{5}, Variance: 1}}, Roots: []int{0}}},
+		{"shared child", Forest{
+			Nodes: []Node{
+				{Children: []int{2}, Variance: 1},
+				{Children: []int{2}, Variance: 1},
+				{Variance: 1},
+			},
+			Roots: []int{0, 1},
+		}},
+		{"negative variance", Forest{Nodes: []Node{{Variance: -1}}, Roots: []int{0}}},
+		{"nan variance", Forest{Nodes: []Node{{Variance: math.NaN()}}, Roots: []int{0}}},
+		{"unmeasured leaf", Forest{Nodes: []Node{{Variance: NoMeasurement}}, Roots: []int{0}}},
+		{"no roots", Forest{Nodes: []Node{{Variance: 1}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.f.Infer(); err == nil {
+				t.Error("malformed forest accepted")
+			}
+		})
+	}
+}
+
+// Property: inference preserves the root estimate's expectation structure —
+// feeding already-consistent exact data through CI is the identity.
+func TestInferIdentityOnConsistentData(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		l := []float64{float64(a), float64(b), float64(c), float64(d)}
+		forest := &Forest{
+			Nodes: []Node{
+				{Count: l[0] + l[1] + l[2] + l[3], Variance: 1, Children: []int{1, 2}},
+				{Count: l[0] + l[1], Variance: 1, Children: []int{3, 4}},
+				{Count: l[2] + l[3], Variance: 1, Children: []int{5, 6}},
+				{Count: l[0], Variance: 1},
+				{Count: l[1], Variance: 1},
+				{Count: l[2], Variance: 1},
+				{Count: l[3], Variance: 1},
+			},
+			Roots: []int{0},
+		}
+		u, err := forest.Infer()
+		if err != nil {
+			return false
+		}
+		for i := range forest.Nodes {
+			if math.Abs(u[i]-forest.Nodes[i].Count) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

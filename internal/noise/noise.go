@@ -1,0 +1,245 @@
+// Package noise implements the differential-privacy noise substrate used
+// by every synopsis method in this repository: Laplace noise calibrated to
+// a query's L1 sensitivity, privacy-budget accounting with sequential
+// composition, and the exponential mechanism (used by the kd-tree baseline
+// to pick differentially private medians).
+//
+// All randomness flows through the Source interface so experiments are
+// reproducible (math/rand with a fixed seed) and tests can inject a
+// zero-noise source to check bookkeeping exactly. A deployment that needs
+// cryptographic randomness can implement Source over crypto/rand; the
+// mechanisms themselves are agnostic.
+package noise
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Source produces the primitive random variates mechanisms need.
+type Source interface {
+	// Uniform returns a uniformly distributed value in [0, 1).
+	Uniform() float64
+}
+
+// randSource adapts *rand.Rand to Source.
+type randSource struct{ r *rand.Rand }
+
+func (s randSource) Uniform() float64 { return s.r.Float64() }
+
+// NewSource returns a deterministic Source seeded with seed.
+func NewSource(seed int64) Source {
+	return randSource{r: rand.New(rand.NewSource(seed))}
+}
+
+// FromRand wraps an existing *rand.Rand as a Source.
+func FromRand(r *rand.Rand) Source { return randSource{r: r} }
+
+// Zero is a Source whose Laplace draws are exactly 0. It lets tests run
+// every mechanism with the noise "turned off" to validate the surrounding
+// bookkeeping. Uniform returns 0.5, the median of U[0,1), which maps to a
+// Laplace draw of 0 under inverse-CDF sampling.
+var Zero Source = zeroSource{}
+
+type zeroSource struct{}
+
+func (zeroSource) Uniform() float64 { return 0.5 }
+
+// Laplace draws one sample from the Laplace distribution with mean 0 and
+// scale b (density 1/(2b) * exp(-|x|/b), variance 2b^2), via inverse-CDF
+// sampling. b must be positive; b = +Inf (zero epsilon) is rejected by the
+// mechanisms before reaching here.
+func Laplace(src Source, b float64) float64 {
+	// u uniform in (-1/2, 1/2]; x = -b * sgn(u) * ln(1 - 2|u|).
+	u := src.Uniform() - 0.5
+	if u == 0 {
+		return 0
+	}
+	sign := 1.0
+	if u < 0 {
+		sign = -1.0
+		u = -u
+	}
+	// 1-2u in (0, 1]; log is finite except when Uniform returned exactly
+	// 1.0-eps edge; math.Log(0) = -Inf cannot occur since u < 0.5.
+	return -b * sign * math.Log(1-2*u)
+}
+
+// LaplaceScale returns the scale parameter of the Laplace mechanism for a
+// function with L1 sensitivity sens under privacy budget eps.
+func LaplaceScale(sens, eps float64) float64 { return sens / eps }
+
+// LaplaceStdDev returns the standard deviation sqrt(2)*sens/eps of the
+// Laplace mechanism's noise (section II-A of the paper).
+func LaplaceStdDev(sens, eps float64) float64 {
+	return math.Sqrt2 * sens / eps
+}
+
+// Mechanism perturbs query answers with Laplace noise under a fixed
+// epsilon. It is the Ag(D) = g(D) + Lap(GS_g/eps) primitive from the paper.
+type Mechanism struct {
+	eps  float64
+	sens float64
+	src  Source
+}
+
+// NewMechanism returns a Laplace mechanism for sensitivity-sens queries
+// under budget eps. It validates its arguments so misconfigured privacy
+// parameters fail loudly instead of silently destroying the guarantee.
+func NewMechanism(eps, sens float64, src Source) (*Mechanism, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("noise: epsilon must be positive and finite, got %g", eps)
+	}
+	if !(sens > 0) || math.IsInf(sens, 0) {
+		return nil, fmt.Errorf("noise: sensitivity must be positive and finite, got %g", sens)
+	}
+	if src == nil {
+		return nil, errors.New("noise: nil source")
+	}
+	return &Mechanism{eps: eps, sens: sens, src: src}, nil
+}
+
+// Epsilon returns the mechanism's privacy budget.
+func (m *Mechanism) Epsilon() float64 { return m.eps }
+
+// Scale returns the Laplace scale the mechanism applies.
+func (m *Mechanism) Scale() float64 { return m.sens / m.eps }
+
+// Variance returns the noise variance 2*(sens/eps)^2 added per answer.
+func (m *Mechanism) Variance() float64 {
+	s := m.Scale()
+	return 2 * s * s
+}
+
+// Perturb returns value + Lap(sens/eps).
+func (m *Mechanism) Perturb(value float64) float64 {
+	return value + Laplace(m.src, m.Scale())
+}
+
+// PerturbAll perturbs every element of values in place with independent
+// draws and returns values.
+func (m *Mechanism) PerturbAll(values []float64) []float64 {
+	scale := m.Scale()
+	for i := range values {
+		values[i] += Laplace(m.src, scale)
+	}
+	return values
+}
+
+// ErrBudgetExhausted is returned by Budget.Spend when a request would
+// exceed the remaining privacy budget.
+var ErrBudgetExhausted = errors.New("noise: privacy budget exhausted")
+
+// Budget tracks sequential composition of a total epsilon across the steps
+// of a publishing task (section II-A: "each step uses a portion of eps so
+// that the sum of these portions is no more than eps"). It is not
+// goroutine-safe; synopsis construction is single-threaded by design.
+type Budget struct {
+	total float64
+	spent float64
+}
+
+// NewBudget returns a budget of eps total.
+func NewBudget(eps float64) (*Budget, error) {
+	if !(eps > 0) || math.IsInf(eps, 0) {
+		return nil, fmt.Errorf("noise: total epsilon must be positive and finite, got %g", eps)
+	}
+	return &Budget{total: eps}, nil
+}
+
+// Total returns the total budget.
+func (b *Budget) Total() float64 { return b.total }
+
+// Spent returns the budget consumed so far.
+func (b *Budget) Spent() float64 { return b.spent }
+
+// Remaining returns the unspent budget.
+func (b *Budget) Remaining() float64 { return b.total - b.spent }
+
+// Spend consumes eps from the budget, returning ErrBudgetExhausted if the
+// request (beyond a small floating-point tolerance) exceeds what remains.
+func (b *Budget) Spend(eps float64) error {
+	if !(eps > 0) {
+		return fmt.Errorf("noise: spend amount must be positive, got %g", eps)
+	}
+	const tol = 1e-9
+	if b.spent+eps > b.total*(1+tol)+tol {
+		return fmt.Errorf("%w: requested %g with %g remaining of %g",
+			ErrBudgetExhausted, eps, b.Remaining(), b.total)
+	}
+	b.spent += eps
+	return nil
+}
+
+// SpendFraction consumes frac of the *total* budget and returns the epsilon
+// consumed.
+func (b *Budget) SpendFraction(frac float64) (float64, error) {
+	if !(frac > 0 && frac <= 1) {
+		return 0, fmt.Errorf("noise: fraction must be in (0,1], got %g", frac)
+	}
+	eps := b.total * frac
+	if err := b.Spend(eps); err != nil {
+		return 0, err
+	}
+	return eps, nil
+}
+
+// ExponentialChoice selects an index in [0, len(weights)) with probability
+// proportional to weights[i], where callers precompute
+// weights[i] = baseWeight_i * exp(eps * utility_i / (2 * sensitivity)).
+// To keep the computation numerically stable for large utility magnitudes,
+// use ExponentialMechanism below rather than exponentiating directly.
+func ExponentialChoice(src Source, weights []float64) (int, error) {
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return 0, fmt.Errorf("noise: invalid weight %g", w)
+		}
+		total += w
+	}
+	if !(total > 0) || math.IsInf(total, 0) {
+		return 0, fmt.Errorf("noise: weights sum to %g, cannot sample", total)
+	}
+	u := src.Uniform() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i, nil
+		}
+	}
+	return len(weights) - 1, nil
+}
+
+// ExponentialMechanism samples index i proportional to
+// base[i] * exp(eps*utility[i]/(2*sens)) with max-utility shifting for
+// numerical stability. base[i] is an optional per-candidate prior mass
+// (interval lengths for the DP median); pass nil for uniform base weights.
+func ExponentialMechanism(src Source, eps, sens float64, utility, base []float64) (int, error) {
+	if len(utility) == 0 {
+		return 0, errors.New("noise: no candidates")
+	}
+	if base != nil && len(base) != len(utility) {
+		return 0, fmt.Errorf("noise: base length %d != utility length %d", len(base), len(utility))
+	}
+	if !(eps > 0) || !(sens > 0) {
+		return 0, fmt.Errorf("noise: exponential mechanism needs positive eps (%g) and sensitivity (%g)", eps, sens)
+	}
+	maxU := math.Inf(-1)
+	for _, u := range utility {
+		if u > maxU {
+			maxU = u
+		}
+	}
+	weights := make([]float64, len(utility))
+	for i, u := range utility {
+		w := math.Exp(eps * (u - maxU) / (2 * sens))
+		if base != nil {
+			w *= base[i]
+		}
+		weights[i] = w
+	}
+	return ExponentialChoice(src, weights)
+}

@@ -1,0 +1,336 @@
+package noise
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLaplaceZeroSource(t *testing.T) {
+	for _, b := range []float64{0.1, 1, 10} {
+		if got := Laplace(Zero, b); got != 0 {
+			t.Errorf("Laplace(Zero, %g) = %g, want 0", b, got)
+		}
+	}
+}
+
+func TestLaplaceMomentsMatchDistribution(t *testing.T) {
+	// With scale b, mean = 0 and variance = 2b^2. Check empirically with a
+	// fixed seed and generous tolerances (n = 200k draws).
+	src := NewSource(42)
+	const n = 200000
+	const b = 2.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Laplace(src, b)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("empirical mean = %g, want ~0", mean)
+	}
+	wantVar := 2 * b * b
+	if math.Abs(variance-wantVar)/wantVar > 0.05 {
+		t.Errorf("empirical variance = %g, want ~%g", variance, wantVar)
+	}
+}
+
+func TestLaplaceSymmetry(t *testing.T) {
+	src := NewSource(7)
+	const n = 100000
+	pos := 0
+	for i := 0; i < n; i++ {
+		if Laplace(src, 1) > 0 {
+			pos++
+		}
+	}
+	frac := float64(pos) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("positive fraction = %g, want ~0.5", frac)
+	}
+}
+
+func TestLaplaceTailProbability(t *testing.T) {
+	// P(|X| > b*ln(2)) = exp(-ln 2) = 0.5 for Laplace(b); check the CDF shape
+	// at one more point: P(|X| > 2b) = exp(-2) ~ 0.1353.
+	src := NewSource(99)
+	const n = 200000
+	const b = 1.0
+	countHalf, count2b := 0, 0
+	for i := 0; i < n; i++ {
+		x := math.Abs(Laplace(src, b))
+		if x > b*math.Ln2 {
+			countHalf++
+		}
+		if x > 2*b {
+			count2b++
+		}
+	}
+	if got := float64(countHalf) / n; math.Abs(got-0.5) > 0.01 {
+		t.Errorf("P(|X|>b ln2) = %g, want ~0.5", got)
+	}
+	if got := float64(count2b) / n; math.Abs(got-math.Exp(-2)) > 0.01 {
+		t.Errorf("P(|X|>2b) = %g, want ~%g", got, math.Exp(-2))
+	}
+}
+
+func TestLaplaceStdDev(t *testing.T) {
+	// Paper section II-A: std of Lap(GS/eps) is sqrt(2)*GS/eps.
+	if got, want := LaplaceStdDev(1, 0.5), math.Sqrt2*2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("LaplaceStdDev(1, 0.5) = %g, want %g", got, want)
+	}
+}
+
+func TestNewMechanismValidation(t *testing.T) {
+	src := NewSource(1)
+	cases := []struct {
+		name      string
+		eps, sens float64
+		src       Source
+	}{
+		{"zero eps", 0, 1, src},
+		{"negative eps", -1, 1, src},
+		{"inf eps", math.Inf(1), 1, src},
+		{"nan eps", math.NaN(), 1, src},
+		{"zero sens", 1, 0, src},
+		{"negative sens", 1, -2, src},
+		{"nil source", 1, 1, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewMechanism(tc.eps, tc.sens, tc.src); err == nil {
+				t.Errorf("NewMechanism(%g, %g) accepted, want error", tc.eps, tc.sens)
+			}
+		})
+	}
+	if _, err := NewMechanism(0.5, 1, src); err != nil {
+		t.Errorf("valid mechanism rejected: %v", err)
+	}
+}
+
+func TestMechanismScaleAndVariance(t *testing.T) {
+	m, err := NewMechanism(0.5, 2, Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Scale(); got != 4 {
+		t.Errorf("Scale = %g, want 4", got)
+	}
+	if got := m.Variance(); got != 32 {
+		t.Errorf("Variance = %g, want 32", got)
+	}
+	if got := m.Epsilon(); got != 0.5 {
+		t.Errorf("Epsilon = %g, want 0.5", got)
+	}
+}
+
+func TestMechanismPerturbZeroNoise(t *testing.T) {
+	m, err := NewMechanism(1, 1, Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Perturb(41); got != 41 {
+		t.Errorf("Perturb under Zero source = %g, want 41", got)
+	}
+	vals := []float64{1, 2, 3}
+	m.PerturbAll(vals)
+	for i, v := range vals {
+		if v != float64(i+1) {
+			t.Errorf("PerturbAll[%d] = %g, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestMechanismPerturbAddsCalibratedNoise(t *testing.T) {
+	m, err := NewMechanism(0.1, 1, NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		d := m.Perturb(0)
+		sumSq += d * d
+	}
+	variance := sumSq / n
+	want := m.Variance() // 2*(1/0.1)^2 = 200
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("empirical noise variance = %g, want ~%g", variance, want)
+	}
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	b, err := NewBudget(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Spend(0.5); err != nil {
+		t.Fatalf("Spend(0.5): %v", err)
+	}
+	if got := b.Remaining(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Remaining = %g, want 0.5", got)
+	}
+	if err := b.Spend(0.5); err != nil {
+		t.Fatalf("Spend remaining 0.5: %v", err)
+	}
+	if err := b.Spend(0.01); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("overspend error = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetSpendFraction(t *testing.T) {
+	b, _ := NewBudget(2.0)
+	eps, err := b.SpendFraction(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 0.5 {
+		t.Errorf("SpendFraction(0.25) = %g, want 0.5", eps)
+	}
+	if _, err := b.SpendFraction(0); err == nil {
+		t.Error("SpendFraction(0) accepted")
+	}
+	if _, err := b.SpendFraction(1.5); err == nil {
+		t.Error("SpendFraction(1.5) accepted")
+	}
+}
+
+func TestBudgetSpendExactTotalToleratesRounding(t *testing.T) {
+	// Spending the budget in thirds must not trip the exhaustion check due
+	// to floating-point accumulation.
+	b, _ := NewBudget(1.0)
+	for i := 0; i < 3; i++ {
+		if err := b.Spend(1.0 / 3.0); err != nil {
+			t.Fatalf("third spend %d: %v", i, err)
+		}
+	}
+}
+
+func TestBudgetValidation(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewBudget(eps); err == nil {
+			t.Errorf("NewBudget(%g) accepted", eps)
+		}
+	}
+	b, _ := NewBudget(1)
+	if err := b.Spend(-0.5); err == nil {
+		t.Error("Spend(-0.5) accepted")
+	}
+}
+
+func TestExponentialChoiceValidation(t *testing.T) {
+	src := NewSource(5)
+	if _, err := ExponentialChoice(src, []float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := ExponentialChoice(src, []float64{-1, 2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := ExponentialChoice(src, []float64{math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestExponentialChoiceDistribution(t *testing.T) {
+	src := NewSource(11)
+	weights := []float64{1, 3} // expect ~25% / ~75%
+	counts := [2]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		idx, err := ExponentialChoice(src, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	frac := float64(counts[1]) / n
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("P(choice=1) = %g, want ~0.75", frac)
+	}
+}
+
+func TestExponentialMechanismPrefersHighUtility(t *testing.T) {
+	src := NewSource(17)
+	utility := []float64{0, 0, 10, 0}
+	counts := make([]int, len(utility))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		idx, err := ExponentialMechanism(src, 2.0, 1.0, utility, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	// exp(eps*10/2) = e^10 dominates; index 2 should win essentially always.
+	if frac := float64(counts[2]) / n; frac < 0.99 {
+		t.Errorf("high-utility pick rate = %g, want > 0.99", frac)
+	}
+}
+
+func TestExponentialMechanismNumericalStability(t *testing.T) {
+	// Huge utilities would overflow exp() without max-shifting.
+	src := NewSource(23)
+	utility := []float64{1e6, 1e6 - 1}
+	if _, err := ExponentialMechanism(src, 1, 1, utility, nil); err != nil {
+		t.Errorf("large utilities should not overflow: %v", err)
+	}
+}
+
+func TestExponentialMechanismBaseWeights(t *testing.T) {
+	// With equal utilities the base weights act as a prior.
+	src := NewSource(29)
+	utility := []float64{0, 0}
+	base := []float64{1, 9}
+	count1 := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		idx, err := ExponentialMechanism(src, 1, 1, utility, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx == 1 {
+			count1++
+		}
+	}
+	if frac := float64(count1) / n; math.Abs(frac-0.9) > 0.01 {
+		t.Errorf("P(idx=1) = %g, want ~0.9", frac)
+	}
+}
+
+func TestExponentialMechanismValidation(t *testing.T) {
+	src := NewSource(31)
+	if _, err := ExponentialMechanism(src, 1, 1, nil, nil); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := ExponentialMechanism(src, 0, 1, []float64{1}, nil); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := ExponentialMechanism(src, 1, 0, []float64{1}, nil); err == nil {
+		t.Error("zero sensitivity accepted")
+	}
+	if _, err := ExponentialMechanism(src, 1, 1, []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched base length accepted")
+	}
+}
+
+func TestBudgetTotalAndSpent(t *testing.T) {
+	b, _ := NewBudget(2)
+	if b.Total() != 2 {
+		t.Errorf("Total = %g, want 2", b.Total())
+	}
+	_ = b.Spend(0.75)
+	if b.Spent() != 0.75 {
+		t.Errorf("Spent = %g, want 0.75", b.Spent())
+	}
+}
+
+func TestFromRand(t *testing.T) {
+	src := FromRand(rand.New(rand.NewSource(5)))
+	v := src.Uniform()
+	if v < 0 || v >= 1 {
+		t.Errorf("Uniform = %g, want [0,1)", v)
+	}
+}

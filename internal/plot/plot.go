@@ -1,0 +1,152 @@
+// Package plot renders experiment results as ASCII charts, giving
+// cmd/dpbench output the same two visual forms the paper's figures use:
+// line charts of mean relative error per query-size class, and
+// candlestick charts of the pooled error distribution per method.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line: a label and a y-value per x position.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// markers cycles through per-series point glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '^'}
+
+// Lines renders a multi-series line chart with log-ish scaling disabled
+// (linear y), one column block per x label. Values must be non-negative;
+// series of differing lengths are rejected.
+func Lines(w io.Writer, title string, xLabels []string, series []Series, height int) error {
+	if height < 4 {
+		height = 10
+	}
+	if len(series) == 0 || len(xLabels) == 0 {
+		return fmt.Errorf("plot: nothing to draw")
+	}
+	for _, s := range series {
+		if len(s.Values) != len(xLabels) {
+			return fmt.Errorf("plot: series %q has %d values for %d x labels", s.Label, len(s.Values), len(xLabels))
+		}
+	}
+	maxV := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("plot: series %q has invalid value %g", s.Label, v)
+			}
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	const colWidth = 8
+	width := len(xLabels) * colWidth
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for xi, v := range s.Values {
+			row := height - 1 - int(math.Round(v/maxV*float64(height-1)))
+			col := xi*colWidth + colWidth/2
+			canvas[row][col] = mark
+		}
+	}
+
+	fmt.Fprintf(w, "%s  (y: 0 .. %.4g)\n", title, maxV)
+	for _, line := range canvas {
+		fmt.Fprintf(w, "  |%s\n", string(line))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprint(w, "   ")
+	for _, lbl := range xLabels {
+		fmt.Fprintf(w, "%-*s", colWidth, centerText(lbl, colWidth))
+	}
+	fmt.Fprintln(w)
+	for si, s := range series {
+		fmt.Fprintf(w, "   %c %s", markers[si%len(markers)], s.Label)
+		if (si+1)%4 == 0 || si == len(series)-1 {
+			fmt.Fprintln(w)
+		} else {
+			fmt.Fprint(w, "    ")
+		}
+	}
+	return nil
+}
+
+// Stick is one candlestick: the five summary values the paper plots.
+type Stick struct {
+	Label                       string
+	P25, Median, P75, P95, Mean float64
+}
+
+// Candles renders a horizontal candlestick chart: one row per method,
+// with the box spanning p25..p75, a bar at the p95, and the mean marked
+// (the paper's "black bar").
+func Candles(w io.Writer, title string, sticks []Stick, width int) error {
+	if width < 20 {
+		width = 60
+	}
+	if len(sticks) == 0 {
+		return fmt.Errorf("plot: nothing to draw")
+	}
+	maxV := 0.0
+	labelW := 0
+	for _, s := range sticks {
+		for _, v := range []float64{s.P25, s.Median, s.P75, s.P95, s.Mean} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("plot: stick %q has invalid value %g", s.Label, v)
+			}
+			maxV = math.Max(maxV, v)
+		}
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	fmt.Fprintf(w, "%s  (x: 0 .. %.4g; [=] box p25..p75, | median, > p95, M mean)\n", title, maxV)
+	for _, s := range sticks {
+		row := []byte(strings.Repeat(" ", width))
+		pos := func(v float64) int {
+			p := int(math.Round(v / maxV * float64(width-1)))
+			if p < 0 {
+				p = 0
+			}
+			if p >= width {
+				p = width - 1
+			}
+			return p
+		}
+		for i := pos(s.P25); i <= pos(s.P75); i++ {
+			row[i] = '='
+		}
+		row[pos(s.P25)] = '['
+		row[pos(s.P75)] = ']'
+		row[pos(s.Median)] = '|'
+		row[pos(s.P95)] = '>'
+		row[pos(s.Mean)] = 'M'
+		fmt.Fprintf(w, "  %-*s %s\n", labelW, s.Label, string(row))
+	}
+	return nil
+}
+
+// centerText centers s within width (best effort).
+func centerText(s string, width int) string {
+	if len(s) >= width {
+		return s[:width]
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}

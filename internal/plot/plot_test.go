@@ -1,0 +1,84 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	var sb strings.Builder
+	err := Lines(&sb, "test chart", []string{"q1", "q2", "q3"}, []Series{
+		{Label: "UG", Values: []float64{0.1, 0.3, 0.2}},
+		{Label: "AG", Values: []float64{0.05, 0.1, 0.08}},
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"test chart", "q1", "q2", "q3", "UG", "AG", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinesValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := Lines(&sb, "t", nil, nil, 8); err == nil {
+		t.Error("empty chart accepted")
+	}
+	if err := Lines(&sb, "t", []string{"a"}, []Series{{Label: "s", Values: []float64{1, 2}}}, 8); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Lines(&sb, "t", []string{"a"}, []Series{{Label: "s", Values: []float64{math.NaN()}}}, 8); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := Lines(&sb, "t", []string{"a"}, []Series{{Label: "s", Values: []float64{-1}}}, 8); err == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestLinesAllZeros(t *testing.T) {
+	var sb strings.Builder
+	err := Lines(&sb, "zeros", []string{"x"}, []Series{{Label: "z", Values: []float64{0}}}, 6)
+	if err != nil {
+		t.Fatalf("all-zero series should render: %v", err)
+	}
+}
+
+func TestCandlesBasic(t *testing.T) {
+	var sb strings.Builder
+	err := Candles(&sb, "errors", []Stick{
+		{Label: "Khy", P25: 0.01, Median: 0.04, P75: 0.15, P95: 0.5, Mean: 0.12},
+		{Label: "A-sugg", P25: 0.001, Median: 0.005, P75: 0.02, P95: 0.12, Mean: 0.02},
+	}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"errors", "Khy", "A-sugg", "[", "]", ">", "M"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCandlesValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := Candles(&sb, "t", nil, 40); err == nil {
+		t.Error("empty candles accepted")
+	}
+	if err := Candles(&sb, "t", []Stick{{Label: "x", Mean: math.Inf(1)}}, 40); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestCenterText(t *testing.T) {
+	if got := centerText("ab", 6); got != "  ab" {
+		t.Errorf("centerText = %q", got)
+	}
+	if got := centerText("abcdefgh", 4); got != "abcd" {
+		t.Errorf("centerText truncation = %q", got)
+	}
+}

@@ -1,0 +1,115 @@
+// Package query provides the evaluation substrate of section V-A: random
+// rectangular query workloads in the paper's six size classes, the
+// relative/absolute error metrics, and the five-number candlestick
+// summaries used by the paper's figures (25th percentile, median, 75th,
+// 95th, arithmetic mean).
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// Workload is a set of queries of one size class.
+type Workload struct {
+	SizeClass int // 1..6 per Table II
+	Queries   []geom.Rect
+}
+
+// Generate produces count random queries of extent w x h placed uniformly
+// at random with the rectangle fully inside dom (the paper's workloads
+// never overhang the domain).
+func Generate(rng *rand.Rand, dom geom.Domain, w, h float64, count int) ([]geom.Rect, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("query: extents must be positive, got %gx%g", w, h)
+	}
+	if w > dom.Width() || h > dom.Height() {
+		return nil, fmt.Errorf("query: %gx%g query exceeds %gx%g domain", w, h, dom.Width(), dom.Height())
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("query: count must be positive, got %d", count)
+	}
+	out := make([]geom.Rect, count)
+	for i := range out {
+		x0 := dom.MinX + rng.Float64()*(dom.Width()-w)
+		y0 := dom.MinY + rng.Float64()*(dom.Height()-h)
+		out[i] = geom.Rect{MinX: x0, MinY: y0, MaxX: x0 + w, MaxY: y0 + h}
+	}
+	return out, nil
+}
+
+// RelativeError is the paper's metric: |estimate - truth| / max(truth, rho)
+// with rho = 0.001 * N guarding against division by zero.
+func RelativeError(estimate, truth, rho float64) float64 {
+	denom := math.Max(truth, rho)
+	if denom <= 0 {
+		// Degenerate (empty dataset): fall back to absolute error so the
+		// metric stays finite.
+		return math.Abs(estimate - truth)
+	}
+	return math.Abs(estimate-truth) / denom
+}
+
+// AbsoluteError is |estimate - truth|.
+func AbsoluteError(estimate, truth float64) float64 {
+	return math.Abs(estimate - truth)
+}
+
+// Rho returns the paper's relative-error floor 0.001 * n.
+func Rho(n int) float64 { return 0.001 * float64(n) }
+
+// Candlestick is the five-value summary the paper's candlestick plots
+// show: 25th percentile, median, 75th, 95th, and arithmetic mean.
+type Candlestick struct {
+	P25, Median, P75, P95, Mean float64
+	N                           int
+}
+
+// Summarize computes the candlestick of a sample. It copies the input
+// before sorting. Empty input yields a zero Candlestick.
+func Summarize(sample []float64) Candlestick {
+	n := len(sample)
+	if n == 0 {
+		return Candlestick{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Candlestick{
+		P25:    quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		P75:    quantile(s, 0.75),
+		P95:    quantile(s, 0.95),
+		Mean:   sum / float64(n),
+		N:      n,
+	}
+}
+
+// quantile returns the q-quantile of sorted s by linear interpolation
+// (type-7 / the R default).
+func quantile(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// String renders the candlestick compactly for harness output.
+func (c Candlestick) String() string {
+	return fmt.Sprintf("p25=%.4g med=%.4g p75=%.4g p95=%.4g mean=%.4g (n=%d)",
+		c.P25, c.Median, c.P75, c.P95, c.Mean, c.N)
+}

@@ -1,0 +1,157 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(rng, dom, 0, 1, 5); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Generate(rng, dom, 1, -1, 5); err == nil {
+		t.Error("negative height accepted")
+	}
+	if _, err := Generate(rng, dom, 20, 1, 5); err == nil {
+		t.Error("oversized query accepted")
+	}
+	if _, err := Generate(rng, dom, 1, 1, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestGenerateInsideDomainWithExactSize(t *testing.T) {
+	dom := geom.MustDomain(-5, 3, 15, 23)
+	rng := rand.New(rand.NewSource(2))
+	qs, err := Generate(rng, dom, 4, 2.5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 500 {
+		t.Fatalf("count = %d, want 500", len(qs))
+	}
+	for i, q := range qs {
+		if !dom.ContainsRect(q) {
+			t.Fatalf("query %d (%v) overhangs domain", i, q)
+		}
+		if math.Abs(q.Width()-4) > 1e-9 || math.Abs(q.Height()-2.5) > 1e-9 {
+			t.Fatalf("query %d size %gx%g, want 4x2.5", i, q.Width(), q.Height())
+		}
+	}
+}
+
+func TestGenerateFullDomainQuery(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	rng := rand.New(rand.NewSource(3))
+	qs, err := Generate(rng, dom, 10, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q != dom.Rect {
+			t.Errorf("full-size query = %v, want whole domain", q)
+		}
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct {
+		est, truth, rho, want float64
+	}{
+		{110, 100, 1, 0.1},
+		{90, 100, 1, 0.1},
+		{5, 0, 10, 0.5},   // rho floor engages when truth = 0
+		{100, 100, 50, 0}, // exact
+		{0, 2, 10, 0.2},   // truth below rho: divide by rho
+	}
+	for _, tc := range cases {
+		if got := RelativeError(tc.est, tc.truth, tc.rho); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("RelativeError(%g, %g, %g) = %g, want %g", tc.est, tc.truth, tc.rho, got, tc.want)
+		}
+	}
+}
+
+func TestRelativeErrorDegenerateRho(t *testing.T) {
+	// Empty dataset: rho = 0 and truth = 0 -> absolute error fallback.
+	if got := RelativeError(3, 0, 0); got != 3 {
+		t.Errorf("degenerate RelativeError = %g, want 3", got)
+	}
+}
+
+func TestRho(t *testing.T) {
+	if got := Rho(1600000); got != 1600 {
+		t.Errorf("Rho(1.6M) = %g, want 1600", got)
+	}
+}
+
+func TestAbsoluteError(t *testing.T) {
+	if got := AbsoluteError(3, 10); got != 7 {
+		t.Errorf("AbsoluteError = %g, want 7", got)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	// 1..100: p25 = 25.75, median = 50.5, p75 = 75.25, p95 = 95.05
+	// (type-7 interpolation), mean = 50.5.
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = float64(i + 1)
+	}
+	c := Summarize(sample)
+	if math.Abs(c.Median-50.5) > 1e-9 {
+		t.Errorf("Median = %g, want 50.5", c.Median)
+	}
+	if math.Abs(c.Mean-50.5) > 1e-9 {
+		t.Errorf("Mean = %g, want 50.5", c.Mean)
+	}
+	if math.Abs(c.P25-25.75) > 1e-9 {
+		t.Errorf("P25 = %g, want 25.75", c.P25)
+	}
+	if math.Abs(c.P75-75.25) > 1e-9 {
+		t.Errorf("P75 = %g, want 75.25", c.P75)
+	}
+	if math.Abs(c.P95-95.05) > 1e-9 {
+		t.Errorf("P95 = %g, want 95.05", c.P95)
+	}
+	if c.N != 100 {
+		t.Errorf("N = %d, want 100", c.N)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if c := Summarize(nil); c.N != 0 || c.Mean != 0 {
+		t.Errorf("empty summarize = %+v", c)
+	}
+	c := Summarize([]float64{7})
+	if c.P25 != 7 || c.Median != 7 || c.P95 != 7 || c.Mean != 7 {
+		t.Errorf("single-element summarize = %+v", c)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	Summarize(sample)
+	if sample[0] != 3 || sample[1] != 1 || sample[2] != 2 {
+		t.Error("Summarize sorted the caller's slice")
+	}
+}
+
+func TestSummarizeOrderInvariant(t *testing.T) {
+	a := Summarize([]float64{5, 3, 9, 1, 7})
+	b := Summarize([]float64{1, 3, 5, 7, 9})
+	if a != b {
+		t.Errorf("order dependence: %+v vs %+v", a, b)
+	}
+}
+
+func TestCandlestickString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3}).String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,39 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHaarRoundTrip: forward+inverse must reproduce any finite input.
+func FuzzHaarRoundTrip(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-1e9, 1e9, 0.5, -0.5, 3.14, -2.71, 1e-9, -1e-9)
+
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i float64) {
+		data := []float64{a, b, c, d, e, g, h, i}
+		maxAbs := 0.0
+		for _, v := range data {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return
+			}
+			maxAbs = math.Max(maxAbs, math.Abs(v))
+		}
+		orig := append([]float64(nil), data...)
+		if err := ForwardHaar1D(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := InverseHaar1D(data); err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip error scales with the vector's largest magnitude
+		// (cancellation between coefficients), so the tolerance must too.
+		tol := 1e-9 * (1 + maxAbs)
+		for j := range data {
+			if math.Abs(data[j]-orig[j]) > tol {
+				t.Fatalf("round trip [%d] = %g, want %g (tol %g)", j, data[j], orig[j], tol)
+			}
+		}
+	})
+}

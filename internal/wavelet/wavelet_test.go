@@ -1,0 +1,268 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/pointindex"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 360: 512, 512: 512, 513: 1024}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestHaarRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		data := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range data {
+			data[i] = rng.Float64()*100 - 50
+			orig[i] = data[i]
+		}
+		if err := ForwardHaar1D(data); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := InverseHaar1D(data); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range data {
+			if math.Abs(data[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip [%d] = %g, want %g", n, i, data[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestHaarRejectsNonPowerOfTwo(t *testing.T) {
+	if err := ForwardHaar1D(make([]float64, 3)); err == nil {
+		t.Error("forward accepted length 3")
+	}
+	if err := InverseHaar1D(make([]float64, 6)); err == nil {
+		t.Error("inverse accepted length 6")
+	}
+	if err := ForwardHaar1D(nil); err == nil {
+		t.Error("forward accepted empty input")
+	}
+}
+
+func TestHaarKnownCoefficients(t *testing.T) {
+	// [4, 2, 5, 7]: average = 4.5;
+	// top detail = (avg(4,2) - avg(5,7))/2 = (3 - 6)/2 = -1.5;
+	// leaf details = (4-2)/2 = 1 and (5-7)/2 = -1.
+	data := []float64{4, 2, 5, 7}
+	if err := ForwardHaar1D(data); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4.5, -1.5, 1, -1}
+	for i := range want {
+		if math.Abs(data[i]-want[i]) > 1e-12 {
+			t.Errorf("coef[%d] = %g, want %g", i, data[i], want[i])
+		}
+	}
+}
+
+func TestHaarRoundTripQuick(t *testing.T) {
+	f := func(a, b, c, d, e, g, h, i float64) bool {
+		clean := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1e6)
+		}
+		data := []float64{clean(a), clean(b), clean(c), clean(d), clean(e), clean(g), clean(h), clean(i)}
+		orig := append([]float64(nil), data...)
+		if err := ForwardHaar1D(data); err != nil {
+			return false
+		}
+		if err := InverseHaar1D(data); err != nil {
+			return false
+		}
+		for j := range data {
+			if math.Abs(data[j]-orig[j]) > 1e-6*(1+math.Abs(orig[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	// n = 8: W(0) = 8 (average); W(1) = 8 (top detail, subtree 8);
+	// W(2), W(3) = 4; W(4..7) = 2.
+	wants := []float64{8, 8, 4, 4, 2, 2, 2, 2}
+	for k, want := range wants {
+		if got := Weight(k, 8); got != want {
+			t.Errorf("Weight(%d, 8) = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestWeightedSensitivityEqualsRho(t *testing.T) {
+	// Adding one point to leaf j changes coefficient k by delta_k; the
+	// weighted L1 sensitivity sum(|delta_k| * W(k)) must equal
+	// rho = 1 + log2(n) for every leaf.
+	const n = 16
+	for leaf := 0; leaf < n; leaf++ {
+		base := make([]float64, n)
+		bumped := make([]float64, n)
+		bumped[leaf] = 1
+		if err := ForwardHaar1D(base); err != nil {
+			t.Fatal(err)
+		}
+		if err := ForwardHaar1D(bumped); err != nil {
+			t.Fatal(err)
+		}
+		var weighted float64
+		for k := 0; k < n; k++ {
+			weighted += math.Abs(bumped[k]-base[k]) * Weight(k, n)
+		}
+		if want := Rho(n); math.Abs(weighted-want) > 1e-9 {
+			t.Errorf("leaf %d: weighted sensitivity %g, want %g", leaf, weighted, want)
+		}
+	}
+}
+
+func TestBuildPrivletValidation(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 1, 1)
+	src := noise.NewSource(1)
+	if _, err := BuildPrivlet(nil, dom, 0, Options{GridSize: 8}, src); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := BuildPrivlet(nil, dom, 1, Options{GridSize: 8}, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := BuildPrivlet(nil, dom, 1, Options{GridSize: 0}, src); err == nil {
+		t.Error("zero grid size accepted")
+	}
+	if _, err := BuildPrivlet(nil, dom, 1, Options{GridSize: 1 << 14}, src); err == nil {
+		t.Error("oversized grid accepted")
+	}
+}
+
+func TestPrivletZeroNoiseExact(t *testing.T) {
+	// Zero noise: transform + inverse must reproduce the exact histogram,
+	// including for the non-power-of-two 360-style padding path.
+	dom := geom.MustDomain(0, 0, 12, 12)
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Point, 4000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 12, Y: rng.Float64() * 12}
+	}
+	for _, m := range []int{8, 12} { // power of two and padded
+		w, err := BuildPrivlet(pts, dom, 1, Options{GridSize: m}, noise.Zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, err := pointindex.New(dom, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []geom.Rect{
+			geom.NewRect(0, 0, 12, 12),
+			geom.NewRect(3, 3, 9, 9),
+			geom.NewRect(0, 0, 3, 3),
+		} {
+			got := w.Query(r)
+			want := float64(idx.Count(r))
+			if math.Abs(got-want) > 1e-6 {
+				t.Errorf("m=%d: zero-noise Query(%v) = %g, want %g", m, r, got, want)
+			}
+		}
+	}
+}
+
+func TestPrivletPaddedSize(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 1, 1)
+	w, err := BuildPrivlet(nil, dom, 1, Options{GridSize: 360}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.PaddedSize(); got != 512 {
+		t.Errorf("PaddedSize = %d, want 512", got)
+	}
+	if got := w.GridSize(); got != 360 {
+		t.Errorf("GridSize = %d, want 360", got)
+	}
+}
+
+func TestPrivletDeterministic(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	build := func() float64 {
+		w, err := BuildPrivlet(pts, dom, 0.5, Options{GridSize: 16}, noise.NewSource(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Query(geom.NewRect(2.5, 3.5, 7.5, 8.5))
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("same seed, different results: %g vs %g", a, b)
+	}
+}
+
+func TestPrivletNoiseCancellationOnLargeQueries(t *testing.T) {
+	// For the full-domain query only the (0,0) coefficient survives
+	// (details cancel), so the error variance is exactly
+	// 2*rho2D^2/eps^2 — far below the m^2*2/eps^2 of independent cells
+	// once m is large. At m = 256: 2*81^2 = 13122 vs 131072. (At small m
+	// Privlet loses to a flat grid, which is exactly the paper's finding
+	// that W_m under-performs UG for m <= 128.)
+	dom := geom.MustDomain(0, 0, 1, 1)
+	const m = 256
+	const eps = 1.0
+	const trials = 150
+	var mse float64
+	for i := 0; i < trials; i++ {
+		w, err := BuildPrivlet(nil, dom, eps, Options{GridSize: m}, noise.NewSource(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := w.Query(geom.NewRect(0, 0, 1, 1))
+		mse += v * v
+	}
+	mse /= trials
+	rho2D := Rho(m) * Rho(m)
+	wantVar := 2 * rho2D * rho2D / (eps * eps)
+	if mse < wantVar/3 || mse > wantVar*3 {
+		t.Errorf("Privlet full-domain MSE %g, want ~%g", mse, wantVar)
+	}
+	flatVar := float64(m*m) * 2 / (eps * eps)
+	if mse >= flatVar/4 {
+		t.Errorf("Privlet full-domain MSE %g, want well below flat-grid %g", mse, flatVar)
+	}
+}
+
+func TestPrivletAccessors(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 9, Y: 9}}
+	w, err := BuildPrivlet(pts, dom, 0.3, Options{GridSize: 4}, noise.Zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Epsilon() != 0.3 {
+		t.Errorf("Epsilon = %g, want 0.3", w.Epsilon())
+	}
+	if w.Domain() != dom {
+		t.Errorf("Domain = %v, want %v", w.Domain(), dom)
+	}
+	if got := w.TotalEstimate(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("TotalEstimate = %g, want 2", got)
+	}
+}

@@ -1,0 +1,47 @@
+package dpgrid
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/dpgrid/dpgrid/internal/core"
+)
+
+// WriteSynopsis serializes a released synopsis (UniformGrid or
+// AdaptiveGrid) as versioned JSON. The file contains exactly what the
+// paper defines as the release — cell boundaries and noisy counts — so
+// distributing it carries no privacy cost beyond the epsilon already
+// spent building it.
+func WriteSynopsis(w io.Writer, s Synopsis) error {
+	switch v := s.(type) {
+	case *UniformGrid:
+		_, err := v.WriteTo(w)
+		return err
+	case *AdaptiveGrid:
+		_, err := v.WriteTo(w)
+		return err
+	default:
+		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid and AdaptiveGrid)", s)
+	}
+}
+
+// ReadSynopsis deserializes a synopsis written by WriteSynopsis,
+// dispatching on the file's format tag and validating its structure.
+func ReadSynopsis(r io.Reader) (Synopsis, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dpgrid: read synopsis: %w", err)
+	}
+	env, err := core.ReadEnvelope(data)
+	if err != nil {
+		return nil, fmt.Errorf("dpgrid: %w", err)
+	}
+	switch env.Format {
+	case core.FormatUG:
+		return core.ParseUniformGrid(data)
+	case core.FormatAG:
+		return core.ParseAdaptiveGrid(data)
+	default:
+		return nil, fmt.Errorf("dpgrid: unknown synopsis format %q", env.Format)
+	}
+}

@@ -1,0 +1,78 @@
+package dpgrid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadSynopsisUG(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 50, 50)
+	pts := examplePoints(51, 10000, dom)
+	orig, err := BuildUniformGrid(pts, dom, 1, UGOptions{}, NewNoiseSource(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSynopsis(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ug, ok := loaded.(*UniformGrid)
+	if !ok {
+		t.Fatalf("loaded type %T, want *UniformGrid", loaded)
+	}
+	r := NewRect(10, 10, 40, 40)
+	if a, b := orig.Query(r), ug.Query(r); a != b {
+		t.Errorf("round trip changed answer: %g vs %g", a, b)
+	}
+}
+
+func TestWriteReadSynopsisAG(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 50, 50)
+	pts := examplePoints(52, 10000, dom)
+	orig, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{}, NewNoiseSource(52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSynopsis(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loaded.(*AdaptiveGrid); !ok {
+		t.Fatalf("loaded type %T, want *AdaptiveGrid", loaded)
+	}
+	r := NewRect(5.5, 6.6, 44.4, 43.3)
+	a, b := orig.Query(r), loaded.Query(r)
+	if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("round trip changed answer: %g vs %g", a, b)
+	}
+}
+
+func TestWriteSynopsisUnsupportedType(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 10, 10)
+	kd, err := BuildKDTree(nil, dom, 1, KDTreeOptions{Method: KDHybrid}, NewNoiseSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSynopsis(&buf, kd); err == nil {
+		t.Error("kd-tree serialization should be unsupported")
+	}
+}
+
+func TestReadSynopsisGarbage(t *testing.T) {
+	if _, err := ReadSynopsis(strings.NewReader("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadSynopsis(strings.NewReader(`{"format":"dpgrid/who-knows","version":1}`)); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

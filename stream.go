@@ -1,0 +1,33 @@
+package dpgrid
+
+import (
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/datasets"
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// PointSeq is a re-iterable stream of points, the input abstraction for
+// building synopses over datasets too large to hold in memory. ForEach
+// must replay the full stream on every call (AG scans the data twice).
+type PointSeq = geom.PointSeq
+
+// SlicePoints adapts an in-memory []Point to PointSeq.
+type SlicePoints = geom.SlicePoints
+
+// CSVFilePoints returns a PointSeq streaming "x,y" records from the file
+// at path, re-opening it on each pass. Building UG over it performs one
+// scan, AG two (plus one counting scan each when the grid size is chosen
+// from the data), matching the paper's out-of-core construction claim.
+func CSVFilePoints(path string) PointSeq {
+	return datasets.CSVFileSeq{Path: path}
+}
+
+// BuildUniformGridSeq is BuildUniformGrid over a streaming point source.
+func BuildUniformGridSeq(seq PointSeq, dom Domain, eps float64, opts UGOptions, src NoiseSource) (*UniformGrid, error) {
+	return core.BuildUniformGridSeq(seq, dom, eps, opts, src)
+}
+
+// BuildAdaptiveGridSeq is BuildAdaptiveGrid over a streaming point source.
+func BuildAdaptiveGridSeq(seq PointSeq, dom Domain, eps float64, opts AGOptions, src NoiseSource) (*AdaptiveGrid, error) {
+	return core.BuildAdaptiveGridSeq(seq, dom, eps, opts, src)
+}
