@@ -9,6 +9,7 @@ package dpgrid
 import (
 	"io"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"github.com/dpgrid/dpgrid/internal/eval"
@@ -250,6 +251,73 @@ func BenchmarkBuildHierarchy100k(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- parallel build / batch query benchmarks ----
+//
+// BenchmarkBuildAGWorkers and BenchmarkQueryAGBatch track the speedup of
+// the cell-parallel AG construction and the batch query fan-out against
+// their sequential counterparts; future PRs should keep the parallel
+// variants ahead.
+
+func BenchmarkBuildAGWorkers(b *testing.B) {
+	pts, dom := benchPoints(1_000_000)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := "gomaxprocs"
+		if workers > 0 {
+			name = strconv.Itoa(workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := AGOptions{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildAdaptiveGrid(pts, dom, 1, opts, NewNoiseSource(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueryAGBatch(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	syn, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rects := batchTestRects(10_000, 3)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range rects {
+				_ = syn.Query(r)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = syn.QueryBatch(rects)
+		}
+	})
+}
+
+func BenchmarkQueryUGBatch(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	syn, err := BuildUniformGrid(pts, dom, 1, UGOptions{}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rects := batchTestRects(10_000, 3)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range rects {
+				_ = syn.Query(r)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = syn.QueryBatch(rects)
+		}
+	})
 }
 
 func BenchmarkSynthesize100k(b *testing.B) {

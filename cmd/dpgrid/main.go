@@ -128,15 +128,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *saveFile != "" {
-		f, err := os.Create(*saveFile)
-		if err != nil {
-			return err
-		}
-		if err := dpgrid.WriteSynopsis(f, syn); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := dpgrid.WriteSynopsisFile(*saveFile, syn); err != nil {
 			return err
 		}
 	}

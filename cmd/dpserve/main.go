@@ -1,0 +1,230 @@
+// Command dpserve serves differentially private count queries over HTTP
+// from previously released synopsis files (see dpgrid -save and
+// cmd/dpgen). Serving is pure post-processing: the privacy budget was
+// spent when each synopsis was built, so the server can answer unlimited
+// query traffic at no additional privacy cost.
+//
+// Usage:
+//
+//	dpserve -listen :8080 -synopsis checkin=checkin.ag.json -synopsis road=road.ug.json
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness + registered synopsis count
+//	GET  /v1/synopses          list registered synopses with metadata
+//	PUT  /v1/synopses/<name>   register the synopsis serialized in the body
+//	                           (disabled by -readonly; there is no auth,
+//	                           so keep writable registries on trusted nets)
+//	POST /v1/query             answer a batch of rectangle count queries
+//
+// A query request names a synopsis and carries rectangles as
+// [minX, minY, maxX, maxY] quadruples; the response returns one estimate
+// per rectangle, in order:
+//
+//	{"synopsis": "checkin", "rects": [[-123,45,-120,48], [-80,25,-79,26]]}
+//	-> {"synopsis": "checkin", "counts": [10234.1, 512.9]}
+//
+// Batches are fanned out across one worker per CPU (dpgrid.QueryBatch),
+// so a single large request saturates the machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dpgrid/dpgrid"
+)
+
+// synopsisFlags collects repeated -synopsis name=path flags.
+type synopsisFlags []string
+
+func (s *synopsisFlags) String() string { return strings.Join(*s, ",") }
+
+func (s *synopsisFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dpserve", flag.ContinueOnError)
+	listen := fs.String("listen", ":8080", "address to serve HTTP on")
+	readonly := fs.Bool("readonly", false, "disable PUT /v1/synopses/<name>; serve only synopses loaded at startup")
+	var syns synopsisFlags
+	fs.Var(&syns, "synopsis", "synopsis to serve as name=path (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := newRegistry()
+	for _, spec := range syns {
+		name, path, _ := strings.Cut(spec, "=")
+		if err := reg.loadFile(name, path); err != nil {
+			return err
+		}
+		log.Printf("loaded synopsis %q from %s", name, path)
+	}
+
+	// Full read/write deadlines, not just header timeouts: bodies can be
+	// up to maxBodyBytes, and without a deadline a client trickling a
+	// body (or draining a response) at a byte a minute pins a handler
+	// goroutine and its buffers indefinitely.
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           newHandler(reg, *readonly),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("dpserve listening on %s with %d synopses", *listen, reg.count())
+	return srv.ListenAndServe()
+}
+
+// maxBodyBytes caps request bodies (a 1e6-rect batch is ~40 MB; synopsis
+// uploads can be larger but are bounded too).
+const maxBodyBytes = 256 << 20
+
+// queryRequest is the body of POST /v1/query. Rects are
+// [minX, minY, maxX, maxY] quadruples.
+type queryRequest struct {
+	Synopsis string       `json:"synopsis"`
+	Rects    [][4]float64 `json:"rects"`
+}
+
+type queryResponse struct {
+	Synopsis string    `json:"synopsis"`
+	Counts   []float64 `json:"counts"`
+}
+
+// synopsisInfo is one entry of GET /v1/synopses.
+type synopsisInfo struct {
+	Name    string     `json:"name"`
+	Epsilon float64    `json:"epsilon,omitempty"`
+	Domain  [4]float64 `json:"domain,omitempty"`
+}
+
+// metadata is implemented by every released synopsis type in dpgrid;
+// asserted dynamically so the registry can also hold bare Synopsis
+// implementations without it.
+type metadata interface {
+	Epsilon() float64
+	Domain() dpgrid.Domain
+}
+
+// newHandler returns the dpserve HTTP API over reg. It is split from run
+// so tests can drive it with httptest. readonly disables the PUT
+// endpoint: dpserve has no authentication, so anyone who can reach the
+// listener can otherwise replace a served synopsis — deploy writable
+// registries only on trusted networks.
+func newHandler(reg *registry, readonly bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"synopses": reg.count(),
+		})
+	})
+	mux.HandleFunc("/v1/synopses", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		infos := make([]synopsisInfo, 0)
+		for _, name := range reg.names() {
+			s, ok := reg.get(name)
+			if !ok {
+				continue
+			}
+			info := synopsisInfo{Name: name}
+			if m, ok := s.(metadata); ok {
+				d := m.Domain()
+				info.Epsilon = m.Epsilon()
+				info.Domain = [4]float64{d.MinX, d.MinY, d.MaxX, d.MaxY}
+			}
+			infos = append(infos, info)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"synopses": infos})
+	})
+	mux.HandleFunc("/v1/synopses/", func(w http.ResponseWriter, r *http.Request) {
+		name := strings.TrimPrefix(r.URL.Path, "/v1/synopses/")
+		if name == "" || strings.Contains(name, "/") {
+			writeError(w, http.StatusNotFound, "synopsis name missing or invalid")
+			return
+		}
+		if r.Method != http.MethodPut {
+			writeError(w, http.StatusMethodNotAllowed, "use PUT with a serialized synopsis body")
+			return
+		}
+		if readonly {
+			writeError(w, http.StatusForbidden, "server is read-only (-readonly)")
+			return
+		}
+		s, err := readSynopsisBody(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		reg.put(name, s)
+		writeJSON(w, http.StatusOK, map[string]any{"loaded": name})
+	})
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		var req queryRequest
+		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad query body: "+err.Error())
+			return
+		}
+		s, ok := reg.get(req.Synopsis)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown synopsis %q", req.Synopsis))
+			return
+		}
+		rects := make([]dpgrid.Rect, len(req.Rects))
+		for i, q := range req.Rects {
+			rects[i] = dpgrid.NewRect(q[0], q[1], q[2], q[3])
+		}
+		counts := dpgrid.QueryBatch(s, rects, 0)
+		writeJSON(w, http.StatusOK, queryResponse{Synopsis: req.Synopsis, Counts: counts})
+	})
+	return mux
+}
+
+func readSynopsisBody(r *http.Request) (dpgrid.Synopsis, error) {
+	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+	defer io.Copy(io.Discard, body)
+	return dpgrid.ReadSynopsis(body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("dpserve: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"github.com/dpgrid/dpgrid"
+)
+
+func testSynopsis(t *testing.T, seed int64) *dpgrid.AdaptiveGrid {
+	t.Helper()
+	dom, err := dpgrid.NewDomain(0, 0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]dpgrid.Point, 5000)
+	for i := range pts {
+		pts[i] = dpgrid.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	syn, err := dpgrid.BuildAdaptiveGrid(pts, dom, 1, dpgrid.AGOptions{M1: 6}, dpgrid.NewNoiseSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn
+}
+
+func newTestServer(t *testing.T, reg *registry) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newHandler(reg, false))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	reg := newRegistry()
+	reg.put("a", testSynopsis(t, 1))
+	srv := newTestServer(t, reg)
+
+	var got struct {
+		Status   string `json:"status"`
+		Synopses int    `json:"synopses"`
+	}
+	resp := getJSON(t, srv.URL+"/healthz", &got)
+	if resp.StatusCode != http.StatusOK || got.Status != "ok" || got.Synopses != 1 {
+		t.Fatalf("healthz = %d %+v", resp.StatusCode, got)
+	}
+}
+
+func TestListSynopses(t *testing.T) {
+	reg := newRegistry()
+	reg.put("beta", testSynopsis(t, 2))
+	reg.put("alpha", testSynopsis(t, 3))
+	srv := newTestServer(t, reg)
+
+	var got struct {
+		Synopses []synopsisInfo `json:"synopses"`
+	}
+	getJSON(t, srv.URL+"/v1/synopses", &got)
+	if len(got.Synopses) != 2 {
+		t.Fatalf("listed %d synopses, want 2", len(got.Synopses))
+	}
+	if got.Synopses[0].Name != "alpha" || got.Synopses[1].Name != "beta" {
+		t.Fatalf("names not sorted: %+v", got.Synopses)
+	}
+	if got.Synopses[0].Epsilon != 1 {
+		t.Fatalf("epsilon = %g, want 1", got.Synopses[0].Epsilon)
+	}
+	if got.Synopses[0].Domain != [4]float64{0, 0, 100, 100} {
+		t.Fatalf("domain = %v", got.Synopses[0].Domain)
+	}
+}
+
+func TestQueryBatchMatchesDirect(t *testing.T) {
+	syn := testSynopsis(t, 4)
+	reg := newRegistry()
+	reg.put("main", syn)
+	srv := newTestServer(t, reg)
+
+	req := queryRequest{
+		Synopsis: "main",
+		Rects: [][4]float64{
+			{10, 10, 40, 40},
+			{0, 0, 100, 100},
+			{55.5, 1.25, 99, 63},
+		},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var got queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Counts) != len(req.Rects) {
+		t.Fatalf("got %d counts, want %d", len(got.Counts), len(req.Rects))
+	}
+	for i, q := range req.Rects {
+		want := syn.Query(dpgrid.NewRect(q[0], q[1], q[2], q[3]))
+		if math.Abs(got.Counts[i]-want) > 1e-9 {
+			t.Errorf("rect %d: server %g, direct %g", i, got.Counts[i], want)
+		}
+	}
+}
+
+func TestQueryUnknownSynopsis(t *testing.T) {
+	srv := newTestServer(t, newRegistry())
+	body, _ := json.Marshal(queryRequest{Synopsis: "nope", Rects: [][4]float64{{0, 0, 1, 1}}})
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestQueryBadBody(t *testing.T) {
+	srv := newTestServer(t, newRegistry())
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPutSynopsisRoundTrip(t *testing.T) {
+	syn := testSynopsis(t, 5)
+	var buf bytes.Buffer
+	if err := dpgrid.WriteSynopsis(&buf, syn); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	srv := newTestServer(t, reg)
+
+	put, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/synopses/uploaded", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+
+	got, ok := reg.get("uploaded")
+	if !ok {
+		t.Fatal("synopsis not registered after PUT")
+	}
+	r := dpgrid.NewRect(20, 20, 80, 80)
+	if math.Abs(got.Query(r)-syn.Query(r)) > 1e-9 {
+		t.Fatalf("uploaded synopsis answers %g, original %g", got.Query(r), syn.Query(r))
+	}
+}
+
+func TestRegistryLoadFile(t *testing.T) {
+	syn := testSynopsis(t, 6)
+	path := filepath.Join(t.TempDir(), "syn.json")
+	if err := dpgrid.WriteSynopsisFile(path, syn); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	if err := reg.loadFile("disk", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.get("disk"); !ok {
+		t.Fatal("loadFile did not register the synopsis")
+	}
+	if err := reg.loadFile("missing", filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("loading a missing file should error")
+	}
+}
+
+func TestSynopsisFlagValidation(t *testing.T) {
+	var f synopsisFlags
+	for _, bad := range []string{"noequals", "=path.json", "name="} {
+		if err := f.Set(bad); err == nil {
+			t.Fatalf("want error for -synopsis %q", bad)
+		}
+	}
+	if err := f.Set("a=b.json"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 1 {
+		t.Fatalf("flags = %v", f)
+	}
+}
+
+func TestReadonlyBlocksPut(t *testing.T) {
+	syn := testSynopsis(t, 8)
+	var buf bytes.Buffer
+	if err := dpgrid.WriteSynopsis(&buf, syn); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	reg.put("fixed", syn)
+	srv := httptest.NewServer(newHandler(reg, true))
+	t.Cleanup(srv.Close)
+
+	put, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/synopses/evil", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("PUT on readonly server = %d, want 403", resp.StatusCode)
+	}
+	if _, ok := reg.get("evil"); ok {
+		t.Fatal("readonly server registered a synopsis")
+	}
+	// Reads still work.
+	body, _ := json.Marshal(queryRequest{Synopsis: "fixed", Rects: [][4]float64{{0, 0, 10, 10}}})
+	qresp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query on readonly server = %d, want 200", qresp.StatusCode)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dpgrid/dpgrid"
+)
+
+// registry is a concurrent-safe named collection of released synopses.
+// Reads (query traffic) take the shared lock; loading a synopsis takes
+// the exclusive lock only to swap the map entry — the deserialization
+// work happens outside the critical section. Synopses themselves are
+// immutable once built, so handing the same Synopsis to many
+// goroutines is safe.
+type registry struct {
+	mu   sync.RWMutex
+	syns map[string]dpgrid.Synopsis
+}
+
+func newRegistry() *registry {
+	return &registry{syns: make(map[string]dpgrid.Synopsis)}
+}
+
+// get returns the synopsis registered under name.
+func (r *registry) get(name string) (dpgrid.Synopsis, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.syns[name]
+	return s, ok
+}
+
+// put registers s under name, replacing any previous synopsis.
+func (r *registry) put(name string, s dpgrid.Synopsis) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.syns[name] = s
+}
+
+// count returns the number of registered synopses.
+func (r *registry) count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.syns)
+}
+
+// names returns the registered names in sorted order.
+func (r *registry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.syns))
+	for name := range r.syns {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loadFile reads the synopsis file at path and registers it under name.
+func (r *registry) loadFile(name, path string) error {
+	s, err := dpgrid.ReadSynopsisFile(path)
+	if err != nil {
+		return fmt.Errorf("load %q from %s: %w", name, path, err)
+	}
+	r.put(name, s)
+	return nil
+}

@@ -43,6 +43,7 @@ import (
 	"github.com/dpgrid/dpgrid/internal/hierarchy"
 	"github.com/dpgrid/dpgrid/internal/kdtree"
 	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/pool"
 	"github.com/dpgrid/dpgrid/internal/wavelet"
 )
 
@@ -72,19 +73,58 @@ func NewDomain(minX, minY, maxX, maxY float64) (Domain, error) {
 func BoundingDomain(points []Point) (Domain, error) { return geom.BoundingDomain(points) }
 
 // NoiseSource supplies the randomness for every mechanism. Uniform must
-// return values in [0, 1).
+// return values in [0, 1). A NoiseSource is not safe for concurrent use
+// unless documented otherwise; parallel construction requires a
+// ForkableNoiseSource so each worker can draw from its own sub-stream.
 type NoiseSource = noise.Source
 
+// ForkableNoiseSource is a NoiseSource that derives independent,
+// reproducible sub-streams keyed by index. It is what makes parallel
+// synopsis construction deterministic: the noise each grid cell receives
+// depends only on (seed, cell index), never on goroutine scheduling.
+// NewNoiseSource returns one.
+type ForkableNoiseSource = noise.Forkable
+
 // NewNoiseSource returns a deterministic source seeded with seed,
-// suitable for reproducible experiments.
+// suitable for reproducible experiments. The result implements
+// ForkableNoiseSource, so it works with parallel construction
+// (AGOptions.Workers).
 func NewNoiseSource(seed int64) NoiseSource { return noise.NewSource(seed) }
 
 // Synopsis is a released differentially private summary that answers
 // rectangular count queries. Queries are pure post-processing: they spend
-// no additional privacy budget.
+// no additional privacy budget. Every synopsis in this package is
+// immutable once built, so Query may be called from multiple goroutines
+// concurrently.
 type Synopsis interface {
 	// Query estimates the number of data points in r.
 	Query(r Rect) float64
+}
+
+// BatchSynopsis is a Synopsis that also answers batches directly.
+// UniformGrid, AdaptiveGrid, and Hierarchy implement it; today their
+// QueryBatch methods and the generic fan-out below do the same work
+// (pool.Map over Query), but the interface leaves room for synopsis
+// types whose batch path is genuinely smarter (e.g. sorting queries for
+// locality).
+type BatchSynopsis interface {
+	Synopsis
+	// QueryBatch answers every rectangle, in input order, fanned out
+	// across one worker per CPU.
+	QueryBatch(rs []Rect) []float64
+}
+
+// QueryBatch answers every rectangle in rs against s and returns the
+// estimates in input order, fanned out across a worker pool — safe for
+// any Synopsis in this package because released synopses are immutable.
+// workers < 1 means one worker per CPU and delegates to the synopsis's
+// own QueryBatch when it implements BatchSynopsis; an explicit workers
+// count always uses the generic fan-out with that bound.
+func QueryBatch(s Synopsis, rs []Rect, workers int) []float64 {
+	if b, ok := s.(BatchSynopsis); ok && workers < 1 {
+		return b.QueryBatch(rs)
+	}
+	return pool.Map(rs, workers, s.Query)
 }
 
 // UGOptions configures BuildUniformGrid; the zero value applies the

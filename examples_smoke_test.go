@@ -1,0 +1,23 @@
+package dpgrid
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesCompile builds every example program so the examples/ tree
+// cannot rot silently: they are package main binaries with no test files
+// of their own, so nothing else type-checks them during `go test`.
+func TestExamplesCompile(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	// Multi-package `go build` type-checks and compiles without writing
+	// binaries.
+	cmd := exec.Command(goBin, "build", "./examples/...", "./cmd/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/... ./cmd/...: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/dpgrid/dpgrid
+
+go 1.21

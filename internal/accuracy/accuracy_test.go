@@ -111,7 +111,13 @@ func TestConstrainedInferenceVarianceMatchesMeasured(t *testing.T) {
 	const trials = 500
 	var sumSq float64
 	for i := 0; i < trials; i++ {
-		ag, err := core.BuildAdaptiveGrid(nil, dom, eps, core.AGOptions{M1: 2, Alpha: alpha}, noise.NewSource(int64(i)))
+		// MaxM2 pins m2 = 1 so the mechanism matches the formula's
+		// assumption exactly. Without the cap, Guideline 2 picks m2 >= 2
+		// whenever an empty cell's noisy count exceeds 10 (probability
+		// ~0.003 per cell), and those rare trials contribute a
+		// heavy-tailed variance excess the formula does not model,
+		// making the comparison flaky at this trial count.
+		ag, err := core.BuildAdaptiveGrid(nil, dom, eps, core.AGOptions{M1: 2, Alpha: alpha, MaxM2: 1}, noise.NewSource(int64(i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +125,7 @@ func TestConstrainedInferenceVarianceMatchesMeasured(t *testing.T) {
 		sumSq += v * v
 	}
 	got := sumSq / trials
-	// Empty data: m2 = 1 everywhere.
+	// Empty data with MaxM2 = 1: m2 = 1 everywhere.
 	want := ConstrainedInferenceVariance(1, alpha, eps)
 	if math.Abs(got-want)/want > 0.2 {
 		t.Errorf("measured CI variance %g, formula %g", got, want)

@@ -8,6 +8,7 @@ import (
 	"github.com/dpgrid/dpgrid/internal/geom"
 	"github.com/dpgrid/dpgrid/internal/grid"
 	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/pool"
 )
 
 // AGOptions configures BuildAdaptiveGrid. The zero value reproduces the
@@ -29,6 +30,16 @@ type AGOptions struct {
 	// NBudgetFrac, when positive, spends that fraction of eps on a noisy
 	// estimate of N for the m1 rule (see UGOptions.NBudgetFrac).
 	NBudgetFrac float64
+	// Workers bounds the goroutines used for the second-level pass (each
+	// first-level cell's noise and inference are independent, so the pass
+	// is cell-parallel). 0 means one worker per CPU; 1 forces the
+	// sequential path. Parallel construction requires a noise.Forkable
+	// source (noise.NewSource qualifies): each cell draws from the
+	// sub-stream keyed by its index, so for a given seed the released
+	// synopsis is bit-identical for every Workers value. With a
+	// non-Forkable source, Workers > 1 is an error and the zero value
+	// falls back to the single-stream sequential path.
+	Workers int
 	// DisableInference skips the constrained-inference step and answers
 	// from raw second-level counts only. It exists for ablation studies
 	// (quantifying how much CI contributes to AG); it wastes the level-1
@@ -190,12 +201,36 @@ func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts 
 	if err := budget.Spend(eps2); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	mech2, err := noise.NewMechanism(eps2, 1, src)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	for _, leaves := range leafCounts {
-		mech2.PerturbAll(leaves)
+
+	// Second-level noise: each first-level cell is independent, so this
+	// pass is cell-parallel (the paper's construction builds every cell's
+	// second-level grid in isolation). With a Forkable source, cell k
+	// draws from the sub-stream keyed by k — deterministic regardless of
+	// scheduling, so every Workers value releases bit-identical noise.
+	// A plain Source cannot be shared across goroutines (see
+	// noise.Source's concurrency contract); it keeps the legacy
+	// single-stream sequential draw order.
+	forkable, canFork := src.(noise.Forkable)
+	var nonce uint64
+	workers := opts.Workers
+	if canFork {
+		// Per-build offset for the fork keys: drawn from the advancing
+		// parent stream so that reusing one Source across builds yields
+		// fresh noise each time (see noise.ForkNonce), while a fresh
+		// Source with the same seed still reproduces the build exactly.
+		nonce = noise.ForkNonce(src)
+	} else {
+		if workers > 1 {
+			return nil, errors.New("core: AGOptions.Workers > 1 requires a noise.Forkable source (noise.NewSource provides one)")
+		}
+		workers = 1
+		mech2, err := noise.NewMechanism(eps2, 1, src)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		for _, leaves := range leafCounts {
+			mech2.PerturbAll(leaves)
+		}
 	}
 
 	// Constrained inference per first-level cell (section IV-B):
@@ -219,40 +254,53 @@ func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts 
 	}
 	a2 := alpha * alpha
 	b2 := (1 - alpha) * (1 - alpha)
-	for iy := 0; iy < m1; iy++ {
-		for ix := 0; ix < m1; ix++ {
-			k := iy*m1 + ix
-			m2 := m2s[k]
-			leaves := leafCounts[k]
-			v := noisy1.At(ix, iy)
-			var sumU float64
-			for _, u := range leaves {
-				sumU += u
-			}
-			m2sq := float64(m2 * m2)
-			denom := b2 + a2*m2sq
-			vPrime := (a2*m2sq*v + b2*sumU) / denom
-			diff := (vPrime - sumU) / m2sq
-			if opts.DisableInference {
-				vPrime = sumU
-				diff = 0
-			}
-			cellRect := dom.CellRect(ix, iy, m1, m1)
-			cellDom := geom.Domain{Rect: cellRect}
-			leafGrid, err := grid.New(cellDom, m2, m2)
+	cellErrs := make([]error, m1*m1)
+	pool.For(m1*m1, workers, func(k int) {
+		ix, iy := k%m1, k/m1
+		m2 := m2s[k]
+		leaves := leafCounts[k]
+		if canFork {
+			mech2, err := noise.NewMechanism(eps2, 1, forkable.Fork(nonce+uint64(k)))
 			if err != nil {
-				return nil, fmt.Errorf("core: %w", err)
+				cellErrs[k] = err
+				return
 			}
-			for i, u := range leaves {
-				leafGrid.Values()[i] = u + diff
-			}
-			ag.cells[k] = agCell{
-				rect:   cellRect,
-				m2:     m2,
-				total:  vPrime,
-				leaves: grid.NewPrefix(leafGrid),
-			}
-			totals.Set(ix, iy, vPrime)
+			mech2.PerturbAll(leaves)
+		}
+		v := noisy1.At(ix, iy)
+		var sumU float64
+		for _, u := range leaves {
+			sumU += u
+		}
+		m2sq := float64(m2 * m2)
+		denom := b2 + a2*m2sq
+		vPrime := (a2*m2sq*v + b2*sumU) / denom
+		diff := (vPrime - sumU) / m2sq
+		if opts.DisableInference {
+			vPrime = sumU
+			diff = 0
+		}
+		cellRect := dom.CellRect(ix, iy, m1, m1)
+		cellDom := geom.Domain{Rect: cellRect}
+		leafGrid, err := grid.New(cellDom, m2, m2)
+		if err != nil {
+			cellErrs[k] = err
+			return
+		}
+		for i, u := range leaves {
+			leafGrid.Values()[i] = u + diff
+		}
+		ag.cells[k] = agCell{
+			rect:   cellRect,
+			m2:     m2,
+			total:  vPrime,
+			leaves: grid.NewPrefix(leafGrid),
+		}
+		totals.Set(ix, iy, vPrime)
+	})
+	for _, err := range cellErrs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
 	ag.level1 = grid.NewPrefix(totals)
@@ -324,6 +372,14 @@ func (a *AdaptiveGrid) Query(r geom.Rect) float64 {
 		}
 	}
 	return total
+}
+
+// QueryBatch answers every rectangle in rs, fanned out across one worker
+// per CPU, and returns the estimates in input order. Queries are pure
+// post-processing over immutable prefix tables, so answering them
+// concurrently is safe and spends no privacy budget.
+func (a *AdaptiveGrid) QueryBatch(rs []geom.Rect) []float64 {
+	return pool.Map(rs, 0, a.Query)
 }
 
 // M1 returns the first-level grid size.

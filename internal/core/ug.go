@@ -8,6 +8,7 @@ import (
 	"github.com/dpgrid/dpgrid/internal/geom"
 	"github.com/dpgrid/dpgrid/internal/grid"
 	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/pool"
 )
 
 // UGOptions configures BuildUniformGrid. The zero value reproduces the
@@ -148,6 +149,14 @@ func aspectDims(m int, dom geom.Domain) (mx, my int) {
 
 // Query estimates the number of data points in r.
 func (u *UniformGrid) Query(r geom.Rect) float64 { return u.prefix.Query(r) }
+
+// QueryBatch answers every rectangle in rs, fanned out across one worker
+// per CPU, and returns the estimates in input order. Queries are pure
+// post-processing over an immutable prefix table, so answering them
+// concurrently is safe and spends no privacy budget.
+func (u *UniformGrid) QueryBatch(rs []geom.Rect) []float64 {
+	return pool.Map(rs, 0, u.Query)
+}
 
 // GridSize returns the nominal grid size m (Guideline 1's value).
 func (u *UniformGrid) GridSize() int { return u.m }

@@ -189,3 +189,26 @@ func TestHierarchyAccessors(t *testing.T) {
 		t.Error("LevelSizes exposes internal state")
 	}
 }
+
+func TestQueryBatchMatchesQuery(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 100, 100)
+	pts := uniformPoints(9, 5000, dom)
+	h, err := BuildHierarchy(pts, dom, 1, Options{GridSize: 64, Branching: 2, Depth: 3}, noise.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	rects := make([]geom.Rect, 300)
+	for i := range rects {
+		rects[i] = geom.NewRect(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+	}
+	got := h.QueryBatch(rects)
+	if len(got) != len(rects) {
+		t.Fatalf("%d results for %d rects", len(got), len(rects))
+	}
+	for i, r := range rects {
+		if want := h.Query(r); got[i] != want {
+			t.Fatalf("rect %d: batch %v != single %v", i, got[i], want)
+		}
+	}
+}

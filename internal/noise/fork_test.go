@@ -1,0 +1,182 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func drawN(src Source, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = src.Uniform()
+	}
+	return out
+}
+
+func TestNewSourceIsForkable(t *testing.T) {
+	if _, ok := NewSource(1).(Forkable); !ok {
+		t.Fatal("NewSource result should implement Forkable")
+	}
+}
+
+func TestFromRandIsNotForkable(t *testing.T) {
+	src := FromRand(rand.New(rand.NewSource(1)))
+	if _, ok := src.(Forkable); ok {
+		t.Fatal("FromRand result must not implement Forkable (seed unknown)")
+	}
+}
+
+// Fork(i) must depend only on (seed, i), never on how many variates the
+// parent already produced.
+func TestForkIndependentOfParentState(t *testing.T) {
+	fresh := NewSource(42).(Forkable)
+	drained := NewSource(42).(Forkable)
+	drawN(drained, 1000)
+
+	for _, i := range []uint64{0, 1, 7, 1 << 40} {
+		a := drawN(fresh.Fork(i), 32)
+		b := drawN(drained.Fork(i), 32)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("fork %d draw %d: %g != %g after parent drained", i, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+func TestForkStreamsDiffer(t *testing.T) {
+	src := NewSource(7).(Forkable)
+	a := drawN(src.Fork(0), 16)
+	b := drawN(src.Fork(1), 16)
+	same := 0
+	for k := range a {
+		if a[k] == b[k] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("fork 0 and fork 1 produced identical streams")
+	}
+	// Forking must not perturb the parent stream either.
+	c := drawN(NewSource(7), 16)
+	d := drawN(src, 16)
+	for k := range c {
+		if c[k] != d[k] {
+			t.Fatalf("parent stream changed after forking: draw %d %g != %g", k, d[k], c[k])
+		}
+	}
+}
+
+func TestForkNested(t *testing.T) {
+	src := NewSource(3).(Forkable)
+	sub, ok := src.Fork(5).(Forkable)
+	if !ok {
+		t.Fatal("forked source should itself be Forkable")
+	}
+	a := drawN(sub.Fork(2), 8)
+	b := drawN(NewSource(3).(Forkable).Fork(5).(Forkable).Fork(2), 8)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("nested fork not reproducible at draw %d", k)
+		}
+	}
+}
+
+func TestZeroSourceForkable(t *testing.T) {
+	z, ok := Zero.(Forkable)
+	if !ok {
+		t.Fatal("Zero should implement Forkable")
+	}
+	if got := z.Fork(9).Uniform(); got != 0.5 {
+		t.Fatalf("Zero fork Uniform = %g, want 0.5", got)
+	}
+}
+
+// Fork must be safe to call concurrently (the parallel builders call it
+// from every worker); run under -race.
+func TestForkConcurrent(t *testing.T) {
+	src := NewSource(11).(Forkable)
+	want := make([][]float64, 64)
+	for i := range want {
+		want[i] = drawN(src.Fork(uint64(i)), 16)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got := drawN(src.Fork(uint64(i)), 16)
+			for k := range got {
+				if got[k] != want[i][k] {
+					t.Errorf("concurrent fork %d draw %d mismatch", i, k)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestForkStreamSpread(t *testing.T) {
+	// Adjacent (seed, index) pairs must land on distinct noise STREAMS —
+	// not merely distinct seed integers, since a generator that reduces
+	// its seed (as math/rand does, mod 2^31-1) could collide two workers
+	// onto the same stream. Fingerprint each forked stream by its first
+	// two draws.
+	type fp [2]float64
+	seen := make(map[fp]bool)
+	for seed := int64(0); seed < 8; seed++ {
+		src := NewSource(seed).(Forkable)
+		for i := uint64(0); i < 1024; i++ {
+			f := src.Fork(i)
+			k := fp{f.Uniform(), f.Uniform()}
+			if seen[k] {
+				t.Fatalf("forked stream collision at seed=%d i=%d", seed, i)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestForkSeedFull64Bits(t *testing.T) {
+	// The effective sub-stream space must not collapse to math/rand's
+	// 2^31-1 seed classes: two sub-seeds congruent mod 2^31-1 must still
+	// produce different streams.
+	const m31 = 1<<31 - 1
+	a, b := newSplitMix(12345), newSplitMix(12345+m31)
+	if a.Uniform() == b.Uniform() {
+		t.Fatal("seeds congruent mod 2^31-1 produced the same stream")
+	}
+}
+
+func TestSplitMixUniformRange(t *testing.T) {
+	src := newSplitMix(99)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		u := src.Uniform()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform out of [0,1): %v", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean of %d draws = %v, want ~0.5", n, mean)
+	}
+}
+
+// constSource returns a fixed value, to drive Laplace's endpoint edge.
+type constSource float64
+
+func (c constSource) Uniform() float64 { return float64(c) }
+
+func TestLaplaceFiniteAtUniformEndpoints(t *testing.T) {
+	for _, u := range []float64{0, 0x1p-53, 0.5, 1 - 0x1p-53} {
+		v := Laplace(constSource(u), 2)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Laplace at Uniform()=%g = %v, want finite", u, v)
+		}
+	}
+}

@@ -19,33 +19,137 @@ import (
 )
 
 // Source produces the primitive random variates mechanisms need.
+//
+// Concurrency contract: a Source is NOT safe for concurrent use unless its
+// documentation says otherwise (NewSource wraps math/rand.Rand, which is
+// not goroutine-safe). Code that draws noise from multiple goroutines must
+// give each goroutine its own Source — see Forkable, whose Fork method
+// derives independent reproducible sub-streams for exactly this purpose.
 type Source interface {
 	// Uniform returns a uniformly distributed value in [0, 1).
 	Uniform() float64
 }
 
-// randSource adapts *rand.Rand to Source.
-type randSource struct{ r *rand.Rand }
+// Forkable is a Source that can derive independent sub-streams. It is the
+// substrate for deterministic parallel synopsis construction: each worker
+// draws from its own forked stream, so the released noise is reproducible
+// regardless of goroutine scheduling.
+//
+// Fork(i) must be deterministic in the source's construction parameters
+// and i alone — not in how many variates the parent (or any fork) has
+// already produced — and streams for distinct indices must be mutually
+// independent. Fork itself must be safe to call from multiple goroutines
+// concurrently; the Sources it returns individually are not (see Source).
+type Forkable interface {
+	Source
+	// Fork returns the independent sub-stream keyed by index i.
+	Fork(i uint64) Source
+}
+
+// randSource adapts *rand.Rand to Source. seed is retained so Fork can
+// derive sub-streams from construction parameters rather than from the
+// mutable generator state.
+type randSource struct {
+	r    *rand.Rand
+	seed int64
+}
 
 func (s randSource) Uniform() float64 { return s.r.Float64() }
 
-// NewSource returns a deterministic Source seeded with seed.
-func NewSource(seed int64) Source {
-	return randSource{r: rand.New(rand.NewSource(seed))}
+// Fork derives the deterministic sub-stream keyed by i: a SplitMix64
+// generator seeded by mixing the parent seed with i, so the result
+// depends only on (seed, i), never on draws already made. Forks
+// deliberately do NOT wrap math/rand: rand.NewSource reduces its seed
+// mod 2^31-1, which would collapse the fork space to ~2 billion distinct
+// streams and let two grid cells collide on the same noise stream;
+// SplitMix64 keeps the full 64-bit space.
+func (s randSource) Fork(i uint64) Source { return newSplitMix(forkSeed(uint64(s.seed), i)) }
+
+// forkSeed mixes a parent seed and a fork index into a sub-stream seed.
+// Two rounds of the SplitMix64 finalizer with a golden-ratio offset keep
+// nearby (seed, i) pairs far apart in seed space.
+func forkSeed(seed, i uint64) uint64 {
+	return mix64(mix64(seed) + (i+1)*goldenGamma)
 }
 
-// FromRand wraps an existing *rand.Rand as a Source.
-func FromRand(r *rand.Rand) Source { return randSource{r: r} }
+// goldenGamma is 2^64 / phi, the SplitMix64 state increment.
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 output finalizer (Steele et al., OOPSLA 2014).
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// splitMixSource is the SplitMix64 generator (Steele et al., OOPSLA
+// 2014): a 64-bit counter advanced by goldenGamma, finalized by mix64.
+// It backs forked sub-streams because its seed space is the full 64 bits
+// (unlike math/rand's 2^31-1). The construction seed is retained so
+// nested Forks derive from construction parameters, not mutable state.
+type splitMixSource struct {
+	seed  uint64 // construction seed, for Fork
+	state uint64
+}
+
+func newSplitMix(seed uint64) *splitMixSource {
+	return &splitMixSource{seed: seed, state: seed}
+}
+
+// Uniform returns the next variate: the top 53 bits of the mixed counter
+// scaled to [0, 1), matching float64's mantissa width.
+func (s *splitMixSource) Uniform() float64 {
+	s.state += goldenGamma
+	return float64(mix64(s.state)>>11) / (1 << 53)
+}
+
+// Fork derives the independent sub-stream keyed by i (see Forkable).
+func (s *splitMixSource) Fork(i uint64) Source { return newSplitMix(forkSeed(s.seed, i)) }
+
+// ForkNonce draws a 64-bit fork-key offset from src's advancing stream.
+// Forkable's contract makes Fork(i) independent of the parent's state, so
+// two builds that reuse one Source instance would otherwise receive
+// bit-identical sub-streams — letting an observer subtract the two
+// releases and cancel the noise exactly. Offsetting each build's fork
+// keys by a nonce drawn from the (stateful) parent stream keeps a single
+// build deterministic in its seed while giving successive builds on the
+// same Source fresh, distinct sub-streams.
+func ForkNonce(src Source) uint64 {
+	hi := uint64(src.Uniform() * (1 << 32))
+	lo := uint64(src.Uniform() * (1 << 32))
+	return hi<<32 | lo
+}
+
+// NewSource returns a deterministic Source seeded with seed. The result
+// implements Forkable; it is not safe for concurrent use (fork sub-streams
+// instead of sharing it across goroutines).
+func NewSource(seed int64) Source {
+	return randSource{r: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// FromRand wraps an existing *rand.Rand as a Source. The result is not
+// Forkable — the wrapped generator's original seed is unknown, so no
+// reproducible sub-stream can be derived. Prefer NewSource where parallel
+// construction matters.
+func FromRand(r *rand.Rand) Source { return unforkableSource{r: r} }
+
+// unforkableSource adapts a caller-supplied *rand.Rand; deliberately not
+// Forkable (see FromRand).
+type unforkableSource struct{ r *rand.Rand }
+
+func (s unforkableSource) Uniform() float64 { return s.r.Float64() }
 
 // Zero is a Source whose Laplace draws are exactly 0. It lets tests run
 // every mechanism with the noise "turned off" to validate the surrounding
 // bookkeeping. Uniform returns 0.5, the median of U[0,1), which maps to a
-// Laplace draw of 0 under inverse-CDF sampling.
+// Laplace draw of 0 under inverse-CDF sampling. Zero is stateless: it is
+// safe for concurrent use and Fork returns Zero itself.
 var Zero Source = zeroSource{}
 
 type zeroSource struct{}
 
-func (zeroSource) Uniform() float64 { return 0.5 }
+func (zeroSource) Uniform() float64     { return 0.5 }
+func (zeroSource) Fork(i uint64) Source { return zeroSource{} }
 
 // Laplace draws one sample from the Laplace distribution with mean 0 and
 // scale b (density 1/(2b) * exp(-|x|/b), variance 2b^2), via inverse-CDF
@@ -62,9 +166,16 @@ func Laplace(src Source, b float64) float64 {
 		sign = -1.0
 		u = -u
 	}
-	// 1-2u in (0, 1]; log is finite except when Uniform returned exactly
-	// 1.0-eps edge; math.Log(0) = -Inf cannot occur since u < 0.5.
-	return -b * sign * math.Log(1-2*u)
+	// 1-2u in [0, 1]: a Uniform() draw of exactly 0 gives u = 1/2 and
+	// log(0) = -Inf, which would poison every prefix sum touching the
+	// cell. Clamp the argument to 2^-53 — the magnitude the draw
+	// adjacent to the endpoint produces — so the tail is capped at the
+	// same |x| any other representable uniform can reach.
+	arg := 1 - 2*u
+	if arg < 0x1p-53 {
+		arg = 0x1p-53
+	}
+	return -b * sign * math.Log(arg)
 }
 
 // LaplaceScale returns the scale parameter of the Laplace mechanism for a

@@ -1,0 +1,72 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 8, 100} {
+		const n = 257
+		hits := make([]atomic.Int32, n)
+		For(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	calls := 0
+	For(0, 4, func(i int) { calls++ })
+	For(-5, 4, func(i int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("body ran %d times for non-positive n, want 0", calls)
+	}
+}
+
+func TestForSingleWorkerRunsInOrder(t *testing.T) {
+	var order []int
+	For(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("single-worker order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1, -100} {
+		if got := Workers(n); got != want {
+			t.Fatalf("Workers(%d) = %d, want GOMAXPROCS %d", n, got, want)
+		}
+	}
+}
+
+func TestMapOrderAndCoverage(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i * 3
+	}
+	for _, workers := range []int{0, 1, 4} {
+		got := Map(items, workers, func(v int) int { return v + 1 })
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*3+1 {
+				t.Fatalf("workers=%d index %d: got %d", workers, i, v)
+			}
+		}
+	}
+	if got := Map(nil, 4, func(v int) int { return v }); len(got) != 0 {
+		t.Fatalf("nil items gave %d results", len(got))
+	}
+}

@@ -3,6 +3,7 @@ package dpgrid
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"github.com/dpgrid/dpgrid/internal/core"
 )
@@ -44,4 +45,70 @@ func ReadSynopsis(r io.Reader) (Synopsis, error) {
 	default:
 		return nil, fmt.Errorf("dpgrid: unknown synopsis format %q", env.Format)
 	}
+}
+
+// WriteSynopsisFile writes s to path with WriteSynopsis. The write is
+// atomic — it goes to a temporary file in the same directory that is
+// renamed over path only on success — so a failure (disk full, encode
+// error) never destroys an existing synopsis file a server may be
+// loading from. A fresh file gets the umask-governed default mode (as
+// os.Create would); overwriting preserves the existing file's mode.
+func WriteSynopsisFile(path string, s Synopsis) error {
+	// Stage next to the target (same directory, so the rename cannot
+	// cross filesystems). O_EXCL with a retried suffix gives every
+	// caller — including concurrent goroutines in one process — its own
+	// staging file, while O_CREATE's 0666 keeps the umask-governed
+	// default mode os.Create would produce.
+	var f *os.File
+	var tmp string
+	for i := 0; ; i++ {
+		tmp = fmt.Sprintf("%s.tmp-%d-%d", path, os.Getpid(), i)
+		var err error
+		f, err = os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("dpgrid: %w", err)
+		}
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if prev, err := os.Stat(path); err == nil {
+		if err := f.Chmod(prev.Mode().Perm()); err != nil {
+			return fail(fmt.Errorf("dpgrid: %w", err))
+		}
+	}
+	if err := WriteSynopsis(f, s); err != nil {
+		return fail(err)
+	}
+	// Flush data before the rename: journaling filesystems may commit
+	// the rename before the data blocks, and a crash in that window
+	// would leave a truncated file where the old synopsis used to be.
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("dpgrid: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dpgrid: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dpgrid: %w", err)
+	}
+	return nil
+}
+
+// ReadSynopsisFile reads a synopsis previously written by
+// WriteSynopsisFile (or WriteSynopsis) from path.
+func ReadSynopsisFile(path string) (Synopsis, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dpgrid: %w", err)
+	}
+	defer f.Close()
+	return ReadSynopsis(f)
 }
