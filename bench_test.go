@@ -7,6 +7,7 @@
 package dpgrid
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"strconv"
@@ -338,6 +339,86 @@ func BenchmarkSynthesize100k(b *testing.B) {
 func BenchmarkSerializeAG(b *testing.B) {
 	pts, dom := benchPoints(100_000)
 	syn, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteSynopsis(io.Discard, syn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- monolithic vs geo-sharded benchmarks ----
+//
+// Build and query-batch comparisons at matched total first-level cell
+// counts (mono M1 = k * sharded per-tile M1, so both releases hold the
+// same number of level-1 cells). The sub-benchmark names record the
+// matched configuration so bench logs show where sharding crosses over.
+
+func BenchmarkBuildAGMonoVsSharded(b *testing.B) {
+	pts, dom := benchPoints(1_000_000)
+	// 64x64 level-1 cells total in every variant.
+	b.Run("mono-m1=64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{M1: 64}, NewNoiseSource(int64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, k := range []int{2, 4, 8} {
+		plan, err := NewShardPlan(dom, k, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := AGOptions{M1: 64 / k}
+		b.Run(fmt.Sprintf("sharded-%dx%d-m1=%d", k, k, 64/k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildShardedAdaptiveGrid(pts, plan, 1, opts, ShardOptions{}, NewNoiseSource(int64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkQueryAGBatchMonoVsSharded(b *testing.B) {
+	pts, dom := benchPoints(200_000)
+	rects := batchTestRects(10_000, 3)
+	mono, err := BuildAdaptiveGrid(pts, dom, 1, AGOptions{M1: 64}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mono-m1=64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = mono.QueryBatch(rects)
+		}
+	})
+	for _, k := range []int{4, 8} {
+		plan, err := NewShardPlan(dom, k, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharded, err := BuildShardedAdaptiveGrid(pts, plan, 1, AGOptions{M1: 64 / k}, ShardOptions{}, NewNoiseSource(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("sharded-%dx%d-m1=%d", k, k, 64/k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = sharded.QueryBatch(rects)
+			}
+		})
+	}
+}
+
+func BenchmarkSerializeSharded(b *testing.B) {
+	pts, dom := benchPoints(100_000)
+	plan, err := NewShardPlan(dom, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := BuildShardedAdaptiveGrid(pts, plan, 1, AGOptions{M1: 16}, ShardOptions{}, NewNoiseSource(1))
 	if err != nil {
 		b.Fatal(err)
 	}

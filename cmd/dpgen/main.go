@@ -4,14 +4,27 @@
 // Usage:
 //
 //	dpgen -dataset checkin -scale 0.1 -seed 7 -o checkin.csv
+//
+//	# Split the dataset into a 2x2 tile mosaic for sharded pipelines
+//	# (writes checkin.tile000.csv ... checkin.tile003.csv):
+//	dpgen -dataset checkin -tiles 2x2 -o checkin.csv
+//
+// With -tiles, points are assigned to tiles with the same row-major,
+// higher-tile-owns-the-edge convention the sharded builders use, so the
+// per-tile files are a disjoint partition of the dataset: each file can
+// be fed to an independent full-epsilon build (parallel composition).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"github.com/dpgrid/dpgrid/internal/datasets"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/shard"
 )
 
 func main() {
@@ -27,6 +40,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 1, "scale factor on the paper's N")
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	tiles := fs.String("tiles", "", "split the output into a KxL tile mosaic of CSVs, e.g. 2x3 (requires -o)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -34,6 +48,17 @@ func run(args []string) error {
 	d, err := datasets.ByName(*name, *scale, *seed)
 	if err != nil {
 		return err
+	}
+
+	if *tiles != "" {
+		kx, ky, err := shard.ParseDims(*tiles)
+		if err != nil {
+			return fmt.Errorf("-tiles: %w", err)
+		}
+		if *out == "" {
+			return fmt.Errorf("-tiles requires -o (one output file per tile)")
+		}
+		return writeTiles(d, kx, ky, *out)
 	}
 
 	w := os.Stdout
@@ -50,5 +75,52 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "dpgen: wrote %d points of %s (domain [%g,%g]x[%g,%g])\n",
 		d.N(), d.Name, d.Domain.MinX, d.Domain.MaxX, d.Domain.MinY, d.Domain.MaxY)
+	return nil
+}
+
+// writeTiles partitions d's points into a kx x ky mosaic and writes one
+// CSV per tile, named <out-base>.tileNNN<ext>.
+func writeTiles(d *datasets.Dataset, kx, ky int, out string) error {
+	plan, err := shard.NewPlan(d.Domain, kx, ky)
+	if err != nil {
+		return err
+	}
+	buckets := make([][]geom.Point, plan.NumTiles())
+	for _, p := range d.Points {
+		if i := plan.TileIndex(p); i >= 0 {
+			buckets[i] = append(buckets[i], p)
+		}
+	}
+	ext := filepath.Ext(out)
+	base := strings.TrimSuffix(out, ext)
+	// Remove the whole mosaic on any failure: a partial set of
+	// valid-looking tile files would feed a sharded pipeline an
+	// incomplete partition of the dataset, silently dropping the
+	// missing tiles' points from the release.
+	written := make([]string, 0, len(buckets))
+	fail := func(err error) error {
+		for _, p := range written {
+			os.Remove(p)
+		}
+		return err
+	}
+	for i, pts := range buckets {
+		path := fmt.Sprintf("%s.tile%03d%s", base, i, ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return fail(err)
+		}
+		written = append(written, path)
+		if err := datasets.WriteCSV(f, pts); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+		tile := plan.Tile(i)
+		fmt.Fprintf(os.Stderr, "dpgen: wrote %d points of %s tile %d (domain [%g,%g]x[%g,%g]) to %s\n",
+			len(pts), d.Name, i, tile.MinX, tile.MaxX, tile.MinY, tile.MaxY, path)
+	}
 	return nil
 }

@@ -38,3 +38,40 @@ func TestRunBadOutputPath(t *testing.T) {
 		t.Error("unwritable output accepted")
 	}
 }
+
+// TestRunWritesTiles: -tiles must partition the dataset into disjoint
+// per-tile CSVs that together hold every point exactly once.
+func TestRunWritesTiles(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "pts.csv")
+	if err := run([]string{"-dataset", "storage", "-scale", "0.1", "-seed", "2", "-tiles", "2x2", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < 4; i++ {
+		path := filepath.Join(filepath.Dir(out), "pts.tile00"+string(rune('0'+i))+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts, err := datasets.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(pts)
+	}
+	if total != 920 {
+		t.Errorf("tiles hold %d points total, want 920", total)
+	}
+}
+
+func TestRunTilesValidation(t *testing.T) {
+	if err := run([]string{"-dataset", "storage", "-tiles", "2x2"}); err == nil {
+		t.Error("-tiles without -o accepted")
+	}
+	for _, bad := range []string{"2", "0x2", "2x-1", "axb"} {
+		if err := run([]string{"-dataset", "storage", "-tiles", bad, "-o", "x.csv"}); err == nil {
+			t.Errorf("-tiles %q accepted", bad)
+		}
+	}
+}

@@ -11,6 +11,11 @@
 //	dpgrid -in points.csv -domain="0,0,100,100" -method ug -eps 0.5 \
 //	       -queries queries.csv
 //
+//	# Build and save a geo-sharded 4x4 release (each tile spends the
+//	# full epsilon via parallel composition over disjoint tiles):
+//	dpgrid -in points.csv -domain="0,0,100,100" -method ag -eps 1 \
+//	       -shards 4x4 -save mosaic.json
+//
 // The synopsis is built once (consuming the full epsilon); every query
 // answered afterwards is free post-processing.
 package main
@@ -28,6 +33,7 @@ import (
 
 	"github.com/dpgrid/dpgrid"
 	"github.com/dpgrid/dpgrid/internal/datasets"
+	"github.com/dpgrid/dpgrid/internal/shard"
 )
 
 func nowNanos() int64 { return time.Now().UnixNano() }
@@ -44,6 +50,7 @@ func run(args []string, w io.Writer) error {
 	in := fs.String("in", "", "input CSV of x,y points (required unless -load)")
 	domainFlag := fs.String("domain", "", "public domain as minX,minY,maxX,maxY (required with -in; do not derive from private data)")
 	method := fs.String("method", "ag", "synopsis method: ug|ag|kdhybrid|kdstandard|privlet")
+	shards := fs.String("shards", "", "build a geo-sharded KxL release, e.g. 4x4 (ug/ag only; each tile spends the full epsilon via parallel composition)")
 	eps := fs.Float64("eps", 1, "privacy budget epsilon")
 	gridSize := fs.Int("m", 0, "grid size override (ug/privlet); 0 = Guideline 1")
 	seed := fs.Int64("seed", 0, "noise seed (0 = non-deterministic)")
@@ -104,26 +111,48 @@ func run(args []string, w io.Writer) error {
 			src = dpgrid.NewNoiseSource(int64(os.Getpid())*1e9 + nowNanos())
 		}
 
-		switch *method {
-		case "ug":
-			syn, err = dpgrid.BuildUniformGrid(points, dom, *eps, dpgrid.UGOptions{GridSize: *gridSize}, src)
-		case "ag":
-			syn, err = dpgrid.BuildAdaptiveGrid(points, dom, *eps, dpgrid.AGOptions{}, src)
-		case "kdhybrid":
-			syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDHybrid}, src)
-		case "kdstandard":
-			syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDStandard}, src)
-		case "privlet":
-			m := *gridSize
-			if m == 0 {
-				m = dpgrid.SuggestedGridSize(len(points), *eps)
+		if *shards != "" {
+			kx, ky, perr := shard.ParseDims(*shards)
+			if perr != nil {
+				return fmt.Errorf("-shards: %w", perr)
 			}
-			syn, err = dpgrid.BuildPrivlet(points, dom, *eps, dpgrid.PrivletOptions{GridSize: m}, src)
-		default:
-			return fmt.Errorf("unknown method %q", *method)
-		}
-		if err != nil {
-			return err
+			plan, perr := dpgrid.NewShardPlan(dom, kx, ky)
+			if perr != nil {
+				return perr
+			}
+			switch *method {
+			case "ug":
+				syn, err = dpgrid.BuildShardedUniformGrid(points, plan, *eps, dpgrid.UGOptions{GridSize: *gridSize}, dpgrid.ShardOptions{}, src)
+			case "ag":
+				syn, err = dpgrid.BuildShardedAdaptiveGrid(points, plan, *eps, dpgrid.AGOptions{}, dpgrid.ShardOptions{}, src)
+			default:
+				return fmt.Errorf("-shards supports ug and ag, not %q", *method)
+			}
+			if err != nil {
+				return err
+			}
+		} else {
+			switch *method {
+			case "ug":
+				syn, err = dpgrid.BuildUniformGrid(points, dom, *eps, dpgrid.UGOptions{GridSize: *gridSize}, src)
+			case "ag":
+				syn, err = dpgrid.BuildAdaptiveGrid(points, dom, *eps, dpgrid.AGOptions{}, src)
+			case "kdhybrid":
+				syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDHybrid}, src)
+			case "kdstandard":
+				syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDStandard}, src)
+			case "privlet":
+				m := *gridSize
+				if m == 0 {
+					m = dpgrid.SuggestedGridSize(len(points), *eps)
+				}
+				syn, err = dpgrid.BuildPrivlet(points, dom, *eps, dpgrid.PrivletOptions{GridSize: m}, src)
+			default:
+				return fmt.Errorf("unknown method %q", *method)
+			}
+			if err != nil {
+				return err
+			}
 		}
 	}
 

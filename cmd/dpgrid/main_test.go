@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -199,5 +200,43 @@ func TestParseFloats(t *testing.T) {
 	}
 	if _, err := parseFloats("1,2,3", 4); err == nil {
 		t.Error("wrong arity accepted")
+	}
+}
+
+// TestRunShardedSaveLoadQuery: -shards builds a sharded release that
+// saves, reloads, and answers queries like any other synopsis.
+func TestRunShardedSaveLoadQuery(t *testing.T) {
+	csv := writeTestCSV(t, 20000)
+	saved := filepath.Join(t.TempDir(), "mosaic.json")
+	var sb strings.Builder
+	err := run([]string{
+		"-in", csv, "-domain", "0,0,100,100", "-method", "ag",
+		"-eps", "1", "-seed", "7", "-shards", "2x2",
+		"-save", saved, "-query", "0,0,50,50",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := sb.String()
+
+	sb.Reset()
+	if err := run([]string{"-load", saved, "-query", "0,0,50,50"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != built {
+		t.Fatalf("loaded release answers %q, built release %q", sb.String(), built)
+	}
+}
+
+func TestRunShardsValidation(t *testing.T) {
+	csv := writeTestCSV(t, 100)
+	base := []string{"-in", csv, "-domain", "0,0,100,100", "-eps", "1", "-query", "0,0,1,1"}
+	if err := run(append([]string{"-shards", "2x2", "-method", "privlet"}, base...), io.Discard); err == nil {
+		t.Error("-shards with privlet accepted")
+	}
+	for _, bad := range []string{"2", "0x1", "x", "axb"} {
+		if err := run(append([]string{"-shards", bad, "-method", "ag"}, base...), io.Discard); err == nil {
+			t.Errorf("-shards %q accepted", bad)
+		}
 	}
 }

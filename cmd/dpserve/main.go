@@ -10,12 +10,19 @@
 //
 // Endpoints:
 //
-//	GET  /healthz              liveness + registered synopsis count
-//	GET  /v1/synopses          list registered synopses with metadata
-//	PUT  /v1/synopses/<name>   register the synopsis serialized in the body
-//	                           (disabled by -readonly; there is no auth,
-//	                           so keep writable registries on trusted nets)
-//	POST /v1/query             answer a batch of rectangle count queries
+//	GET    /healthz              liveness + registered synopsis count
+//	GET    /v1/synopses          list registered synopses with metadata
+//	GET    /v1/synopses/<name>   metadata for one synopsis
+//	PUT    /v1/synopses/<name>   register the synopsis serialized in the body
+//	DELETE /v1/synopses/<name>   retire a synopsis (PUT and DELETE are
+//	                             disabled by -readonly; there is no auth,
+//	                             so keep writable registries on trusted nets)
+//	POST   /v1/query             answer a batch of rectangle count queries
+//
+// Monolithic (UG/AG) and geo-sharded releases are served through the
+// same registry: a sharded manifest loads as one named synopsis whose
+// queries fan out to only the overlapping shards, so a single daemon
+// can serve domains far beyond the monolithic cell cap.
 //
 // A query request names a synopsis and carries rectangles as
 // [minX, minY, maxX, maxY] quadruples; the response returns one estimate
@@ -82,20 +89,25 @@ func run(args []string) error {
 		log.Printf("loaded synopsis %q from %s", name, path)
 	}
 
-	// Full read/write deadlines, not just header timeouts: bodies can be
-	// up to maxBodyBytes, and without a deadline a client trickling a
-	// body (or draining a response) at a byte a minute pins a handler
-	// goroutine and its buffers indefinitely.
-	srv := &http.Server{
-		Addr:              *listen,
-		Handler:           newHandler(reg, *readonly),
+	srv := newServer(*listen, reg, *readonly)
+	log.Printf("dpserve listening on %s with %d synopses", *listen, reg.count())
+	return srv.ListenAndServe()
+}
+
+// newServer configures the HTTP server around the handler. Full
+// read/write deadlines, not just header timeouts: bodies can be up to
+// maxBodyBytes, and without a deadline a slow-loris client trickling a
+// body (or draining a response) at a byte a minute pins a handler
+// goroutine and its buffers indefinitely.
+func newServer(addr string, reg *registry, readonly bool) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           newHandler(reg, readonly),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("dpserve listening on %s with %d synopses", *listen, reg.count())
-	return srv.ListenAndServe()
 }
 
 // maxBodyBytes caps request bodies (a 1e6-rect batch is ~40 MB; synopsis
@@ -114,11 +126,13 @@ type queryResponse struct {
 	Counts   []float64 `json:"counts"`
 }
 
-// synopsisInfo is one entry of GET /v1/synopses.
+// synopsisInfo is one entry of GET /v1/synopses and the body of
+// GET /v1/synopses/<name>. Shards is set only for sharded releases.
 type synopsisInfo struct {
 	Name    string     `json:"name"`
 	Epsilon float64    `json:"epsilon,omitempty"`
 	Domain  [4]float64 `json:"domain,omitempty"`
+	Shards  int        `json:"shards,omitempty"`
 }
 
 // metadata is implemented by every released synopsis type in dpgrid;
@@ -127,6 +141,24 @@ type synopsisInfo struct {
 type metadata interface {
 	Epsilon() float64
 	Domain() dpgrid.Domain
+}
+
+// sharded is implemented by geo-sharded releases (dpgrid.Sharded).
+type sharded interface {
+	NumShards() int
+}
+
+func infoFor(name string, s dpgrid.Synopsis) synopsisInfo {
+	info := synopsisInfo{Name: name}
+	if m, ok := s.(metadata); ok {
+		d := m.Domain()
+		info.Epsilon = m.Epsilon()
+		info.Domain = [4]float64{d.MinX, d.MinY, d.MaxX, d.MaxY}
+	}
+	if sh, ok := s.(sharded); ok {
+		info.Shards = sh.NumShards()
+	}
+	return info
 }
 
 // newHandler returns the dpserve HTTP API over reg. It is split from run
@@ -153,13 +185,7 @@ func newHandler(reg *registry, readonly bool) http.Handler {
 			if !ok {
 				continue
 			}
-			info := synopsisInfo{Name: name}
-			if m, ok := s.(metadata); ok {
-				d := m.Domain()
-				info.Epsilon = m.Epsilon()
-				info.Domain = [4]float64{d.MinX, d.MinY, d.MaxX, d.MaxY}
-			}
-			infos = append(infos, info)
+			infos = append(infos, infoFor(name, s))
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"synopses": infos})
 	})
@@ -169,21 +195,39 @@ func newHandler(reg *registry, readonly bool) http.Handler {
 			writeError(w, http.StatusNotFound, "synopsis name missing or invalid")
 			return
 		}
-		if r.Method != http.MethodPut {
-			writeError(w, http.StatusMethodNotAllowed, "use PUT with a serialized synopsis body")
-			return
+		switch r.Method {
+		case http.MethodGet:
+			s, ok := reg.get(name)
+			if !ok {
+				writeError(w, http.StatusNotFound, fmt.Sprintf("unknown synopsis %q", name))
+				return
+			}
+			writeJSON(w, http.StatusOK, infoFor(name, s))
+		case http.MethodDelete:
+			if readonly {
+				writeError(w, http.StatusForbidden, "server is read-only (-readonly)")
+				return
+			}
+			if !reg.remove(name) {
+				writeError(w, http.StatusNotFound, fmt.Sprintf("unknown synopsis %q", name))
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
+		case http.MethodPut:
+			if readonly {
+				writeError(w, http.StatusForbidden, "server is read-only (-readonly)")
+				return
+			}
+			s, err := readSynopsisBody(r)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			reg.put(name, s)
+			writeJSON(w, http.StatusOK, map[string]any{"loaded": name})
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "use GET, PUT, or DELETE")
 		}
-		if readonly {
-			writeError(w, http.StatusForbidden, "server is read-only (-readonly)")
-			return
-		}
-		s, err := readSynopsisBody(r)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		reg.put(name, s)
-		writeJSON(w, http.StatusOK, map[string]any{"loaded": name})
 	})
 	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

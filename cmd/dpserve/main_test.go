@@ -257,3 +257,199 @@ func TestReadonlyBlocksPut(t *testing.T) {
 		t.Fatalf("query on readonly server = %d, want 200", qresp.StatusCode)
 	}
 }
+
+func testShardedSynopsis(t *testing.T, seed int64) *dpgrid.Sharded {
+	t.Helper()
+	dom, err := dpgrid.NewDomain(0, 0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dpgrid.NewShardPlan(dom, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]dpgrid.Point, 5000)
+	for i := range pts {
+		pts[i] = dpgrid.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	syn, err := dpgrid.BuildShardedAdaptiveGrid(pts, plan, 1, dpgrid.AGOptions{M1: 4}, dpgrid.ShardOptions{}, dpgrid.NewNoiseSource(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn
+}
+
+// TestShardedServingEndToEnd: a sharded release round-trips through the
+// manifest format on disk, loads into the registry, and answers batch
+// queries identically to the in-memory release.
+func TestShardedServingEndToEnd(t *testing.T) {
+	syn := testShardedSynopsis(t, 21)
+	path := filepath.Join(t.TempDir(), "mosaic.json")
+	if err := dpgrid.WriteSynopsisFile(path, syn); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	if err := reg.loadFile("mosaic", path); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, reg)
+
+	// Metadata reports the shard count.
+	var info synopsisInfo
+	resp := getJSON(t, srv.URL+"/v1/synopses/mosaic", &info)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET metadata status = %d", resp.StatusCode)
+	}
+	if info.Shards != 4 || info.Epsilon != 1 || info.Domain != [4]float64{0, 0, 100, 100} {
+		t.Fatalf("metadata = %+v", info)
+	}
+
+	req := queryRequest{
+		Synopsis: "mosaic",
+		Rects: [][4]float64{
+			{0, 0, 100, 100},
+			{10, 10, 35, 35},
+			{45, 45, 55, 55}, // straddles all four tiles
+			{-10, -10, 300, 20},
+		},
+	}
+	body, _ := json.Marshal(req)
+	resp2, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp2.StatusCode)
+	}
+	var got queryResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range req.Rects {
+		want := syn.Query(dpgrid.NewRect(q[0], q[1], q[2], q[3]))
+		if math.Abs(got.Counts[i]-want) > 1e-9 {
+			t.Errorf("rect %d: server %g, direct %g", i, got.Counts[i], want)
+		}
+	}
+}
+
+// TestShardedUploadViaPut: a sharded manifest is accepted through the
+// same PUT endpoint as monolithic synopses.
+func TestShardedUploadViaPut(t *testing.T) {
+	syn := testShardedSynopsis(t, 22)
+	var buf bytes.Buffer
+	if err := dpgrid.WriteSynopsis(&buf, syn); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	srv := newTestServer(t, reg)
+	put, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/synopses/mosaic", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	got, ok := reg.get("mosaic")
+	if !ok {
+		t.Fatal("sharded synopsis not registered after PUT")
+	}
+	if _, ok := got.(*dpgrid.Sharded); !ok {
+		t.Fatalf("registered type %T, want *dpgrid.Sharded", got)
+	}
+}
+
+func TestGetSingleSynopsis(t *testing.T) {
+	reg := newRegistry()
+	reg.put("a", testSynopsis(t, 31))
+	srv := newTestServer(t, reg)
+
+	var info synopsisInfo
+	resp := getJSON(t, srv.URL+"/v1/synopses/a", &info)
+	if resp.StatusCode != http.StatusOK || info.Name != "a" || info.Epsilon != 1 {
+		t.Fatalf("GET /v1/synopses/a = %d %+v", resp.StatusCode, info)
+	}
+	if info.Shards != 0 {
+		t.Fatalf("monolithic synopsis reports %d shards", info.Shards)
+	}
+	resp = getJSON(t, srv.URL+"/v1/synopses/missing", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET missing = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDeleteSynopsis(t *testing.T) {
+	reg := newRegistry()
+	reg.put("victim", testSynopsis(t, 32))
+	srv := newTestServer(t, reg)
+
+	del, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/synopses/victim", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status = %d", resp.StatusCode)
+	}
+	if _, ok := reg.get("victim"); ok {
+		t.Fatal("synopsis still registered after DELETE")
+	}
+	// Deleting again is a 404.
+	resp, err = http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestReadonlyBlocksDelete(t *testing.T) {
+	reg := newRegistry()
+	reg.put("fixed", testSynopsis(t, 33))
+	srv := httptest.NewServer(newHandler(reg, true))
+	t.Cleanup(srv.Close)
+
+	del, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/synopses/fixed", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("DELETE on readonly server = %d, want 403", resp.StatusCode)
+	}
+	if _, ok := reg.get("fixed"); !ok {
+		t.Fatal("readonly server dropped a synopsis")
+	}
+}
+
+// TestServerTimeoutsConfigured guards the slow-loris protections: the
+// run() server must keep non-zero header/read timeouts.
+func TestServerTimeoutsConfigured(t *testing.T) {
+	srv := newServer(":0", newRegistry(), false)
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout not set")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout not set")
+	}
+	if srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Error("write/idle timeouts not set")
+	}
+}

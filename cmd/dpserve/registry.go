@@ -38,6 +38,17 @@ func (r *registry) put(name string, s dpgrid.Synopsis) {
 	r.syns[name] = s
 }
 
+// remove unregisters name, reporting whether it was present. In-flight
+// queries holding the old synopsis finish against it safely (synopses
+// are immutable); only new lookups miss.
+func (r *registry) remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.syns[name]
+	delete(r.syns, name)
+	return ok
+}
+
 // count returns the number of registered synopses.
 func (r *registry) count() int {
 	r.mu.RLock()

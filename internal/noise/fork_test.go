@@ -180,3 +180,44 @@ func TestLaplaceFiniteAtUniformEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// ForkChild must hand back the same stream Fork does, as a Forkable
+// whose own forks are deterministic — the nested forking the sharded
+// builders rely on (shard stream forks per-cell streams).
+func TestForkChildNestedDeterminism(t *testing.T) {
+	parent := NewSource(7).(Forkable)
+	child, err := ForkChild(parent, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := drawN(NewSource(7).(Forkable).Fork(3), 16)
+	if got := drawN(child, 16); !equalFloats(got, same) {
+		t.Fatal("ForkChild stream differs from Fork stream")
+	}
+
+	// Nested forks depend only on construction parameters.
+	a, err := ForkChild(parent, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForkChild(NewSource(7).(Forkable), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drawN(a, 100) // advancing a must not change its forks
+	if !equalFloats(drawN(a.Fork(4), 16), drawN(b.Fork(4), 16)) {
+		t.Fatal("nested fork depends on parent state")
+	}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -120,6 +120,21 @@ func ForkNonce(src Source) uint64 {
 	return hi<<32 | lo
 }
 
+// ForkChild returns the sub-stream keyed by i as a Forkable, for callers
+// that need to fork again beneath the fork — the geo-sharded builders
+// hand each shard the Forkable sub-stream keyed by its shard index, and
+// the per-shard grid construction then forks per-cell streams from it.
+// Every Forkable in this package forks into another Forkable (SplitMix64
+// sub-streams retain their construction seed), so the error fires only
+// for external Forkable implementations whose forks are plain Sources.
+func ForkChild(f Forkable, i uint64) (Forkable, error) {
+	child, ok := f.Fork(i).(Forkable)
+	if !ok {
+		return nil, fmt.Errorf("noise: %T forks into a non-Forkable source; nested forking needs Forkable sub-streams", f)
+	}
+	return child, nil
+}
+
 // NewSource returns a deterministic Source seeded with seed. The result
 // implements Forkable; it is not safe for concurrent use (fork sub-streams
 // instead of sharing it across goroutines).

@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// Serialization of sharded releases: a manifest envelope carrying the
+// plan and the release epsilon, plus one embedded per-shard payload per
+// tile in the existing UG/AG file formats. Reusing the per-shard
+// formats verbatim means a shard can be extracted from a manifest and
+// served standalone, and the per-shard parsers' structural validation
+// runs unchanged on every payload.
+
+const (
+	// FormatSharded tags serialized Sharded releases.
+	FormatSharded = "dpgrid/sharded"
+	// serializeVersion is bumped on breaking manifest changes.
+	serializeVersion = 1
+)
+
+// manifestFile is the on-disk sharded release.
+type manifestFile struct {
+	core.Envelope
+	Domain      [4]float64        `json:"domain"` // minX, minY, maxX, maxY
+	Epsilon     float64           `json:"epsilon"`
+	KX          int               `json:"kx"`
+	KY          int               `json:"ky"`
+	ShardFormat string            `json:"shard_format"`
+	Shards      []json.RawMessage `json:"shards"` // row-major kx*ky payloads
+}
+
+// WriteTo serializes the sharded release as a JSON manifest embedding
+// every per-shard payload.
+func (s *Sharded) WriteTo(w io.Writer) (int64, error) {
+	f := manifestFile{
+		Envelope:    core.Envelope{Format: FormatSharded, Version: serializeVersion},
+		Domain:      [4]float64{s.plan.dom.MinX, s.plan.dom.MinY, s.plan.dom.MaxX, s.plan.dom.MaxY},
+		Epsilon:     s.eps,
+		KX:          s.plan.kx,
+		KY:          s.plan.ky,
+		ShardFormat: s.format,
+		Shards:      make([]json.RawMessage, len(s.tiles)),
+	}
+	var buf bytes.Buffer
+	for i, tile := range s.tiles {
+		wt, ok := tile.(io.WriterTo)
+		if !ok {
+			return 0, fmt.Errorf("shard: cannot serialize tile %d of type %T", i, tile)
+		}
+		buf.Reset()
+		if _, err := wt.WriteTo(&buf); err != nil {
+			return 0, fmt.Errorf("shard: serialize tile %d: %w", i, err)
+		}
+		f.Shards[i] = json.RawMessage(bytes.Clone(bytes.TrimSpace(buf.Bytes())))
+	}
+	data, err := json.Marshal(&f)
+	if err != nil {
+		return 0, fmt.Errorf("shard: marshal manifest: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ParseSharded deserializes a sharded release, validating the manifest
+// structure and every per-shard payload: the plan must be well formed,
+// every tile must be present with the declared format, and each shard's
+// domain and epsilon must match the manifest — a shard parsing cleanly
+// but covering the wrong tile is a corrupt release, not a usable one.
+func ParseSharded(data []byte) (*Sharded, error) {
+	var f manifestFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	if f.Format != FormatSharded {
+		return nil, fmt.Errorf("shard: format %q is not %q", f.Format, FormatSharded)
+	}
+	if f.Version != serializeVersion {
+		return nil, fmt.Errorf("shard: unsupported manifest version %d (have %d)", f.Version, serializeVersion)
+	}
+	dom, err := geom.NewDomain(f.Domain[0], f.Domain[1], f.Domain[2], f.Domain[3])
+	if err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	plan, err := NewPlan(dom, f.KX, f.KY)
+	if err != nil {
+		return nil, err
+	}
+	if !(f.Epsilon > 0) {
+		return nil, fmt.Errorf("shard: invalid epsilon %g", f.Epsilon)
+	}
+	if f.ShardFormat != core.FormatUG && f.ShardFormat != core.FormatAG {
+		return nil, fmt.Errorf("shard: unsupported shard format %q", f.ShardFormat)
+	}
+	if len(f.Shards) != plan.NumTiles() {
+		return nil, fmt.Errorf("shard: %d shard payloads != kx*ky = %d", len(f.Shards), plan.NumTiles())
+	}
+
+	s := &Sharded{plan: plan, eps: f.Epsilon, format: f.ShardFormat, tiles: make([]Synopsis, plan.NumTiles())}
+	for i, raw := range f.Shards {
+		env, err := core.ReadEnvelope(raw)
+		if err != nil {
+			return nil, fmt.Errorf("shard: tile %d: %w", i, err)
+		}
+		if env.Format != f.ShardFormat {
+			return nil, fmt.Errorf("shard: tile %d: format %q != manifest shard format %q", i, env.Format, f.ShardFormat)
+		}
+		var tile Synopsis
+		switch env.Format {
+		case core.FormatUG:
+			tile, err = core.ParseUniformGrid(raw)
+		case core.FormatAG:
+			tile, err = core.ParseAdaptiveGrid(raw)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard: tile %d: %w", i, err)
+		}
+		if got, want := tile.Domain(), plan.Tile(i); got != want {
+			return nil, fmt.Errorf("shard: tile %d: domain %v does not cover its plan tile %v", i, got.Rect, want.Rect)
+		}
+		if tile.Epsilon() != f.Epsilon {
+			return nil, fmt.Errorf("shard: tile %d: epsilon %g != manifest epsilon %g", i, tile.Epsilon(), f.Epsilon)
+		}
+		s.tiles[i] = tile
+	}
+	return s, nil
+}

@@ -1,0 +1,438 @@
+// Package shard scales the paper's grids past a single monolithic
+// release by partitioning the domain into a KxL mosaic of tiles and
+// building one per-tile synopsis per shard.
+//
+// The privacy argument is parallel composition: spatially disjoint
+// tiles see disjoint subsets of the data, so releasing every tile's
+// synopsis under the full epsilon is still eps-differentially private
+// overall — a neighboring dataset differs in one point, and that point
+// lands in exactly one tile (the same property spatial decompositions
+// such as Cormode et al.'s private spatial decompositions rely on).
+// Sharding therefore costs no per-tile accuracy while unlocking
+// parallel builds, per-tile refresh, and horizontal serving, and it
+// sidesteps the 2^28-cell ceiling of a single grid allocation.
+//
+// Construction is deterministic: each shard draws from the noise
+// sub-stream keyed by its shard index (noise.Forkable), so for a fixed
+// seed and plan the released mosaic is bit-identical for every Workers
+// setting, matching the guarantee of the cell-parallel AG builder.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/pool"
+)
+
+// MaxTiles caps a plan's tile count. Each tile carries at least one
+// synopsis allocation and one manifest entry, so the cap keeps a
+// corrupt or hostile manifest from demanding absurd allocations while
+// leaving room for planet-scale mosaics (2^20 tiles of 2^28 cells each).
+const MaxTiles = 1 << 20
+
+// Plan partitions a domain into a kx x ky mosaic of equal-size tiles.
+// Tiles are indexed row-major (index = iy*kx + ix) and tile boundaries
+// follow the same edge convention as grid cells: a point on an interior
+// tile edge belongs to the higher-index tile, and the domain's
+// MaxX/MaxY edges are clamped into the last column/row, so every
+// in-domain point belongs to exactly one tile — the disjointness that
+// parallel composition needs.
+//
+// The zero Plan is invalid; use NewPlan.
+type Plan struct {
+	dom    geom.Domain
+	kx, ky int
+}
+
+// NewPlan returns the plan splitting dom into kx x ky tiles.
+func NewPlan(dom geom.Domain, kx, ky int) (Plan, error) {
+	if !dom.IsValid() || dom.Width() <= 0 || dom.Height() <= 0 {
+		return Plan{}, fmt.Errorf("shard: invalid domain %v: need finite bounds with positive extent", dom.Rect)
+	}
+	if kx < 1 || ky < 1 {
+		return Plan{}, fmt.Errorf("shard: tile counts must be positive, got %dx%d", kx, ky)
+	}
+	if int64(kx)*int64(ky) > MaxTiles {
+		return Plan{}, fmt.Errorf("shard: %dx%d = %d tiles exceeds the %d-tile cap", kx, ky, int64(kx)*int64(ky), MaxTiles)
+	}
+	return Plan{dom: dom, kx: kx, ky: ky}, nil
+}
+
+// Domain returns the plan's full domain.
+func (p Plan) Domain() geom.Domain { return p.dom }
+
+// Dims returns the mosaic dimensions (columns, rows).
+func (p Plan) Dims() (kx, ky int) { return p.kx, p.ky }
+
+// NumTiles returns kx*ky.
+func (p Plan) NumTiles() int { return p.kx * p.ky }
+
+// Tile returns the domain of tile i (row-major). Outer tile edges are
+// snapped to the domain bounds: min + k*w can round below MaxX, and a
+// last-column tile that excluded the domain's own edge would drop
+// points sitting on it. It panics on an out-of-range index, mirroring
+// slice semantics.
+func (p Plan) Tile(i int) geom.Domain {
+	if i < 0 || i >= p.NumTiles() {
+		panic(fmt.Sprintf("shard: tile index %d out of range [0,%d)", i, p.NumTiles()))
+	}
+	ix, iy := i%p.kx, i/p.kx
+	r := p.dom.CellRect(ix, iy, p.kx, p.ky)
+	if ix == p.kx-1 {
+		r.MaxX = p.dom.MaxX
+	}
+	if iy == p.ky-1 {
+		r.MaxY = p.dom.MaxY
+	}
+	return geom.Domain{Rect: r}
+}
+
+// TileIndex returns the index of the tile owning pt, or -1 when pt lies
+// outside the domain. Every in-domain point maps to exactly one tile
+// whose Tile rectangle contains it — the per-tile builders silently
+// skip points outside their domain, so a point filed under a tile that
+// excludes it would vanish from the release.
+func (p Plan) TileIndex(pt geom.Point) int {
+	if !p.dom.Contains(pt) {
+		return -1
+	}
+	ix, iy := p.dom.CellIndex(pt, p.kx, p.ky)
+	ix = snapIndex(pt.X, p.dom.MinX, p.dom.Width(), ix, p.kx)
+	iy = snapIndex(pt.Y, p.dom.MinY, p.dom.Height(), iy, p.ky)
+	return iy*p.kx + ix
+}
+
+// snapIndex nudges a division-derived cell index until the cell's
+// actual edge coordinates contain v: int((v-min)/w) and min + i*w can
+// round across a tile boundary in opposite directions, assigning v to
+// a tile whose rectangle excludes it by an ulp. Edge points keep the
+// grid convention — a point on an interior edge belongs to the
+// higher-index tile.
+func snapIndex(v, min, width float64, i, k int) int {
+	w := width / float64(k)
+	for i > 0 && v < min+float64(i)*w {
+		i--
+	}
+	for i+1 < k && v >= min+float64(i+1)*w {
+		i++
+	}
+	return i
+}
+
+// ParseDims parses a KxL mosaic spec such as "4x4" — the shared parser
+// behind the dpgrid -shards and dpgen -tiles flags.
+func ParseDims(s string) (kx, ky int, err error) {
+	xs, ys, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad tile spec %q: want KxL, e.g. 4x4", s)
+	}
+	kx, errX := strconv.Atoi(xs)
+	ky, errY := strconv.Atoi(ys)
+	if errX != nil || errY != nil || kx < 1 || ky < 1 {
+		return 0, 0, fmt.Errorf("bad tile spec %q: want two positive integers as KxL", s)
+	}
+	return kx, ky, nil
+}
+
+// Equal reports whether two plans describe the same mosaic.
+func (p Plan) Equal(q Plan) bool {
+	return p.dom == q.dom && p.kx == q.kx && p.ky == q.ky
+}
+
+// tileRange returns the inclusive tile-coordinate range overlapped by r,
+// which must already be clipped to the plan's domain.
+func (p Plan) tileRange(r geom.Rect) (bx0, by0, bx1, by1 int) {
+	w, h := p.dom.CellSize(p.kx, p.ky)
+	bx0 = clampInt(int(math.Floor((r.MinX-p.dom.MinX)/w)), 0, p.kx-1)
+	bx1 = clampInt(int(math.Floor((r.MaxX-p.dom.MinX)/w)), 0, p.kx-1)
+	by0 = clampInt(int(math.Floor((r.MinY-p.dom.MinY)/h)), 0, p.ky-1)
+	by1 = clampInt(int(math.Floor((r.MaxY-p.dom.MinY)/h)), 0, p.ky-1)
+	return bx0, by0, bx1, by1
+}
+
+func (p Plan) validate() error {
+	if p.kx < 1 || p.ky < 1 {
+		return errors.New("shard: zero or invalid Plan (use NewPlan)")
+	}
+	return nil
+}
+
+// Options configures the shard-level build fan-out.
+type Options struct {
+	// Workers bounds the goroutines building shards concurrently. 0
+	// means one worker per CPU; 1 forces the sequential path. Parallel
+	// shard builds require a noise.Forkable source (noise.NewSource
+	// qualifies): shard i draws from the Forkable sub-stream keyed by
+	// its index, so for a given seed the released mosaic is
+	// bit-identical for every Workers value. With a non-Forkable
+	// source, Workers > 1 is an error and the zero value falls back to
+	// the single-stream sequential path.
+	Workers int
+}
+
+// Synopsis is the per-tile synopsis contract the sharded release
+// composes: range queries plus the noisy dataset-size estimate that
+// lets fully-covered tiles short-circuit. *core.UniformGrid and
+// *core.AdaptiveGrid implement it.
+type Synopsis interface {
+	Query(r geom.Rect) float64
+	TotalEstimate() float64
+	Epsilon() float64
+	Domain() geom.Domain
+}
+
+// Sharded is a geo-sharded release: one per-tile synopsis per shard of
+// a Plan, each built under the full epsilon by parallel composition.
+// It is immutable once built, so queries may run from any number of
+// goroutines concurrently.
+type Sharded struct {
+	plan   Plan
+	eps    float64
+	format string // per-shard payload format tag (core.FormatUG or core.FormatAG)
+	tiles  []Synopsis
+}
+
+// BuildUniform builds one UG synopsis per tile of plan, each under the
+// full eps (parallel composition over disjoint tiles).
+func BuildUniform(points []geom.Point, plan Plan, eps float64, grid core.UGOptions, opts Options, src noise.Source) (*Sharded, error) {
+	return buildBuckets(points, plan, opts, core.FormatUG, src,
+		func(tile geom.Domain, seq geom.PointSeq, shardSrc noise.Source) (Synopsis, error) {
+			return core.BuildUniformGridSeq(seq, tile, eps, grid, shardSrc)
+		}, eps)
+}
+
+// BuildUniformSeq is BuildUniform over a streaming point source. Each
+// shard filters its own pass over the stream, so a kx x ky plan adds
+// kx*ky filtered scans; for in-memory data prefer BuildUniform, which
+// buckets points once.
+func BuildUniformSeq(seq geom.PointSeq, plan Plan, eps float64, grid core.UGOptions, opts Options, src noise.Source) (*Sharded, error) {
+	return build(plan, eps, opts, src, core.FormatUG,
+		func(i int, tile geom.Domain, shardSrc noise.Source) (Synopsis, error) {
+			return core.BuildUniformGridSeq(tileSeq{seq: seq, plan: plan, tile: i}, tile, eps, grid, shardSrc)
+		})
+}
+
+// BuildAdaptive builds one AG synopsis per tile of plan, each under the
+// full eps (parallel composition over disjoint tiles). When the shard
+// fan-out itself runs parallel, each per-shard AG build is forced
+// sequential (Workers = 1) so the two parallelism layers do not
+// multiply; the release is bit-identical either way.
+func BuildAdaptive(points []geom.Point, plan Plan, eps float64, grid core.AGOptions, opts Options, src noise.Source) (*Sharded, error) {
+	grid = innerAGOptions(plan, grid, opts)
+	return buildBuckets(points, plan, opts, core.FormatAG, src,
+		func(tile geom.Domain, seq geom.PointSeq, shardSrc noise.Source) (Synopsis, error) {
+			return core.BuildAdaptiveGridSeq(seq, tile, eps, grid, shardSrc)
+		}, eps)
+}
+
+// BuildAdaptiveSeq is BuildAdaptive over a streaming point source (see
+// BuildUniformSeq for the scan-count trade-off).
+func BuildAdaptiveSeq(seq geom.PointSeq, plan Plan, eps float64, grid core.AGOptions, opts Options, src noise.Source) (*Sharded, error) {
+	grid = innerAGOptions(plan, grid, opts)
+	return build(plan, eps, opts, src, core.FormatAG,
+		func(i int, tile geom.Domain, shardSrc noise.Source) (Synopsis, error) {
+			return core.BuildAdaptiveGridSeq(tileSeq{seq: seq, plan: plan, tile: i}, tile, eps, grid, shardSrc)
+		})
+}
+
+// innerAGOptions keeps nested parallelism bounded: with a parallel
+// shard fan-out, the per-shard AG builds run sequentially (shard-level
+// parallelism replaces cell-level); a sequential fan-out (Workers = 1,
+// or a single tile) leaves the caller's cell-level Workers in force.
+// Both layers are deterministic per seed, so the choice never changes
+// the released bits.
+func innerAGOptions(plan Plan, grid core.AGOptions, opts Options) core.AGOptions {
+	if plan.NumTiles() > 1 && pool.Workers(opts.Workers) > 1 {
+		grid.Workers = 1
+	}
+	return grid
+}
+
+// tileSeq filters a PointSeq down to the points owned by one tile.
+type tileSeq struct {
+	seq  geom.PointSeq
+	plan Plan
+	tile int
+}
+
+func (t tileSeq) ForEach(fn func(geom.Point)) error {
+	return t.seq.ForEach(func(p geom.Point) {
+		if t.plan.TileIndex(p) == t.tile {
+			fn(p)
+		}
+	})
+}
+
+// buildBuckets is the in-memory fast path: one O(n) pass assigns every
+// point to its owning tile, then the shared engine builds per-shard
+// synopses from the buckets.
+func buildBuckets(points []geom.Point, plan Plan, opts Options, format string, src noise.Source,
+	mk func(tile geom.Domain, seq geom.PointSeq, shardSrc noise.Source) (Synopsis, error), eps float64) (*Sharded, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	buckets := make([][]geom.Point, plan.NumTiles())
+	for _, p := range points {
+		if i := plan.TileIndex(p); i >= 0 {
+			buckets[i] = append(buckets[i], p)
+		}
+	}
+	return build(plan, eps, opts, src, format,
+		func(i int, tile geom.Domain, shardSrc noise.Source) (Synopsis, error) {
+			return mk(tile, geom.SlicePoints(buckets[i]), shardSrc)
+		})
+}
+
+// build is the shared fan-out engine: it derives one deterministic
+// noise sub-stream per shard and runs mk for every tile across the
+// worker pool. mk must build tile i's synopsis from shardSrc alone so
+// the result is independent of scheduling.
+func build(plan Plan, eps float64, opts Options, src noise.Source, format string,
+	mk func(i int, tile geom.Domain, shardSrc noise.Source) (Synopsis, error)) (*Sharded, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("shard: nil noise source")
+	}
+	if _, err := noise.NewBudget(eps); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	n := plan.NumTiles()
+	tiles := make([]Synopsis, n)
+	errs := make([]error, n)
+
+	forkable, canFork := src.(noise.Forkable)
+	workers := opts.Workers
+	if canFork {
+		// Per-build fork-key offset drawn from the advancing parent
+		// stream (see noise.ForkNonce): reusing one Source across
+		// builds yields fresh shard streams each time, while a fresh
+		// Source with the same seed reproduces the mosaic exactly.
+		nonce := noise.ForkNonce(src)
+		pool.For(n, workers, func(i int) {
+			shardSrc, err := noise.ForkChild(forkable, nonce+uint64(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			tiles[i], errs[i] = mk(i, plan.Tile(i), shardSrc)
+		})
+	} else {
+		if workers > 1 {
+			return nil, errors.New("shard: Options.Workers > 1 requires a noise.Forkable source (noise.NewSource provides one)")
+		}
+		for i := 0; i < n; i++ {
+			var err error
+			tiles[i], err = mk(i, plan.Tile(i), src)
+			if err != nil {
+				errs[i] = err
+			}
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: tile %d: %w", i, err)
+		}
+	}
+	return &Sharded{plan: plan, eps: eps, format: format, tiles: tiles}, nil
+}
+
+// Query estimates the number of data points in r. The answer is the
+// sum, in shard-index order, of every overlapping shard's partial
+// answer: a shard whose whole tile lies inside the query contributes
+// its TotalEstimate (an O(1) short-circuit); a partially covered shard
+// answers its clipped rectangle. Non-overlapping shards are never
+// touched, so planet-scale mosaics answer small queries by visiting a
+// handful of tiles.
+func (s *Sharded) Query(r geom.Rect) float64 {
+	clipped, ok := s.plan.dom.Clip(r)
+	if !ok {
+		return 0
+	}
+	bx0, by0, bx1, by1 := s.plan.tileRange(clipped)
+	var total float64
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			total += s.shardAnswer(by*s.plan.kx+bx, clipped)
+		}
+	}
+	return total
+}
+
+// ShardAnswer returns shard i's partial answer to r — exactly the term
+// Query adds for that shard, so summing ShardAnswer over all shards in
+// index order reproduces Query bit for bit.
+func (s *Sharded) ShardAnswer(i int, r geom.Rect) float64 {
+	clipped, ok := s.plan.dom.Clip(r)
+	if !ok {
+		return 0
+	}
+	return s.shardAnswer(i, clipped)
+}
+
+// shardAnswer answers shard i for a rectangle already clipped to the
+// domain, so Query pays the clip once, not once per overlapping shard.
+func (s *Sharded) shardAnswer(i int, clipped geom.Rect) float64 {
+	tile := s.tiles[i]
+	tileRect := tile.Domain().Rect
+	if clipped.ContainsRect(tileRect) {
+		return tile.TotalEstimate()
+	}
+	return tile.Query(clipped)
+}
+
+// QueryBatch answers every rectangle in rs, fanned out across one
+// worker per CPU, and returns the estimates in input order.
+func (s *Sharded) QueryBatch(rs []geom.Rect) []float64 {
+	return pool.Map(rs, 0, s.Query)
+}
+
+// Plan returns the mosaic plan.
+func (s *Sharded) Plan() Plan { return s.plan }
+
+// NumShards returns the number of per-tile synopses.
+func (s *Sharded) NumShards() int { return len(s.tiles) }
+
+// Shard returns the synopsis of tile i (row-major). It panics on an
+// out-of-range index, mirroring slice semantics.
+func (s *Sharded) Shard(i int) Synopsis { return s.tiles[i] }
+
+// ShardFormat returns the serialization format tag of the per-shard
+// payloads (core.FormatUG or core.FormatAG).
+func (s *Sharded) ShardFormat() string { return s.format }
+
+// Epsilon returns the privacy budget of the release. By parallel
+// composition over disjoint tiles this is both the per-shard and the
+// total epsilon.
+func (s *Sharded) Epsilon() float64 { return s.eps }
+
+// Domain returns the full sharded domain.
+func (s *Sharded) Domain() geom.Domain { return s.plan.dom }
+
+// TotalEstimate returns the noisy estimate of the dataset size: the sum
+// of every shard's estimate, in shard-index order.
+func (s *Sharded) TotalEstimate() float64 {
+	var total float64
+	for _, t := range s.tiles {
+		total += t.TotalEstimate()
+	}
+	return total
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -6,13 +6,15 @@ import (
 	"os"
 
 	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/shard"
 )
 
-// WriteSynopsis serializes a released synopsis (UniformGrid or
-// AdaptiveGrid) as versioned JSON. The file contains exactly what the
-// paper defines as the release — cell boundaries and noisy counts — so
-// distributing it carries no privacy cost beyond the epsilon already
-// spent building it.
+// WriteSynopsis serializes a released synopsis (UniformGrid,
+// AdaptiveGrid, or Sharded) as versioned JSON. The file contains
+// exactly what the paper defines as the release — cell boundaries and
+// noisy counts — so distributing it carries no privacy cost beyond the
+// epsilon already spent building it. A Sharded release serializes as a
+// manifest embedding one per-shard payload per tile.
 func WriteSynopsis(w io.Writer, s Synopsis) error {
 	switch v := s.(type) {
 	case *UniformGrid:
@@ -21,8 +23,11 @@ func WriteSynopsis(w io.Writer, s Synopsis) error {
 	case *AdaptiveGrid:
 		_, err := v.WriteTo(w)
 		return err
+	case *Sharded:
+		_, err := v.WriteTo(w)
+		return err
 	default:
-		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid and AdaptiveGrid)", s)
+		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid, AdaptiveGrid, and Sharded)", s)
 	}
 }
 
@@ -42,6 +47,8 @@ func ReadSynopsis(r io.Reader) (Synopsis, error) {
 		return core.ParseUniformGrid(data)
 	case core.FormatAG:
 		return core.ParseAdaptiveGrid(data)
+	case shard.FormatSharded:
+		return shard.ParseSharded(data)
 	default:
 		return nil, fmt.Errorf("dpgrid: unknown synopsis format %q", env.Format)
 	}

@@ -2,6 +2,7 @@ package dpgrid
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -75,4 +76,163 @@ func TestReadSynopsisGarbage(t *testing.T) {
 	if _, err := ReadSynopsis(strings.NewReader(`{"format":"dpgrid/who-knows","version":1}`)); err == nil {
 		t.Error("unknown format accepted")
 	}
+}
+
+func TestWriteReadSynopsisSharded(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 50, 50)
+	plan, err := NewShardPlan(dom, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := examplePoints(53, 10000, dom)
+	orig, err := BuildShardedAdaptiveGrid(pts, plan, 1, AGOptions{}, ShardOptions{}, NewNoiseSource(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSynopsis(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSynopsis(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := loaded.(*Sharded)
+	if !ok {
+		t.Fatalf("loaded type %T, want *Sharded", loaded)
+	}
+	if sh.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", sh.NumShards())
+	}
+	r := NewRect(5.5, 6.6, 44.4, 43.3)
+	a, b := orig.Query(r), sh.Query(r)
+	if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("round trip changed answer: %g vs %g", a, b)
+	}
+}
+
+func TestShardedSynopsisFileRoundTrip(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 40, 40)
+	plan, err := NewShardPlan(dom, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := examplePoints(54, 5000, dom)
+	orig, err := BuildShardedUniformGrid(pts, plan, 1, UGOptions{}, ShardOptions{}, NewNoiseSource(54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mosaic.json")
+	if err := WriteSynopsisFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSynopsisFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRect(3, 3, 33, 17)
+	if a, b := orig.Query(r), loaded.Query(r); a != b {
+		t.Errorf("file round trip changed answer: %g vs %g", a, b)
+	}
+}
+
+// validSynopsisFiles serializes one release of each format for the
+// corrupt-file table and the fuzz seed corpus.
+func validSynopsisFiles(t interface{ Fatal(...any) }) map[string][]byte {
+	dom, err := NewDomain(0, 0, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewShardPlan(dom, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte)
+	ug, err := BuildUniformGrid(nil, dom, 1, UGOptions{GridSize: 3}, NewNoiseSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := BuildAdaptiveGrid(nil, dom, 1, AGOptions{M1: 2}, NewNoiseSource(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := BuildShardedAdaptiveGrid(nil, plan, 1, AGOptions{M1: 2}, ShardOptions{}, NewNoiseSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]Synopsis{"ug": ug, "ag": ag, "sharded": sh} {
+		var buf bytes.Buffer
+		if err := WriteSynopsis(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = buf.Bytes()
+	}
+	return out
+}
+
+// TestReadSynopsisRejectsCorrupt: corrupt or truncated synopsis files
+// must return errors through ReadSynopsis — never panic, never load.
+func TestReadSynopsisRejectsCorrupt(t *testing.T) {
+	valid := validSynopsisFiles(t)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("junk")},
+		{"empty object", []byte(`{}`)},
+		{"unknown format", []byte(`{"format":"dpgrid/who-knows","version":1}`)},
+		{"ug truncated", valid["ug"][:len(valid["ug"])/2]},
+		{"ag truncated", valid["ag"][:len(valid["ag"])*2/3]},
+		{"sharded truncated", valid["sharded"][:len(valid["sharded"])/2]},
+		{"ug bad version", []byte(`{"format":"dpgrid/uniform-grid","version":99,"domain":[0,0,1,1],"epsilon":1,"m":1,"counts":[0]}`)},
+		{"ug counts mismatch", []byte(`{"format":"dpgrid/uniform-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"m":2,"counts":[0,0,0]}`)},
+		{"ug non-finite count", []byte(`{"format":"dpgrid/uniform-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"m":1,"counts":[1e999]}`)},
+		{"ug bad domain", []byte(`{"format":"dpgrid/uniform-grid","version":1,"domain":[5,0,0,1],"epsilon":1,"m":1,"counts":[0]}`)},
+		{"ug bad epsilon", []byte(`{"format":"dpgrid/uniform-grid","version":1,"domain":[0,0,1,1],"epsilon":0,"m":1,"counts":[0]}`)},
+		{"ag cells mismatch", []byte(`{"format":"dpgrid/adaptive-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"alpha":0.5,"m1":2,"cells":[{"m2":1,"leaves":[0]}]}`)},
+		{"ag leaves mismatch", []byte(`{"format":"dpgrid/adaptive-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"alpha":0.5,"m1":1,"cells":[{"m2":2,"leaves":[0]}]}`)},
+		{"ag bad alpha", []byte(`{"format":"dpgrid/adaptive-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"alpha":1.5,"m1":1,"cells":[{"m2":1,"leaves":[0]}]}`)},
+		{"sharded payload mismatch", []byte(`{"format":"dpgrid/sharded","version":1,"domain":[0,0,1,1],"epsilon":1,"kx":2,"ky":1,"shard_format":"dpgrid/uniform-grid","shards":[]}`)},
+		{"sharded bad payload", []byte(`{"format":"dpgrid/sharded","version":1,"domain":[0,0,1,1],"epsilon":1,"kx":1,"ky":1,"shard_format":"dpgrid/uniform-grid","shards":[{"x":1}]}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadSynopsis(bytes.NewReader(tc.data)); err == nil {
+				t.Errorf("corrupt input accepted: %.80s", tc.data)
+			}
+		})
+	}
+	// Sanity: the valid files all load.
+	for name, data := range valid {
+		if _, err := ReadSynopsis(bytes.NewReader(data)); err != nil {
+			t.Errorf("valid %s file rejected: %v", name, err)
+		}
+	}
+}
+
+// FuzzReadSynopsis: the public deserialization entry point must never
+// panic and must either return a queryable synopsis or an error, no
+// matter the bytes. The seed corpus covers every format plus truncated
+// and hand-corrupted variants.
+func FuzzReadSynopsis(f *testing.F) {
+	valid := validSynopsisFiles(f)
+	for _, data := range valid {
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte(`{"format":"dpgrid/sharded","version":1}`))
+	f.Add([]byte(`{"format":"dpgrid/sharded","version":1,"domain":[0,0,1,1],"epsilon":1,"kx":1,"ky":1,"shard_format":"dpgrid/uniform-grid","shards":[{"format":"dpgrid/uniform-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"m":1,"counts":[3]}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		syn, err := ReadSynopsis(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		got := syn.Query(NewRect(-1e9, -1e9, 1e9, 1e9))
+		if got != got {
+			t.Fatalf("parsed synopsis produced NaN answer")
+		}
+	})
 }

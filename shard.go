@@ -1,0 +1,63 @@
+package dpgrid
+
+import (
+	"github.com/dpgrid/dpgrid/internal/shard"
+)
+
+// Geo-sharded synopses: a sharded release partitions the domain into a
+// KxL mosaic of tiles and carries one full-epsilon synopsis per tile.
+// Because spatially disjoint tiles see disjoint data, parallel
+// composition makes the whole mosaic eps-differentially private even
+// though every tile spends the full eps — sharding costs no per-tile
+// accuracy while unlocking parallel builds, per-tile refresh, and
+// domains far beyond the single-grid cell cap. See internal/shard and
+// the README's "Scaling out with shards" section.
+
+// ShardPlan partitions a Domain into a KxL mosaic of equal-size tiles.
+// Every in-domain point belongs to exactly one tile (boundary points go
+// to the higher-index tile), which is the disjointness the parallel-
+// composition argument needs.
+type ShardPlan = shard.Plan
+
+// NewShardPlan returns the plan splitting dom into kx x ky tiles.
+func NewShardPlan(dom Domain, kx, ky int) (ShardPlan, error) {
+	return shard.NewPlan(dom, kx, ky)
+}
+
+// ShardOptions configures the shard-level build fan-out; the zero value
+// builds shards on one worker per CPU.
+type ShardOptions = shard.Options
+
+// Sharded is a geo-sharded release: one per-tile synopsis per shard of
+// a ShardPlan. It implements Synopsis and BatchSynopsis; a query is
+// routed to only the overlapping shards, with fully-covered shards
+// short-circuiting through their TotalEstimate.
+type Sharded = shard.Sharded
+
+// BuildShardedUniformGrid builds one UG synopsis per tile of plan, each
+// under the full eps via parallel composition. For a fixed seed and
+// plan the release is bit-identical for every ShardOptions.Workers
+// value (shard i draws from the noise sub-stream keyed by its index).
+func BuildShardedUniformGrid(points []Point, plan ShardPlan, eps float64, grid UGOptions, opts ShardOptions, src NoiseSource) (*Sharded, error) {
+	return shard.BuildUniform(points, plan, eps, grid, opts, src)
+}
+
+// BuildShardedUniformGridSeq is BuildShardedUniformGrid over a
+// streaming point source; each shard filters its own passes over the
+// stream.
+func BuildShardedUniformGridSeq(seq PointSeq, plan ShardPlan, eps float64, grid UGOptions, opts ShardOptions, src NoiseSource) (*Sharded, error) {
+	return shard.BuildUniformSeq(seq, plan, eps, grid, opts, src)
+}
+
+// BuildShardedAdaptiveGrid builds one AG synopsis per tile of plan,
+// each under the full eps via parallel composition, with the same
+// determinism guarantee as BuildShardedUniformGrid.
+func BuildShardedAdaptiveGrid(points []Point, plan ShardPlan, eps float64, grid AGOptions, opts ShardOptions, src NoiseSource) (*Sharded, error) {
+	return shard.BuildAdaptive(points, plan, eps, grid, opts, src)
+}
+
+// BuildShardedAdaptiveGridSeq is BuildShardedAdaptiveGrid over a
+// streaming point source.
+func BuildShardedAdaptiveGridSeq(seq PointSeq, plan ShardPlan, eps float64, grid AGOptions, opts ShardOptions, src NoiseSource) (*Sharded, error) {
+	return shard.BuildAdaptiveSeq(seq, plan, eps, grid, opts, src)
+}
