@@ -7,6 +7,7 @@
 package dpgrid
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -428,4 +429,98 @@ func BenchmarkSerializeSharded(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- synopsis codec benchmarks ----
+//
+// JSON vs dpgridv2 binary for a sharded manifest at matched cell
+// counts (the same release encoded both ways). The decode family is
+// the serving daemon's cold-start path; `lazy` measures what dpserve
+// actually pays at startup now (validate everything, materialize
+// nothing), and `lazy-first-query` adds the first single-tile hit.
+// Each sub-benchmark reports the encoded size as file-bytes.
+
+func benchShardedRelease(b *testing.B) *Sharded {
+	b.Helper()
+	pts, dom := benchPoints(200_000)
+	plan, err := NewShardPlan(dom, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syn, err := BuildShardedAdaptiveGrid(pts, plan, 1, AGOptions{M1: 16}, ShardOptions{}, NewNoiseSource(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return syn
+}
+
+func benchShardedFiles(b *testing.B, syn *Sharded) (jsonData, binData []byte) {
+	b.Helper()
+	var jsonBuf, binBuf bytes.Buffer
+	if err := WriteSynopsis(&jsonBuf, syn); err != nil {
+		b.Fatal(err)
+	}
+	if err := WriteSynopsisBinary(&binBuf, syn); err != nil {
+		b.Fatal(err)
+	}
+	return jsonBuf.Bytes(), binBuf.Bytes()
+}
+
+func BenchmarkEncodeSharded(b *testing.B) {
+	syn := benchShardedRelease(b)
+	jsonData, binData := benchShardedFiles(b, syn)
+	b.Run("json", func(b *testing.B) {
+		b.ReportMetric(float64(len(jsonData)), "file-bytes")
+		for i := 0; i < b.N; i++ {
+			if err := WriteSynopsis(io.Discard, syn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportMetric(float64(len(binData)), "file-bytes")
+		for i := 0; i < b.N; i++ {
+			if err := WriteSynopsisBinary(io.Discard, syn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkDecodeSharded(b *testing.B) {
+	jsonData, binData := benchShardedFiles(b, benchShardedRelease(b))
+	firstTile := NewRect(1, 1, 20, 20)
+	b.Run("json", func(b *testing.B) {
+		b.ReportMetric(float64(len(jsonData)), "file-bytes")
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadSynopsis(bytes.NewReader(jsonData)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-eager", func(b *testing.B) {
+		b.ReportMetric(float64(len(binData)), "file-bytes")
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadSynopsis(bytes.NewReader(binData)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-lazy", func(b *testing.B) {
+		b.ReportMetric(float64(len(binData)), "file-bytes")
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadSynopsisLazy(bytes.NewReader(binData)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-lazy-first-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			syn, err := ReadSynopsisLazy(bytes.NewReader(binData))
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = syn.Query(firstTile)
+		}
+	})
 }

@@ -12,9 +12,11 @@
 //	       -queries queries.csv
 //
 //	# Build and save a geo-sharded 4x4 release (each tile spends the
-//	# full epsilon via parallel composition over disjoint tiles):
+//	# full epsilon via parallel composition over disjoint tiles).
+//	# -format binary writes the compact dpgridv2 container, which
+//	# dpserve loads lazily, shard by shard:
 //	dpgrid -in points.csv -domain="0,0,100,100" -method ag -eps 1 \
-//	       -shards 4x4 -save mosaic.json
+//	       -shards 4x4 -format binary -save mosaic.dpgrid
 //
 // The synopsis is built once (consuming the full epsilon); every query
 // answered afterwards is free post-processing.
@@ -57,7 +59,8 @@ func run(args []string, w io.Writer) error {
 	queryFlag := fs.String("query", "", "single query rectangle x0,y0,x1,y1")
 	queriesFile := fs.String("queries", "", "file of query rectangles, one x0,y0,x1,y1 per line")
 	saveFile := fs.String("save", "", "write the built synopsis (ug/ag) to this file for later -load")
-	loadFile := fs.String("load", "", "load a previously saved synopsis instead of building one")
+	saveFormat := fs.String("format", dpgrid.FormatJSON, "-save encoding: json (readable) or binary (compact dpgridv2; loads lazily in dpserve when sharded)")
+	loadFile := fs.String("load", "", "load a previously saved synopsis instead of building one (either encoding, sniffed)")
 	synthesize := fs.Int("synthesize", 0, "sample this many synthetic points from the synopsis as CSV on stdout (-1 = synopsis's own size estimate)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +76,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *queryFlag == "" && *queriesFile == "" && *saveFile == "" && *synthesize == 0 {
 		return fmt.Errorf("need -query, -queries, -save, or -synthesize")
+	}
+	if *saveFormat != dpgrid.FormatJSON && *saveFormat != dpgrid.FormatBinary {
+		return fmt.Errorf("bad -format %q: want %s or %s", *saveFormat, dpgrid.FormatJSON, dpgrid.FormatBinary)
 	}
 
 	var syn dpgrid.Synopsis
@@ -157,7 +163,7 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *saveFile != "" {
-		if err := dpgrid.WriteSynopsisFile(*saveFile, syn); err != nil {
+		if err := dpgrid.WriteSynopsisFileFormat(*saveFile, syn, *saveFormat); err != nil {
 			return err
 		}
 	}
@@ -195,7 +201,13 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("bad query %q: %w", spec, err)
 		}
+		// strconv.ParseFloat happily parses "NaN" and "Inf", and NewRect
+		// cannot normalize NaN (comparisons are false) — gate them here
+		// instead of letting garbage into the synopsis query path.
 		r := dpgrid.NewRect(q[0], q[1], q[2], q[3])
+		if !r.IsValid() {
+			return fmt.Errorf("bad query %q: coordinates must be finite", spec)
+		}
 		fmt.Fprintf(w, "%s\t%.2f\n", spec, syn.Query(r))
 		return nil
 	}

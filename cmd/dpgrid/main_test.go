@@ -240,3 +240,67 @@ func TestRunShardsValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestRunSaveBinaryAndLoad: -format binary writes a dpgridv2 file that
+// -load reads back (sniffed) with identical answers.
+func TestRunSaveBinaryAndLoad(t *testing.T) {
+	csv := writeTestCSV(t, 10000)
+	for _, shards := range []string{"", "2x2"} {
+		synFile := filepath.Join(t.TempDir(), "synopsis.dpgrid")
+		args := []string{
+			"-in", csv, "-domain", "0,0,100,100", "-method", "ag",
+			"-eps", "1", "-seed", "7", "-format", "binary",
+			"-save", synFile, "-query", "0,0,50,50",
+		}
+		if shards != "" {
+			args = append(args, "-shards", shards)
+		}
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("shards=%q: %v", shards, err)
+		}
+		first := sb.String()
+
+		data, err := os.ReadFile(synFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 8 || string(data[:8]) != "dpgridv2" {
+			t.Fatalf("shards=%q: saved file does not start with the dpgridv2 magic: %.16q", shards, data)
+		}
+
+		sb.Reset()
+		if err := run([]string{"-load", synFile, "-query", "0,0,50,50"}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		if sb.String() != first {
+			t.Errorf("shards=%q: binary round trip answered %q, built %q", shards, sb.String(), first)
+		}
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	csv := writeTestCSV(t, 100)
+	err := run([]string{
+		"-in", csv, "-domain", "0,0,100,100", "-method", "ug",
+		"-eps", "1", "-format", "yaml", "-save", filepath.Join(t.TempDir(), "x"),
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-format") {
+		t.Fatalf("bad -format: err = %v", err)
+	}
+}
+
+// TestRunRejectsNonFiniteQuery: strconv.ParseFloat accepts "NaN" and
+// "Inf", but the query path must not.
+func TestRunRejectsNonFiniteQuery(t *testing.T) {
+	csv := writeTestCSV(t, 100)
+	for _, q := range []string{"NaN,0,1,1", "0,0,Inf,1", "0,-inf,1,1"} {
+		err := run([]string{
+			"-in", csv, "-domain", "0,0,100,100", "-method", "ug",
+			"-eps", "1", "-seed", "3", "-query", q,
+		}, io.Discard)
+		if err == nil {
+			t.Errorf("query %q accepted", q)
+		}
+	}
+}

@@ -22,7 +22,10 @@
 // Monolithic (UG/AG) and geo-sharded releases are served through the
 // same registry: a sharded manifest loads as one named synopsis whose
 // queries fan out to only the overlapping shards, so a single daemon
-// can serve domains far beyond the monolithic cell cap.
+// can serve domains far beyond the monolithic cell cap. Synopsis files
+// may be JSON or binary (dpgridv2) — the format is sniffed — and a
+// binary sharded manifest loads lazily: every shard is validated at
+// load, but decoded only when a query first touches its tile.
 //
 // A query request names a synopsis and carries rectangles as
 // [minX, minY, maxX, maxY] quadruples; the response returns one estimate
@@ -41,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"strings"
@@ -81,17 +85,36 @@ func run(args []string) error {
 	}
 
 	reg := newRegistry()
-	for _, spec := range syns {
+	if err := loadSynopses(reg, syns); err != nil {
+		return err
+	}
+
+	srv := newServer(*listen, reg, *readonly)
+	log.Printf("dpserve listening on %s with %d synopses", *listen, reg.count())
+	return srv.ListenAndServe()
+}
+
+// loadSynopses registers every -synopsis name=path spec. Duplicate
+// names are rejected up front — the flag map used to let the last
+// occurrence silently overwrite earlier ones, so a fat-fingered command
+// line would serve a different release than the operator listed.
+func loadSynopses(reg *registry, specs []string) error {
+	paths := make(map[string]string, len(specs))
+	for _, spec := range specs {
+		name, path, _ := strings.Cut(spec, "=")
+		if prev, ok := paths[name]; ok {
+			return fmt.Errorf("duplicate -synopsis name %q (%s and %s)", name, prev, path)
+		}
+		paths[name] = path
+	}
+	for _, spec := range specs {
 		name, path, _ := strings.Cut(spec, "=")
 		if err := reg.loadFile(name, path); err != nil {
 			return err
 		}
 		log.Printf("loaded synopsis %q from %s", name, path)
 	}
-
-	srv := newServer(*listen, reg, *readonly)
-	log.Printf("dpserve listening on %s with %d synopses", *listen, reg.count())
-	return srv.ListenAndServe()
+	return nil
 }
 
 // newServer configures the HTTP server around the handler. Full
@@ -128,11 +151,14 @@ type queryResponse struct {
 
 // synopsisInfo is one entry of GET /v1/synopses and the body of
 // GET /v1/synopses/<name>. Shards is set only for sharded releases.
+// Domain is a pointer because encoding/json's omitempty is a no-op for
+// arrays: a bare Synopsis without metadata used to report a bogus
+// [0,0,0,0] domain instead of omitting the field.
 type synopsisInfo struct {
-	Name    string     `json:"name"`
-	Epsilon float64    `json:"epsilon,omitempty"`
-	Domain  [4]float64 `json:"domain,omitempty"`
-	Shards  int        `json:"shards,omitempty"`
+	Name    string      `json:"name"`
+	Epsilon float64     `json:"epsilon,omitempty"`
+	Domain  *[4]float64 `json:"domain,omitempty"`
+	Shards  int         `json:"shards,omitempty"`
 }
 
 // metadata is implemented by every released synopsis type in dpgrid;
@@ -153,7 +179,7 @@ func infoFor(name string, s dpgrid.Synopsis) synopsisInfo {
 	if m, ok := s.(metadata); ok {
 		d := m.Domain()
 		info.Epsilon = m.Epsilon()
-		info.Domain = [4]float64{d.MinX, d.MinY, d.MaxX, d.MaxY}
+		info.Domain = &[4]float64{d.MinX, d.MinY, d.MaxX, d.MaxY}
 	}
 	if sh, ok := s.(sharded); ok {
 		info.Shards = sh.NumShards()
@@ -245,6 +271,12 @@ func newHandler(reg *registry, readonly bool) http.Handler {
 			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown synopsis %q", req.Synopsis))
 			return
 		}
+		if i := badRectIndex(req.Rects); i >= 0 {
+			q := req.Rects[i]
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("rect %d: non-finite coordinate in [%g,%g,%g,%g]", i, q[0], q[1], q[2], q[3]))
+			return
+		}
 		rects := make([]dpgrid.Rect, len(req.Rects))
 		for i, q := range req.Rects {
 			rects[i] = dpgrid.NewRect(q[0], q[1], q[2], q[3])
@@ -255,10 +287,33 @@ func newHandler(reg *registry, readonly bool) http.Handler {
 	return mux
 }
 
+// badRectIndex returns the index of the first rect quadruple containing
+// a NaN or infinite coordinate, or -1 when all are finite. NewRect
+// cannot normalize NaN (every comparison is false) and nothing on the
+// serve path consults Rect.IsValid, so without this gate garbage would
+// flow straight into Prefix.Query. encoding/json already rejects the
+// NaN/Infinity literals and out-of-range numbers, but the handler is
+// also driven programmatically (tests, embedding) and this is the
+// serving path's last line of defense.
+func badRectIndex(rects [][4]float64) int {
+	for i, q := range rects {
+		for _, v := range q {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// readSynopsisBody parses an uploaded synopsis in either encoding
+// (sniffed). Binary sharded manifests load lazily: the upload is fully
+// validated, but per-shard decode cost is deferred to the first query
+// touching each tile.
 func readSynopsisBody(r *http.Request) (dpgrid.Synopsis, error) {
 	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
 	defer io.Copy(io.Discard, body)
-	return dpgrid.ReadSynopsis(body)
+	return dpgrid.ReadSynopsisLazy(body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/dpgrid/dpgrid"
@@ -87,7 +88,7 @@ func TestListSynopses(t *testing.T) {
 	if got.Synopses[0].Epsilon != 1 {
 		t.Fatalf("epsilon = %g, want 1", got.Synopses[0].Epsilon)
 	}
-	if got.Synopses[0].Domain != [4]float64{0, 0, 100, 100} {
+	if got.Synopses[0].Domain == nil || *got.Synopses[0].Domain != [4]float64{0, 0, 100, 100} {
 		t.Fatalf("domain = %v", got.Synopses[0].Domain)
 	}
 }
@@ -301,7 +302,7 @@ func TestShardedServingEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET metadata status = %d", resp.StatusCode)
 	}
-	if info.Shards != 4 || info.Epsilon != 1 || info.Domain != [4]float64{0, 0, 100, 100} {
+	if info.Shards != 4 || info.Epsilon != 1 || info.Domain == nil || *info.Domain != [4]float64{0, 0, 100, 100} {
 		t.Fatalf("metadata = %+v", info)
 	}
 
@@ -451,5 +452,212 @@ func TestServerTimeoutsConfigured(t *testing.T) {
 	}
 	if srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 {
 		t.Error("write/idle timeouts not set")
+	}
+}
+
+// ---- serving-path validation and lazy-loading tests ----
+
+func TestBadRectIndex(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		rects [][4]float64
+		want  int
+	}{
+		{nil, -1},
+		{[][4]float64{{0, 0, 1, 1}}, -1},
+		{[][4]float64{{0, 0, 1, 1}, {nan, 0, 1, 1}}, 1},
+		{[][4]float64{{0, 0, inf, 1}}, 0},
+		{[][4]float64{{0, 0, 1, 1}, {0, 0, 1, 1}, {0, -inf, 1, 1}}, 2},
+		{[][4]float64{{-1e308, -1e308, 1e308, 1e308}}, -1}, // huge but finite
+	}
+	for _, tc := range cases {
+		if got := badRectIndex(tc.rects); got != tc.want {
+			t.Errorf("badRectIndex(%v) = %d, want %d", tc.rects, got, tc.want)
+		}
+	}
+}
+
+// TestQueryRejectsNonFiniteRect locks in the 400: a rect with an
+// out-of-range coordinate (JSON's only route to a non-finite float64)
+// must never reach Prefix.Query.
+func TestQueryRejectsNonFiniteRect(t *testing.T) {
+	reg := newRegistry()
+	reg.put("main", testSynopsis(t, 41))
+	srv := newTestServer(t, reg)
+
+	body := `{"synopsis":"main","rects":[[0,0,10,10],[0,0,1e999,10]]}`
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// opaqueSynopsis implements only Query — the minimal registry citizen,
+// with no metadata to report.
+type opaqueSynopsis struct{}
+
+func (opaqueSynopsis) Query(dpgrid.Rect) float64 { return 0 }
+
+// TestMetadataOmitsDomainWithoutMetadata: a bare synopsis must not
+// report a bogus [0,0,0,0] domain (omitempty is a no-op for arrays; the
+// field is now a pointer).
+func TestMetadataOmitsDomainWithoutMetadata(t *testing.T) {
+	reg := newRegistry()
+	reg.put("bare", opaqueSynopsis{})
+	srv := newTestServer(t, reg)
+
+	resp, err := http.Get(srv.URL + "/v1/synopses/bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["domain"]; present {
+		t.Fatalf("bare synopsis reports a domain: %v", raw)
+	}
+	if raw["name"] != "bare" {
+		t.Fatalf("metadata = %v", raw)
+	}
+}
+
+func TestLoadSynopsesRejectsDuplicateNames(t *testing.T) {
+	err := loadSynopses(newRegistry(), []string{"a=x.json", "b=y.json", "a=z.json"})
+	if err == nil {
+		t.Fatal("duplicate -synopsis name accepted")
+	}
+	for _, want := range []string{"duplicate", `"a"`, "x.json", "z.json"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+	// The duplicate check fires before any file I/O, so nothing was
+	// loaded from the (nonexistent) paths.
+}
+
+func TestLoadSynopsesLoadsAll(t *testing.T) {
+	dir := t.TempDir()
+	reg := newRegistry()
+	var specs []string
+	for i, name := range []string{"a", "b"} {
+		path := filepath.Join(dir, name+".json")
+		if err := dpgrid.WriteSynopsisFile(path, testSynopsis(t, int64(50+i))); err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, name+"="+path)
+	}
+	if err := loadSynopses(reg, specs); err != nil {
+		t.Fatal(err)
+	}
+	if reg.count() != 2 {
+		t.Fatalf("loaded %d synopses, want 2", reg.count())
+	}
+}
+
+// TestRegistryLoadsShardedManifestLazily is the registry-level lazy
+// contract: loading a binary sharded manifest materializes nothing, a
+// query materializes exactly the shards overlapping its rects, and the
+// answers match the eagerly loaded release bit for bit.
+func TestRegistryLoadsShardedManifestLazily(t *testing.T) {
+	syn := testShardedSynopsis(t, 42) // 2x2 mosaic over [0,100]^2
+	path := filepath.Join(t.TempDir(), "mosaic.dpgrid")
+	if err := dpgrid.WriteSynopsisFileFormat(path, syn, dpgrid.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	if err := reg.loadFile("mosaic", path); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reg.get("mosaic")
+	if !ok {
+		t.Fatal("manifest not registered")
+	}
+	lazy, ok := got.(*dpgrid.LazySharded)
+	if !ok {
+		t.Fatalf("registered type %T, want *dpgrid.LazySharded", got)
+	}
+	if lazy.MaterializedShards() != 0 {
+		t.Fatalf("load materialized %d shards", lazy.MaterializedShards())
+	}
+
+	srv := newTestServer(t, reg)
+
+	// Metadata must not materialize anything.
+	var info synopsisInfo
+	getJSON(t, srv.URL+"/v1/synopses/mosaic", &info)
+	if info.Shards != 4 || lazy.MaterializedShards() != 0 {
+		t.Fatalf("metadata: %d shards reported, %d materialized", info.Shards, lazy.MaterializedShards())
+	}
+
+	// One rect inside the lower-left tile: exactly one shard decodes.
+	req := queryRequest{Synopsis: "mosaic", Rects: [][4]float64{{5, 5, 40, 40}}}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	var got1 queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got1); err != nil {
+		t.Fatal(err)
+	}
+	if want := syn.Query(dpgrid.NewRect(5, 5, 40, 40)); got1.Counts[0] != want {
+		t.Errorf("lazy answer %g, eager %g", got1.Counts[0], want)
+	}
+	if got := lazy.MaterializedShards(); got != 1 {
+		t.Fatalf("single-tile query materialized %d shards, want 1", got)
+	}
+
+	// A straddling rect pulls in the rest.
+	req = queryRequest{Synopsis: "mosaic", Rects: [][4]float64{{45, 45, 55, 55}}}
+	body, _ = json.Marshal(req)
+	resp2, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := lazy.MaterializedShards(); got != 4 {
+		t.Fatalf("straddling query materialized %d shards, want 4", got)
+	}
+}
+
+// TestPutBinarySynopsis: the PUT endpoint accepts the binary encoding
+// through the same format sniff as files.
+func TestPutBinarySynopsis(t *testing.T) {
+	syn := testSynopsis(t, 43)
+	var buf bytes.Buffer
+	if err := dpgrid.WriteSynopsisBinary(&buf, syn); err != nil {
+		t.Fatal(err)
+	}
+	reg := newRegistry()
+	srv := newTestServer(t, reg)
+	put, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/synopses/bin", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %d", resp.StatusCode)
+	}
+	got, ok := reg.get("bin")
+	if !ok {
+		t.Fatal("binary synopsis not registered")
+	}
+	r := dpgrid.NewRect(10, 10, 60, 60)
+	if math.Abs(got.Query(r)-syn.Query(r)) > 1e-9 {
+		t.Fatalf("binary upload answers %g, original %g", got.Query(r), syn.Query(r))
 	}
 }

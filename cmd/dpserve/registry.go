@@ -69,8 +69,12 @@ func (r *registry) names() []string {
 }
 
 // loadFile reads the synopsis file at path and registers it under name.
+// Binary sharded manifests load lazily: the file is fully validated,
+// but each shard's query structure is decoded only when traffic first
+// touches its tile, so startup cost and memory track the working set
+// rather than the mosaic size.
 func (r *registry) loadFile(name, path string) error {
-	s, err := dpgrid.ReadSynopsisFile(path)
+	s, err := dpgrid.ReadSynopsisFileLazy(path)
 	if err != nil {
 		return fmt.Errorf("load %q from %s: %w", name, path, err)
 	}

@@ -1,0 +1,267 @@
+// Package codec implements the compact binary synopsis container shared
+// by every release kind: the "dpgridv2" format. A container is the magic
+// string, a little-endian uint16 version and kind, and a kind-specific
+// body built from fixed-width little-endian fields and length-prefixed
+// float64 sections. Compared to the JSON release files, the binary form
+// is a fraction of the size (8 bytes per count instead of a decimal
+// rendering) and decodes by copying, not parsing — which is what lets a
+// serving daemon load a sharded mosaic lazily, shard by shard.
+//
+// The package deliberately knows nothing about synopses; it provides the
+// container framing (Detect, NewEnc, NewDec) and truncation-safe
+// primitive access. The per-kind body layouts live next to the types
+// they serialize (internal/core, internal/shard).
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Magic is the 8-byte prefix of every binary synopsis container. JSON
+// release files start with '{', so the first byte alone separates the
+// two formats; the full string keeps accidental collisions implausible.
+const Magic = "dpgridv2"
+
+// Version is the current container layout version, bumped on breaking
+// changes.
+const Version = 1
+
+// Kind tags the synopsis type a container holds.
+type Kind uint16
+
+const (
+	// KindInvalid is the zero Kind; no container carries it.
+	KindInvalid Kind = 0
+	// KindUniform tags a UniformGrid payload.
+	KindUniform Kind = 1
+	// KindAdaptive tags an AdaptiveGrid payload.
+	KindAdaptive Kind = 2
+	// KindSharded tags a sharded manifest with a per-shard offset table.
+	KindSharded Kind = 3
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindUniform:
+		return "uniform-grid"
+	case KindAdaptive:
+		return "adaptive-grid"
+	case KindSharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("kind(%d)", uint16(k))
+	}
+}
+
+// Detect reports whether data begins with the dpgridv2 magic — the
+// format sniff that keeps ReadSynopsis backward compatible with the
+// JSON files already on disk.
+func Detect(data []byte) bool {
+	return len(data) >= len(Magic) && string(data[:len(Magic)]) == Magic
+}
+
+// Enc builds a container by appending little-endian fields to a byte
+// slice. The zero Enc is not useful; NewEnc writes the header.
+type Enc struct {
+	buf []byte
+}
+
+// NewEnc starts a container of the given kind, appending to dst (which
+// may be nil) so callers can reuse buffers.
+func NewEnc(dst []byte, kind Kind) *Enc {
+	e := &Enc{buf: append(dst, Magic...)}
+	e.U16(Version)
+	e.U16(uint16(kind))
+	return e
+}
+
+// U16 appends a little-endian uint16.
+func (e *Enc) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// F64 appends the IEEE-754 bits of v, little endian.
+func (e *Enc) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// F64s appends a length-prefixed float64 section: a uint64 element
+// count followed by the raw bits of every element.
+func (e *Enc) F64s(vs []float64) {
+	e.U64(uint64(len(vs)))
+	for _, v := range vs {
+		e.F64(v)
+	}
+}
+
+// Raw appends b verbatim, with no length prefix; callers that need to
+// re-slice it on decode must record its length themselves.
+func (e *Enc) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Bytes returns the container built so far.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// Dec is a truncation-safe cursor over one container. Every accessor
+// checks bounds; the first failure sticks (subsequent reads return
+// zeros), so decoders can read a whole structure and check Err once.
+// Length prefixes are validated against the remaining bytes before any
+// allocation, so a corrupt or hostile length can never demand more
+// memory than the file's own size.
+type Dec struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewDec validates the magic and version of data and returns a decoder
+// positioned at the start of the kind-specific body, plus the kind.
+func NewDec(data []byte) (*Dec, Kind, error) {
+	if !Detect(data) {
+		return nil, KindInvalid, fmt.Errorf("codec: not a %s container", Magic)
+	}
+	d := &Dec{data: data, off: len(Magic)}
+	version := d.U16()
+	kind := Kind(d.U16())
+	if d.err != nil {
+		return nil, KindInvalid, d.err
+	}
+	if version != Version {
+		return nil, KindInvalid, fmt.Errorf("codec: unsupported container version %d (have %d)", version, Version)
+	}
+	if kind < KindUniform || kind > KindSharded {
+		return nil, KindInvalid, fmt.Errorf("codec: unknown synopsis kind %d", kind)
+	}
+	return d, kind, nil
+}
+
+// Err returns the first decoding failure, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Dec) Remaining() int { return len(d.data) - d.off }
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("codec: "+format+" (offset %d)", append(args, d.off)...)
+	}
+}
+
+// take consumes n bytes, returning nil (and setting the sticky error)
+// when fewer remain.
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.Remaining() < n {
+		d.fail("truncated: need %d bytes, have %d", n, d.Remaining())
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U16 reads a little-endian uint16.
+func (d *Dec) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F64 reads one float64.
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Int32 reads a uint32 as an int (always fits).
+func (d *Dec) Int32() int { return int(d.U32()) }
+
+// Len reads a uint64 length prefix for elemSize-byte elements and
+// validates it against the remaining bytes, so it can safely size an
+// allocation.
+func (d *Dec) Len(elemSize int) int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.Remaining()/elemSize) {
+		d.fail("section length %d exceeds the %d bytes left", n, d.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// RawF64s consumes a length-prefixed float64 section that must hold
+// exactly want elements and returns its raw bytes unconverted — the
+// no-allocation path validators and lazy loaders use. Decode elements
+// with F64At.
+func (d *Dec) RawF64s(want int) []byte {
+	n := d.Len(8)
+	if d.err != nil {
+		return nil
+	}
+	if n != want {
+		d.fail("section holds %d float64s, want %d", n, want)
+		return nil
+	}
+	return d.take(8 * n)
+}
+
+// F64s consumes a length-prefixed float64 section of exactly want
+// elements and materializes it.
+func (d *Dec) F64s(want int) []float64 {
+	raw := d.RawF64s(want)
+	if raw == nil {
+		return nil
+	}
+	out := make([]float64, want)
+	for i := range out {
+		out[i] = F64At(raw, i)
+	}
+	return out
+}
+
+// Raw consumes n bytes verbatim.
+func (d *Dec) Raw(n int) []byte { return d.take(n) }
+
+// Finish returns the sticky error, or an error if unread bytes remain:
+// container encodings are canonical, so trailing garbage means a
+// corrupt or tampered file.
+func (d *Dec) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("codec: %d trailing bytes after container body", d.Remaining())
+	}
+	return nil
+}
+
+// F64At decodes element i of a raw float64 section (as returned by
+// RawF64s).
+func F64At(raw []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+}

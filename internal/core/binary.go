@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/grid"
+)
+
+// Binary (dpgridv2) serialization of UG and AG synopses — the compact
+// companion to the JSON format in serialize.go. Both formats carry the
+// same release (cell boundaries and noisy counts), so the choice is
+// pure engineering: binary files are a fraction of the size and decode
+// by copying instead of parsing decimal text.
+//
+// Layouts (after the codec container header; all little endian):
+//
+//	UG:  domain (4 f64) | epsilon (f64) | m, mx, my (u32) |
+//	     counts (length-prefixed f64 section, mx*my row-major)
+//	AG:  domain (4 f64) | epsilon (f64) | alpha (f64) | m1 (u32) |
+//	     m1*m1 cells, each: m2 (u32) |
+//	     prefix sums (length-prefixed f64 section, (m2+1)^2 row-major)
+//
+// AG cells persist the prefix-sum table rather than the leaf counts:
+// the table is the synopsis's exact in-memory query structure, so
+// encode/decode never recompute sums — round trips are bit-identical
+// and decoding is an allocation plus a copy, with no O(cells) prefix
+// rebuild. (Deriving leaves from sums and re-summing on load, as the
+// JSON format does, loses bit-identity to float rounding.)
+
+// BinaryInfo summarizes a binary payload's envelope-level fields. It is
+// what a manifest validator needs to cross-check an embedded shard
+// without materializing it.
+type BinaryInfo struct {
+	Dom geom.Domain
+	Eps float64
+}
+
+// AppendBinary appends the synopsis's dpgridv2 container to dst and
+// returns the extended slice.
+func (u *UniformGrid) AppendBinary(dst []byte) ([]byte, error) {
+	e := codec.NewEnc(dst, codec.KindUniform)
+	EncodeDomain(e, u.dom)
+	e.F64(u.eps)
+	e.U32(uint32(u.m))
+	e.U32(uint32(u.mx))
+	e.U32(uint32(u.my))
+	e.F64s(u.noisy.Values())
+	return e.Bytes(), nil
+}
+
+// AppendBinary appends the synopsis's dpgridv2 container to dst and
+// returns the extended slice.
+func (a *AdaptiveGrid) AppendBinary(dst []byte) ([]byte, error) {
+	e := codec.NewEnc(dst, codec.KindAdaptive)
+	EncodeDomain(e, a.dom)
+	e.F64(a.eps)
+	e.F64(a.alpha)
+	e.U32(uint32(a.m1))
+	for k := range a.cells {
+		cell := &a.cells[k]
+		e.U32(uint32(cell.m2))
+		e.F64s(cell.leaves.Sums())
+	}
+	return e.Bytes(), nil
+}
+
+// ParseUniformGridBinary deserializes a UG dpgridv2 container,
+// validating all structural invariants.
+func ParseUniformGridBinary(data []byte) (*UniformGrid, error) {
+	f, err := decodeUGBinary(data, true)
+	if err != nil {
+		return nil, err
+	}
+	return f.build()
+}
+
+// ParseAdaptiveGridBinary deserializes an AG dpgridv2 container,
+// validating all structural invariants.
+func ParseAdaptiveGridBinary(data []byte) (*AdaptiveGrid, error) {
+	f, err := decodeAGBinary(data, true)
+	if err != nil {
+		return nil, err
+	}
+	return f.build()
+}
+
+// ValidateUniformGridBinary runs every structural and value check of
+// ParseUniformGridBinary without materializing the synopsis — no large
+// allocations, no prefix build. A payload that validates cannot fail a
+// later parse; lazy shard loading relies on that.
+func ValidateUniformGridBinary(data []byte) (BinaryInfo, error) {
+	f, err := decodeUGBinary(data, false)
+	if err != nil {
+		return BinaryInfo{}, err
+	}
+	return BinaryInfo{Dom: f.dom, Eps: f.eps}, nil
+}
+
+// ValidateAdaptiveGridBinary is ValidateUniformGridBinary for AG
+// payloads.
+func ValidateAdaptiveGridBinary(data []byte) (BinaryInfo, error) {
+	f, err := decodeAGBinary(data, false)
+	if err != nil {
+		return BinaryInfo{}, err
+	}
+	return BinaryInfo{Dom: f.dom, Eps: f.eps}, nil
+}
+
+// EncodeDomain appends a domain's four bounds as float64s — the shared
+// wire form every container kind (including internal/shard's manifests)
+// uses for domains.
+func EncodeDomain(e *codec.Enc, dom geom.Domain) {
+	e.F64(dom.MinX)
+	e.F64(dom.MinY)
+	e.F64(dom.MaxX)
+	e.F64(dom.MaxY)
+}
+
+// DecodeDomain reads and validates the four-bound wire form
+// EncodeDomain writes.
+func DecodeDomain(d *codec.Dec) (geom.Domain, error) {
+	minX, minY := d.F64(), d.F64()
+	maxX, maxY := d.F64(), d.F64()
+	if err := d.Err(); err != nil {
+		return geom.Domain{}, err
+	}
+	return geom.NewDomain(minX, minY, maxX, maxY)
+}
+
+type ugBinary struct {
+	dom    geom.Domain
+	eps    float64
+	m      int
+	mx, my int
+	counts []float64 // nil when decoded in validate-only mode
+}
+
+// decodeUGBinary reads and validates a UG container. With keep false it
+// checks every invariant — including count finiteness, scanned in place
+// — but materializes nothing.
+func decodeUGBinary(data []byte, keep bool) (ugBinary, error) {
+	var f ugBinary
+	d, kind, err := codec.NewDec(data)
+	if err != nil {
+		return f, fmt.Errorf("core: parse UG synopsis: %w", err)
+	}
+	if kind != codec.KindUniform {
+		return f, fmt.Errorf("core: container kind %v is not %v", kind, codec.KindUniform)
+	}
+	f.dom, err = DecodeDomain(d)
+	if err != nil {
+		return f, fmt.Errorf("core: parse UG synopsis: %w", err)
+	}
+	f.eps = d.F64()
+	f.m, f.mx, f.my = d.Int32(), d.Int32(), d.Int32()
+	if err := d.Err(); err != nil {
+		return f, fmt.Errorf("core: parse UG synopsis: %w", err)
+	}
+	if !(f.eps > 0) {
+		return f, fmt.Errorf("core: invalid epsilon %g", f.eps)
+	}
+	if f.m < 1 {
+		return f, fmt.Errorf("core: invalid grid size %d", f.m)
+	}
+	// uint64 arithmetic: both factors come from u32 fields, and an
+	// int64 product of two adversarial 4e9 values would overflow and
+	// wrap past the cap.
+	if f.mx < 1 || f.my < 1 || uint64(f.mx)*uint64(f.my) > grid.MaxCells {
+		return f, fmt.Errorf("core: invalid grid dimensions %dx%d", f.mx, f.my)
+	}
+	raw := d.RawF64s(f.mx * f.my)
+	if err := d.Finish(); err != nil {
+		return f, fmt.Errorf("core: parse UG synopsis: %w", err)
+	}
+	if err := checkFiniteRaw(raw); err != nil {
+		return f, err
+	}
+	if keep {
+		f.counts = decodeF64s(raw)
+	}
+	return f, nil
+}
+
+func (f *ugBinary) build() (*UniformGrid, error) {
+	counts, err := grid.New(f.dom, f.mx, f.my)
+	if err != nil {
+		return nil, err
+	}
+	copy(counts.Values(), f.counts)
+	return &UniformGrid{
+		dom:    f.dom,
+		eps:    f.eps,
+		m:      f.m,
+		mx:     f.mx,
+		my:     f.my,
+		noisy:  counts,
+		prefix: grid.NewPrefix(counts),
+	}, nil
+}
+
+type agBinaryCell struct {
+	m2   int
+	sums []float64 // nil when decoded in validate-only mode
+}
+
+type agBinary struct {
+	dom   geom.Domain
+	eps   float64
+	alpha float64
+	m1    int
+	cells []agBinaryCell
+}
+
+// decodeAGBinary reads and validates an AG container (see decodeUGBinary
+// for the keep contract). Each cell's sums table is checked for
+// finiteness and the zero border every NewPrefix-built table has.
+func decodeAGBinary(data []byte, keep bool) (agBinary, error) {
+	var f agBinary
+	d, kind, err := codec.NewDec(data)
+	if err != nil {
+		return f, fmt.Errorf("core: parse AG synopsis: %w", err)
+	}
+	if kind != codec.KindAdaptive {
+		return f, fmt.Errorf("core: container kind %v is not %v", kind, codec.KindAdaptive)
+	}
+	f.dom, err = DecodeDomain(d)
+	if err != nil {
+		return f, fmt.Errorf("core: parse AG synopsis: %w", err)
+	}
+	f.eps = d.F64()
+	f.alpha = d.F64()
+	f.m1 = d.Int32()
+	if err := d.Err(); err != nil {
+		return f, fmt.Errorf("core: parse AG synopsis: %w", err)
+	}
+	if !(f.eps > 0) {
+		return f, fmt.Errorf("core: invalid epsilon %g", f.eps)
+	}
+	if !(f.alpha > 0 && f.alpha < 1) {
+		return f, fmt.Errorf("core: invalid alpha %g", f.alpha)
+	}
+	if f.m1 < 1 || uint64(f.m1)*uint64(f.m1) > grid.MaxCells {
+		return f, fmt.Errorf("core: invalid m1 %d", f.m1)
+	}
+	n := f.m1 * f.m1
+	// Every encoded cell occupies at least 44 bytes (u32 m2, u64 length
+	// prefix, and a minimum 2x2 sums table), so an m1 whose cells cannot
+	// fit in the remaining payload is corrupt. Checking before the
+	// allocation below keeps a hostile header from demanding gigabytes
+	// for a claim the file's own size refutes.
+	const minCellBytes = 4 + 8 + 4*8
+	if n > d.Remaining()/minCellBytes {
+		return f, fmt.Errorf("core: m1 %d demands %d cells but only %d bytes remain", f.m1, n, d.Remaining())
+	}
+	if keep {
+		f.cells = make([]agBinaryCell, 0, n)
+	}
+	for k := 0; k < n; k++ {
+		m2 := d.Int32()
+		if err := d.Err(); err != nil {
+			return f, fmt.Errorf("core: cell %d: %w", k, err)
+		}
+		if m2 < 1 || uint64(m2)*uint64(m2) > grid.MaxCells {
+			return f, fmt.Errorf("core: cell %d: invalid m2 %d", k, m2)
+		}
+		raw := d.RawF64s((m2 + 1) * (m2 + 1))
+		if err := d.Err(); err != nil {
+			return f, fmt.Errorf("core: cell %d: %w", k, err)
+		}
+		if err := checkSumsRaw(raw, m2); err != nil {
+			return f, fmt.Errorf("core: cell %d: %w", k, err)
+		}
+		if keep {
+			f.cells = append(f.cells, agBinaryCell{m2: m2, sums: decodeF64s(raw)})
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return f, fmt.Errorf("core: parse AG synopsis: %w", err)
+	}
+	return f, nil
+}
+
+func (f *agBinary) build() (*AdaptiveGrid, error) {
+	ag := &AdaptiveGrid{
+		dom:   f.dom,
+		eps:   f.eps,
+		alpha: f.alpha,
+		m1:    f.m1,
+		cells: make([]agCell, f.m1*f.m1),
+	}
+	totals, err := grid.New(f.dom, f.m1, f.m1)
+	if err != nil {
+		return nil, err
+	}
+	leafPop := 0
+	maxM2 := 1
+	for iy := 0; iy < f.m1; iy++ {
+		for ix := 0; ix < f.m1; ix++ {
+			k := iy*f.m1 + ix
+			cf := f.cells[k]
+			cellRect := f.dom.CellRect(ix, iy, f.m1, f.m1)
+			prefix, err := grid.PrefixFromSums(geom.Domain{Rect: cellRect}, cf.m2, cf.m2, cf.sums)
+			if err != nil {
+				return nil, fmt.Errorf("core: cell %d: %w", k, err)
+			}
+			ag.cells[k] = agCell{
+				rect:   cellRect,
+				m2:     cf.m2,
+				total:  prefix.Total(),
+				leaves: prefix,
+			}
+			totals.Set(ix, iy, prefix.Total())
+			leafPop += cf.m2 * cf.m2
+			if cf.m2 > maxM2 {
+				maxM2 = cf.m2
+			}
+		}
+	}
+	ag.level1 = grid.NewPrefix(totals)
+	ag.leafPop = leafPop
+	ag.maxM2 = maxM2
+	ag.epsLevel = [2]float64{f.alpha * f.eps, (1 - f.alpha) * f.eps}
+	return ag, nil
+}
+
+// decodeF64s materializes a raw float64 section.
+func decodeF64s(raw []byte) []float64 {
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = codec.F64At(raw, i)
+	}
+	return out
+}
+
+// checkFiniteRaw is checkFinite over an undecoded float64 section.
+func checkFiniteRaw(raw []byte) error {
+	for i := 0; i < len(raw)/8; i++ {
+		if v := codec.F64At(raw, i); math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: non-finite count %g at index %d", v, i)
+		}
+	}
+	return nil
+}
+
+// checkSumsRaw validates an undecoded (m2+1)^2 prefix-sum table: every
+// entry finite, first row and column zero (grid.PrefixFromSums enforces
+// the same border, so validate-only and materializing decodes accept
+// exactly the same payloads).
+func checkSumsRaw(raw []byte, m2 int) error {
+	w := m2 + 1
+	for i := 0; i < w*w; i++ {
+		v := codec.F64At(raw, i)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: non-finite prefix sum %g at index %d", v, i)
+		}
+		if (i < w || i%w == 0) && v != 0 {
+			return fmt.Errorf("core: prefix-sum border entry %d is %g, want 0", i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+func testUG(t *testing.T) *UniformGrid {
+	t.Helper()
+	dom := geom.MustDomain(-10, 5, 30, 45)
+	u, err := BuildUniformGrid(clusteredPoints(61, 5000, dom), dom, 0.7, UGOptions{GridSize: 17}, noise.NewSource(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func testAG(t *testing.T) *AdaptiveGrid {
+	t.Helper()
+	dom := geom.MustDomain(0, 0, 20, 20)
+	a, err := BuildAdaptiveGrid(clusteredPoints(62, 8000, dom), dom, 1.2, AGOptions{M1: 6, Alpha: 0.4}, noise.NewSource(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestUGBinaryRoundTripBitIdentical: encode -> decode -> encode must
+// reproduce the bytes exactly, and the decoded synopsis must answer
+// every query identically.
+func TestUGBinaryRoundTripBitIdentical(t *testing.T) {
+	orig := testUG(t)
+	data, err := orig.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ParseUniformGridBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.GridSize() != orig.GridSize() || loaded.Epsilon() != orig.Epsilon() || loaded.Domain() != orig.Domain() {
+		t.Errorf("metadata lost: %+v", loaded)
+	}
+	again, err := loaded.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoding a decoded UG changed bytes")
+	}
+	for _, r := range []geom.Rect{
+		geom.NewRect(-10, 5, 30, 45),
+		geom.NewRect(0, 10, 15, 30),
+		geom.NewRect(-9.5, 5.5, -2.25, 12.125),
+	} {
+		if a, b := orig.Query(r), loaded.Query(r); a != b {
+			t.Errorf("Query(%v): %g before, %g after round trip", r, a, b)
+		}
+	}
+}
+
+// TestAGBinaryRoundTripBitIdentical: the AG container persists each
+// cell's prefix-sum table, so the round trip is bit-exact — unlike the
+// JSON format, which re-derives leaves and re-sums.
+func TestAGBinaryRoundTripBitIdentical(t *testing.T) {
+	orig := testAG(t)
+	data, err := orig.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ParseAdaptiveGridBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.M1() != orig.M1() || loaded.Alpha() != orig.Alpha() || loaded.Epsilon() != orig.Epsilon() {
+		t.Errorf("metadata lost: m1=%d alpha=%g eps=%g", loaded.M1(), loaded.Alpha(), loaded.Epsilon())
+	}
+	again, err := loaded.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoding a decoded AG changed bytes")
+	}
+	// Query equality is tolerance-level, not bit-level: the decoder
+	// re-derives level-1 totals from the cell prefix tables, which can
+	// differ from the builder's running totals by float rounding (the
+	// JSON round trip has the same property).
+	for _, r := range []geom.Rect{
+		geom.NewRect(0, 0, 20, 20),
+		geom.NewRect(1.5, 2.5, 18.25, 19.75),
+		geom.NewRect(7, 7, 8, 8),
+	} {
+		if a, b := orig.Query(r), loaded.Query(r); math.Abs(a-b) > 1e-9 {
+			t.Errorf("Query(%v): %g before, %g after round trip", r, a, b)
+		}
+	}
+	if a, b := orig.TotalEstimate(), loaded.TotalEstimate(); math.Abs(a-b) > 1e-9 {
+		t.Errorf("TotalEstimate: %g vs %g", a, b)
+	}
+}
+
+// TestBinaryMatchesJSONAnswers: the two formats must describe the same
+// release — a synopsis loaded from binary answers exactly like one
+// loaded from JSON of the same release.
+func TestBinaryMatchesJSONAnswers(t *testing.T) {
+	orig := testAG(t)
+	bin, err := orig.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := ParseAdaptiveGridBinary(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ParseAdaptiveGrid(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []geom.Rect{
+		geom.NewRect(0, 0, 20, 20),
+		geom.NewRect(3.3, 1.1, 12.9, 17.2),
+	} {
+		if a, b := fromBin.Query(r), fromJSON.Query(r); a != b {
+			t.Errorf("Query(%v): binary %g, JSON %g", r, a, b)
+		}
+	}
+}
+
+func TestValidateMatchesParse(t *testing.T) {
+	ug := testUG(t)
+	ag := testAG(t)
+	ugBin, _ := ug.AppendBinary(nil)
+	agBin, _ := ag.AppendBinary(nil)
+
+	info, err := ValidateUniformGridBinary(ugBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dom != ug.Domain() || info.Eps != ug.Epsilon() {
+		t.Errorf("UG info = %+v", info)
+	}
+	info, err = ValidateAdaptiveGridBinary(agBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dom != ag.Domain() || info.Eps != ag.Epsilon() {
+		t.Errorf("AG info = %+v", info)
+	}
+
+	// Validate must reject exactly what Parse rejects: every truncation
+	// of each payload either passes both or fails both.
+	for _, data := range [][]byte{ugBin, agBin} {
+		for _, cut := range []int{0, 8, 12, len(data) / 2, len(data) - 1} {
+			trunc := data[:cut]
+			_, vErr := ValidateUniformGridBinary(trunc)
+			_, pErr := ParseUniformGridBinary(trunc)
+			if (vErr == nil) != (pErr == nil) {
+				t.Errorf("cut %d: validate err %v, parse err %v", cut, vErr, pErr)
+			}
+		}
+	}
+}
+
+// TestBinaryRejectsCorrupt: corrupt containers must fail loudly with no
+// panic and no synopsis.
+func TestBinaryRejectsCorrupt(t *testing.T) {
+	ugBin, _ := testUG(t).AppendBinary(nil)
+	agBin, _ := testAG(t).AppendBinary(nil)
+
+	flip := func(data []byte, off int) []byte {
+		out := bytes.Clone(data)
+		out[off] ^= 0xFF
+		return out
+	}
+	// Offsets: 8 magic + 2 version + 2 kind = 12; domain starts at 12.
+	cases := []struct {
+		name string
+		ug   bool
+		data []byte
+	}{
+		{"ug empty", true, nil},
+		{"ug wrong kind", true, agBin},
+		{"ug truncated", true, ugBin[:len(ugBin)/2]},
+		{"ug trailing bytes", true, append(bytes.Clone(ugBin), 0)},
+		// 12-byte header + 32-byte domain + 8-byte eps + 12 bytes of
+		// dims = byte 64: the counts-section length prefix.
+		{"ug corrupt section length", true, flip(ugBin, 64)},
+		{"ag wrong kind", false, ugBin},
+		{"ag truncated", false, agBin[:len(agBin)-4]},
+		{"ag trailing bytes", false, append(bytes.Clone(agBin), 1, 2)},
+	}
+	for _, tc := range cases {
+		var err error
+		if tc.ug {
+			_, err = ParseUniformGridBinary(tc.data)
+		} else {
+			_, err = ParseAdaptiveGridBinary(tc.data)
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// buildRawUG hand-assembles a UG container so tests can plant invalid
+// field values that AppendBinary would never emit.
+func buildRawUG(dom [4]float64, eps float64, m, mx, my uint32, counts []float64) []byte {
+	e := codec.NewEnc(nil, codec.KindUniform)
+	for _, v := range dom {
+		e.F64(v)
+	}
+	e.F64(eps)
+	e.U32(m)
+	e.U32(mx)
+	e.U32(my)
+	e.F64s(counts)
+	return e.Bytes()
+}
+
+func TestBinaryRejectsInvalidFields(t *testing.T) {
+	dom := [4]float64{0, 0, 1, 1}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"zero epsilon", buildRawUG(dom, 0, 1, 1, 1, []float64{0})},
+		{"nan epsilon", buildRawUG(dom, math.NaN(), 1, 1, 1, []float64{0})},
+		{"zero m", buildRawUG(dom, 1, 0, 1, 1, []float64{0})},
+		{"zero mx", buildRawUG(dom, 1, 1, 0, 1, []float64{})},
+		{"counts mismatch", buildRawUG(dom, 1, 1, 2, 2, []float64{0, 0, 0})},
+		{"nan count", buildRawUG(dom, 1, 1, 1, 1, []float64{math.NaN()})},
+		{"inf count", buildRawUG(dom, 1, 1, 1, 1, []float64{math.Inf(-1)})},
+		{"bad domain order", buildRawUG([4]float64{1, 0, 0, 1}, 1, 1, 1, 1, []float64{0})},
+		{"nan domain", buildRawUG([4]float64{math.NaN(), 0, 1, 1}, 1, 1, 1, 1, []float64{0})},
+		{"huge dims", buildRawUG(dom, 1, 1, 1<<20, 1<<20, []float64{0})},
+	}
+	for _, tc := range cases {
+		if _, err := ParseUniformGridBinary(tc.data); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		if _, err := ValidateUniformGridBinary(tc.data); err == nil {
+			t.Errorf("%s: validate accepted", tc.name)
+		}
+	}
+}
+
+// TestAGBinaryRejectsBadSumsTable: a sums section with a non-zero
+// border or non-finite entry is corrupt.
+func TestAGBinaryRejectsBadSumsTable(t *testing.T) {
+	mkAG := func(sums []float64) []byte {
+		e := codec.NewEnc(nil, codec.KindAdaptive)
+		for _, v := range [4]float64{0, 0, 1, 1} {
+			e.F64(v)
+		}
+		e.F64(1)   // eps
+		e.F64(0.5) // alpha
+		e.U32(1)   // m1
+		e.U32(1)   // cell 0: m2 = 1 -> 2x2 sums
+		e.F64s(sums)
+		return e.Bytes()
+	}
+	if _, err := ParseAdaptiveGridBinary(mkAG([]float64{0, 0, 0, 5})); err != nil {
+		t.Fatalf("valid minimal AG rejected: %v", err)
+	}
+	for name, sums := range map[string][]float64{
+		"nonzero border": {1, 0, 0, 5},
+		"nan sum":        {0, 0, 0, math.NaN()},
+		"short table":    {0, 0, 0},
+	} {
+		if _, err := ParseAdaptiveGridBinary(mkAG(sums)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if _, err := ValidateAdaptiveGridBinary(mkAG(sums)); err == nil {
+			t.Errorf("%s: validate accepted", name)
+		}
+	}
+}
+
+// TestBinarySmallerThanJSON: the whole point of the codec — at matched
+// cell counts the binary file must be smaller than the JSON one.
+func TestBinarySmallerThanJSON(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		bin  func() ([]byte, error)
+		json func() (int64, error)
+	}{
+		{"ug", func() ([]byte, error) { return testUG(t).AppendBinary(nil) },
+			func() (int64, error) { var b bytes.Buffer; return testUG(t).WriteTo(&b) }},
+		{"ag", func() ([]byte, error) { return testAG(t).AppendBinary(nil) },
+			func() (int64, error) { var b bytes.Buffer; return testAG(t).WriteTo(&b) }},
+	} {
+		bin, err := tc.bin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonLen, err := tc.json()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(bin)) >= jsonLen {
+			t.Errorf("%s: binary %d bytes >= JSON %d bytes", tc.name, len(bin), jsonLen)
+		}
+	}
+}
+
+// TestBinaryLayoutIsLittleEndian pins the wire layout: the epsilon
+// field of a UG container sits right after the 12-byte header + 32-byte
+// domain, little endian.
+func TestBinaryLayoutIsLittleEndian(t *testing.T) {
+	data := buildRawUG([4]float64{0, 0, 1, 1}, 0.75, 1, 1, 1, []float64{3})
+	off := 12 + 32
+	got := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	if got != 0.75 {
+		t.Fatalf("epsilon on the wire = %g, want 0.75", got)
+	}
+}

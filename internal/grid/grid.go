@@ -28,13 +28,17 @@ type Counts struct {
 	vals []float64 // row-major: vals[iy*mx + ix]
 }
 
+// MaxCells caps the total cell count of one grid allocation:
+// 256M cells * 8B = 2GB; anything larger is refused. Deserializers use
+// the same cap so a corrupt file cannot demand an absurd allocation.
+const MaxCells = 1 << 28
+
 // New returns a zeroed mx x my grid over dom.
 func New(dom geom.Domain, mx, my int) (*Counts, error) {
 	if mx <= 0 || my <= 0 {
 		return nil, fmt.Errorf("grid: dimensions must be positive, got %dx%d", mx, my)
 	}
-	const maxCells = 1 << 28 // 256M cells * 8B = 2GB; refuse anything larger
-	if int64(mx)*int64(my) > maxCells {
+	if int64(mx)*int64(my) > MaxCells {
 		return nil, fmt.Errorf("grid: %dx%d grid too large", mx, my)
 	}
 	return &Counts{dom: dom, mx: mx, my: my, vals: make([]float64, mx*my)}, nil
@@ -166,6 +170,43 @@ func NewPrefix(c *Counts) *Prefix {
 		}
 	}
 	return p
+}
+
+// Sums exposes the backing prefix-sum table, row-major with
+// (mx+1) x (my+1) entries: Sums()[iy*(mx+1)+ix] is the sum of all cells
+// with x < ix and y < iy. It is the table itself, not a copy; treat it
+// as read-only. Serializers persist it directly so a decoded Prefix is
+// bit-identical to the encoded one.
+func (p *Prefix) Sums() []float64 { return p.sums }
+
+// PrefixFromSums reconstructs a Prefix directly from a serialized sums
+// table, taking ownership of sums. It validates the table's shape (the
+// length must be (mx+1)*(my+1) and the first row and column must be
+// zero — every prefix table NewPrefix builds has that border); callers
+// are responsible for value-level checks such as finiteness.
+func PrefixFromSums(dom geom.Domain, mx, my int, sums []float64) (*Prefix, error) {
+	if mx <= 0 || my <= 0 {
+		return nil, fmt.Errorf("grid: dimensions must be positive, got %dx%d", mx, my)
+	}
+	// Per-axis bound first so the product cannot overflow on
+	// adversarial dimensions.
+	if mx > MaxCells || my > MaxCells || int64(mx)*int64(my) > MaxCells {
+		return nil, fmt.Errorf("grid: %dx%d grid too large", mx, my)
+	}
+	if want := (mx + 1) * (my + 1); len(sums) != want {
+		return nil, fmt.Errorf("grid: sums table holds %d entries, want (mx+1)*(my+1) = %d", len(sums), want)
+	}
+	for ix := 0; ix <= mx; ix++ {
+		if sums[ix] != 0 {
+			return nil, fmt.Errorf("grid: sums table row 0 entry %d is %g, want 0", ix, sums[ix])
+		}
+	}
+	for iy := 0; iy <= my; iy++ {
+		if sums[iy*(mx+1)] != 0 {
+			return nil, fmt.Errorf("grid: sums table column 0 entry %d is %g, want 0", iy, sums[iy*(mx+1)])
+		}
+	}
+	return &Prefix{dom: dom, mx: mx, my: my, sums: sums}, nil
 }
 
 // Domain returns the domain of the underlying grid.

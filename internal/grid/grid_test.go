@@ -300,3 +300,58 @@ func BenchmarkFromPoints1M(b *testing.B) {
 		_, _ = FromPoints(dom, 316, 316, pts)
 	}
 }
+
+// TestPrefixFromSumsRoundTrip: a Prefix rebuilt from its own Sums table
+// answers every block sum identically (the invariant the binary synopsis
+// codec relies on for bit-identical round trips).
+func TestPrefixFromSumsRoundTrip(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	c := mustGrid(t, dom, 5, 3)
+	rng := rand.New(rand.NewSource(9))
+	for i := range c.Values() {
+		c.Values()[i] = rng.NormFloat64() * 10
+	}
+	p := NewPrefix(c)
+	sums := make([]float64, len(p.Sums()))
+	copy(sums, p.Sums())
+	q, err := PrefixFromSums(dom, 5, 3, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iy := 0; iy <= 3; iy++ {
+		for ix := 0; ix <= 5; ix++ {
+			if a, b := p.BlockSum(0, 0, ix, iy), q.BlockSum(0, 0, ix, iy); a != b {
+				t.Fatalf("BlockSum(0,0,%d,%d): %g vs %g", ix, iy, a, b)
+			}
+		}
+	}
+	r := geom.NewRect(1.3, 0.4, 8.8, 9.1)
+	if a, b := p.Query(r), q.Query(r); a != b {
+		t.Fatalf("Query: %g vs %g", a, b)
+	}
+}
+
+func TestPrefixFromSumsValidation(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	good := NewPrefix(mustGrid(t, dom, 2, 2)).Sums()
+	cases := []struct {
+		name   string
+		mx, my int
+		sums   []float64
+	}{
+		{"zero dims", 0, 2, good},
+		{"negative dims", 2, -1, good},
+		{"too large", 1 << 20, 1 << 20, good},
+		{"short table", 2, 2, good[:4]},
+		{"nonzero first row", 2, 2, []float64{0, 1, 0, 0, 0, 2, 0, 0, 4}},
+		{"nonzero first column", 2, 2, []float64{0, 0, 0, 3, 0, 2, 0, 0, 4}},
+	}
+	for _, tc := range cases {
+		if _, err := PrefixFromSums(dom, tc.mx, tc.my, tc.sums); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := PrefixFromSums(dom, 2, 2, []float64{0, 0, 0, 0, 1, 2, 0, 3, 4}); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}

@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"fmt"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
+	"github.com/dpgrid/dpgrid/internal/core"
+)
+
+// Binary (dpgridv2) serialization of sharded releases. The manifest
+// body is:
+//
+//	domain (4 f64) | epsilon (f64) | kx, ky (u32) | shard kind (u16) |
+//	shard count (u64) | offset table: count x (offset u64, length u64) |
+//	blob length (u64) | blob (concatenated per-shard containers)
+//
+// Each blob entry is a complete UG/AG dpgridv2 container, so — exactly
+// like the JSON manifest — a shard can be cut out of a release and
+// served standalone. The offset table is what the JSON format cannot
+// offer: a reader locates any shard's bytes in O(1) without decoding
+// the others, which is the foundation of lazy loading (see Lazy).
+//
+// Encodings are canonical: offsets are required to be contiguous from
+// zero, so re-encoding a decoded release reproduces the bytes exactly.
+
+// binaryAppender is implemented by every synopsis with a dpgridv2
+// encoding (*core.UniformGrid, *core.AdaptiveGrid).
+type binaryAppender interface {
+	AppendBinary(dst []byte) ([]byte, error)
+}
+
+// shardKindFor maps a per-shard JSON format tag to its container kind.
+func shardKindFor(format string) (codec.Kind, bool) {
+	switch format {
+	case core.FormatUG:
+		return codec.KindUniform, true
+	case core.FormatAG:
+		return codec.KindAdaptive, true
+	default:
+		return codec.KindInvalid, false
+	}
+}
+
+// shardFormatFor is the inverse of shardKindFor.
+func shardFormatFor(kind codec.Kind) (string, bool) {
+	switch kind {
+	case codec.KindUniform:
+		return core.FormatUG, true
+	case codec.KindAdaptive:
+		return core.FormatAG, true
+	default:
+		return "", false
+	}
+}
+
+// AppendBinary appends the release's dpgridv2 manifest to dst and
+// returns the extended slice.
+func (s *Sharded) AppendBinary(dst []byte) ([]byte, error) {
+	kind, ok := shardKindFor(s.format)
+	if !ok {
+		return nil, fmt.Errorf("shard: cannot binary-encode shard format %q", s.format)
+	}
+	// Encode every shard first so the offset table can be written
+	// before the blob.
+	var blob []byte
+	offsets := make([][2]uint64, len(s.tiles))
+	for i, tile := range s.tiles {
+		ba, ok := tile.(binaryAppender)
+		if !ok {
+			return nil, fmt.Errorf("shard: cannot binary-encode tile %d of type %T", i, tile)
+		}
+		start := len(blob)
+		var err error
+		blob, err = ba.AppendBinary(blob)
+		if err != nil {
+			return nil, fmt.Errorf("shard: encode tile %d: %w", i, err)
+		}
+		offsets[i] = [2]uint64{uint64(start), uint64(len(blob) - start)}
+	}
+
+	e := codec.NewEnc(dst, codec.KindSharded)
+	core.EncodeDomain(e, s.plan.dom)
+	e.F64(s.eps)
+	e.U32(uint32(s.plan.kx))
+	e.U32(uint32(s.plan.ky))
+	e.U16(uint16(kind))
+	e.U64(uint64(len(s.tiles)))
+	for _, off := range offsets {
+		e.U64(off[0])
+		e.U64(off[1])
+	}
+	e.U64(uint64(len(blob)))
+	e.Raw(blob)
+	return e.Bytes(), nil
+}
+
+// shardedBinary is a decoded-but-not-materialized manifest: the plan,
+// release metadata, and one raw container slice per shard.
+type shardedBinary struct {
+	raw      []byte
+	plan     Plan
+	eps      float64
+	format   string
+	kind     codec.Kind
+	payloads [][]byte
+}
+
+// decodeShardedBinary validates the manifest framing and slices the
+// per-shard payloads out of the blob. With validatePayloads it also
+// runs the full no-materialization check on every payload — structure,
+// finiteness, and the domain/epsilon cross-checks against the manifest
+// — so that a later materialization cannot fail.
+func decodeShardedBinary(data []byte, validatePayloads bool) (*shardedBinary, error) {
+	d, kind, err := codec.NewDec(data)
+	if err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	if kind != codec.KindSharded {
+		return nil, fmt.Errorf("shard: container kind %v is not %v", kind, codec.KindSharded)
+	}
+	dom, err := core.DecodeDomain(d)
+	if err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	eps := d.F64()
+	kx, ky := d.Int32(), d.Int32()
+	shardKind := codec.Kind(d.U16())
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	plan, err := NewPlan(dom, kx, ky)
+	if err != nil {
+		return nil, err
+	}
+	if !(eps > 0) {
+		return nil, fmt.Errorf("shard: invalid epsilon %g", eps)
+	}
+	format, ok := shardFormatFor(shardKind)
+	if !ok {
+		return nil, fmt.Errorf("shard: unsupported shard kind %v", shardKind)
+	}
+	n := d.Len(16)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	if n != plan.NumTiles() {
+		return nil, fmt.Errorf("shard: %d shard payloads != kx*ky = %d", n, plan.NumTiles())
+	}
+	offsets := make([][2]uint64, n)
+	// maxBlob bounds every offset and length by the bytes actually left
+	// in the file; keeping end <= maxBlob inductively means off+length
+	// can never overflow uint64, so a crafted table cannot wrap past
+	// the blob-length cross-check below.
+	maxBlob := uint64(d.Remaining())
+	var end uint64
+	for i := range offsets {
+		off, length := d.U64(), d.U64()
+		if d.Err() != nil {
+			break
+		}
+		if off != end {
+			return nil, fmt.Errorf("shard: tile %d payload offset %d is not contiguous (want %d)", i, off, end)
+		}
+		if length == 0 {
+			return nil, fmt.Errorf("shard: tile %d payload is empty", i)
+		}
+		if length > maxBlob-end {
+			return nil, fmt.Errorf("shard: tile %d payload length %d exceeds the %d bytes left", i, length, maxBlob-end)
+		}
+		offsets[i] = [2]uint64{off, length}
+		end = off + length
+	}
+	blobLen := d.Len(1)
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	if uint64(blobLen) != end {
+		return nil, fmt.Errorf("shard: blob holds %d bytes but the offset table covers %d", blobLen, end)
+	}
+	blob := d.Raw(blobLen)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+
+	sb := &shardedBinary{
+		raw:      data,
+		plan:     plan,
+		eps:      eps,
+		format:   format,
+		kind:     shardKind,
+		payloads: make([][]byte, n),
+	}
+	for i, off := range offsets {
+		sb.payloads[i] = blob[off[0] : off[0]+off[1]]
+	}
+	if validatePayloads {
+		for i, payload := range sb.payloads {
+			info, err := validateShardPayload(shardKind, payload)
+			if err != nil {
+				return nil, fmt.Errorf("shard: tile %d: %w", i, err)
+			}
+			if got, want := info.Dom, plan.Tile(i); got != want {
+				return nil, fmt.Errorf("shard: tile %d: domain %v does not cover its plan tile %v", i, got.Rect, want.Rect)
+			}
+			if info.Eps != eps {
+				return nil, fmt.Errorf("shard: tile %d: epsilon %g != manifest epsilon %g", i, info.Eps, eps)
+			}
+		}
+	}
+	return sb, nil
+}
+
+func validateShardPayload(kind codec.Kind, data []byte) (core.BinaryInfo, error) {
+	switch kind {
+	case codec.KindUniform:
+		return core.ValidateUniformGridBinary(data)
+	case codec.KindAdaptive:
+		return core.ValidateAdaptiveGridBinary(data)
+	default:
+		return core.BinaryInfo{}, fmt.Errorf("shard: unsupported shard kind %v", kind)
+	}
+}
+
+func parseShardPayload(kind codec.Kind, data []byte) (Synopsis, error) {
+	switch kind {
+	case codec.KindUniform:
+		return core.ParseUniformGridBinary(data)
+	case codec.KindAdaptive:
+		return core.ParseAdaptiveGridBinary(data)
+	default:
+		return nil, fmt.Errorf("shard: unsupported shard kind %v", kind)
+	}
+}
+
+// ParseShardedBinary deserializes a dpgridv2 sharded manifest eagerly,
+// materializing every shard up front — the drop-in binary counterpart
+// of ParseSharded. Serving daemons that want decode-on-first-touch use
+// ParseShardedLazy instead.
+func ParseShardedBinary(data []byte) (*Sharded, error) {
+	sb, err := decodeShardedBinary(data, false)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{plan: sb.plan, eps: sb.eps, format: sb.format, tiles: make([]Synopsis, len(sb.payloads))}
+	for i, payload := range sb.payloads {
+		tile, err := parseShardPayload(sb.kind, payload)
+		if err != nil {
+			return nil, fmt.Errorf("shard: tile %d: %w", i, err)
+		}
+		if got, want := tile.Domain(), sb.plan.Tile(i); got != want {
+			return nil, fmt.Errorf("shard: tile %d: domain %v does not cover its plan tile %v", i, got.Rect, want.Rect)
+		}
+		if tile.Epsilon() != sb.eps {
+			return nil, fmt.Errorf("shard: tile %d: epsilon %g != manifest epsilon %g", i, tile.Epsilon(), sb.eps)
+		}
+		s.tiles[i] = tile
+	}
+	return s, nil
+}

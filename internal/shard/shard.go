@@ -59,8 +59,10 @@ func NewPlan(dom geom.Domain, kx, ky int) (Plan, error) {
 	if kx < 1 || ky < 1 {
 		return Plan{}, fmt.Errorf("shard: tile counts must be positive, got %dx%d", kx, ky)
 	}
-	if int64(kx)*int64(ky) > MaxTiles {
-		return Plan{}, fmt.Errorf("shard: %dx%d = %d tiles exceeds the %d-tile cap", kx, ky, int64(kx)*int64(ky), MaxTiles)
+	// Per-axis bound first so the product cannot overflow int64 on
+	// adversarial manifest dimensions.
+	if kx > MaxTiles || ky > MaxTiles || int64(kx)*int64(ky) > MaxTiles {
+		return Plan{}, fmt.Errorf("shard: %dx%d tiles exceeds the %d-tile cap", kx, ky, MaxTiles)
 	}
 	return Plan{dom: dom, kx: kx, ky: ky}, nil
 }
@@ -345,26 +347,41 @@ func build(plan Plan, eps float64, opts Options, src noise.Source, format string
 	return &Sharded{plan: plan, eps: eps, format: format, tiles: tiles}, nil
 }
 
-// Query estimates the number of data points in r. The answer is the
-// sum, in shard-index order, of every overlapping shard's partial
-// answer: a shard whose whole tile lies inside the query contributes
-// its TotalEstimate (an O(1) short-circuit); a partially covered shard
-// answers its clipped rectangle. Non-overlapping shards are never
-// touched, so planet-scale mosaics answer small queries by visiting a
-// handful of tiles.
-func (s *Sharded) Query(r geom.Rect) float64 {
-	clipped, ok := s.plan.dom.Clip(r)
+// routeQuery is the shared fan-out both the eager and the lazy release
+// use: the answer is the sum, in shard-index order, of every
+// overlapping shard's partial answer. Non-overlapping shards are never
+// requested from tileAt, so planet-scale mosaics answer small queries
+// by visiting (and, lazily, materializing) a handful of tiles.
+func routeQuery(plan Plan, r geom.Rect, tileAt func(int) Synopsis) float64 {
+	clipped, ok := plan.dom.Clip(r)
 	if !ok {
 		return 0
 	}
-	bx0, by0, bx1, by1 := s.plan.tileRange(clipped)
+	bx0, by0, bx1, by1 := plan.tileRange(clipped)
 	var total float64
 	for by := by0; by <= by1; by++ {
 		for bx := bx0; bx <= bx1; bx++ {
-			total += s.shardAnswer(by*s.plan.kx+bx, clipped)
+			total += tileAnswer(tileAt(by*plan.kx+bx), clipped)
 		}
 	}
 	return total
+}
+
+// tileAnswer answers one shard for a rectangle already clipped to the
+// domain (routeQuery pays the clip once, not once per overlapping
+// shard): a shard whose whole tile lies inside the query contributes
+// its TotalEstimate (an O(1) short-circuit); a partially covered shard
+// answers its clipped rectangle.
+func tileAnswer(tile Synopsis, clipped geom.Rect) float64 {
+	if clipped.ContainsRect(tile.Domain().Rect) {
+		return tile.TotalEstimate()
+	}
+	return tile.Query(clipped)
+}
+
+// Query estimates the number of data points in r (see routeQuery).
+func (s *Sharded) Query(r geom.Rect) float64 {
+	return routeQuery(s.plan, r, s.tileAt)
 }
 
 // ShardAnswer returns shard i's partial answer to r — exactly the term
@@ -375,19 +392,10 @@ func (s *Sharded) ShardAnswer(i int, r geom.Rect) float64 {
 	if !ok {
 		return 0
 	}
-	return s.shardAnswer(i, clipped)
+	return tileAnswer(s.tiles[i], clipped)
 }
 
-// shardAnswer answers shard i for a rectangle already clipped to the
-// domain, so Query pays the clip once, not once per overlapping shard.
-func (s *Sharded) shardAnswer(i int, clipped geom.Rect) float64 {
-	tile := s.tiles[i]
-	tileRect := tile.Domain().Rect
-	if clipped.ContainsRect(tileRect) {
-		return tile.TotalEstimate()
-	}
-	return tile.Query(clipped)
-}
+func (s *Sharded) tileAt(i int) Synopsis { return s.tiles[i] }
 
 // QueryBatch answers every rectangle in rs, fanned out across one
 // worker per CPU, and returns the estimates in input order.

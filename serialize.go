@@ -5,16 +5,32 @@ import (
 	"io"
 	"os"
 
+	"github.com/dpgrid/dpgrid/internal/codec"
 	"github.com/dpgrid/dpgrid/internal/core"
 	"github.com/dpgrid/dpgrid/internal/shard"
 )
 
+// Synopsis files come in two on-disk encodings carrying the same
+// release (cell boundaries and noisy counts, the paper's definition —
+// so either file costs no privacy beyond the epsilon already spent):
+//
+//   - FormatJSON: the original human-readable versioned JSON.
+//   - FormatBinary: the compact "dpgridv2" container — little-endian,
+//     length-prefixed float64 sections, and for sharded manifests a
+//     per-shard offset table that enables lazy shard loading.
+//
+// ReadSynopsis sniffs the encoding from the leading bytes (binary files
+// start with the "dpgridv2" magic, JSON files with '{'), so readers
+// never need to be told which they were given.
+const (
+	FormatJSON   = "json"
+	FormatBinary = "binary"
+)
+
 // WriteSynopsis serializes a released synopsis (UniformGrid,
-// AdaptiveGrid, or Sharded) as versioned JSON. The file contains
-// exactly what the paper defines as the release — cell boundaries and
-// noisy counts — so distributing it carries no privacy cost beyond the
-// epsilon already spent building it. A Sharded release serializes as a
-// manifest embedding one per-shard payload per tile.
+// AdaptiveGrid, Sharded, or LazySharded) as versioned JSON. A Sharded
+// release serializes as a manifest embedding one per-shard payload per
+// tile. For the compact binary encoding use WriteSynopsisBinary.
 func WriteSynopsis(w io.Writer, s Synopsis) error {
 	switch v := s.(type) {
 	case *UniformGrid:
@@ -26,18 +42,99 @@ func WriteSynopsis(w io.Writer, s Synopsis) error {
 	case *Sharded:
 		_, err := v.WriteTo(w)
 		return err
+	case *LazySharded:
+		_, err := v.WriteTo(w)
+		return err
 	default:
 		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid, AdaptiveGrid, and Sharded)", s)
 	}
 }
 
-// ReadSynopsis deserializes a synopsis written by WriteSynopsis,
-// dispatching on the file's format tag and validating its structure.
+// WriteSynopsisBinary serializes a released synopsis as a dpgridv2
+// binary container: a fraction of the JSON size, decoded by copying
+// rather than parsing, and — for sharded manifests — loadable shard by
+// shard (see ReadSynopsisLazy).
+func WriteSynopsisBinary(w io.Writer, s Synopsis) error {
+	ba, ok := s.(interface {
+		AppendBinary(dst []byte) ([]byte, error)
+	})
+	if !ok {
+		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid, AdaptiveGrid, and Sharded)", s)
+	}
+	data, err := ba.AppendBinary(nil)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteSynopsisFormat serializes s in the named format (FormatJSON or
+// FormatBinary) — the programmatic face of the CLI -format flag.
+func WriteSynopsisFormat(w io.Writer, s Synopsis, format string) error {
+	switch format {
+	case FormatJSON:
+		return WriteSynopsis(w, s)
+	case FormatBinary:
+		return WriteSynopsisBinary(w, s)
+	default:
+		return fmt.Errorf("dpgrid: unknown synopsis file format %q (want %q or %q)", format, FormatJSON, FormatBinary)
+	}
+}
+
+// ReadSynopsis deserializes a synopsis written by WriteSynopsis or
+// WriteSynopsisBinary, sniffing the encoding from the leading bytes and
+// validating the file's structure. Sharded manifests are materialized
+// eagerly; serving paths that want decode-on-first-touch should use
+// ReadSynopsisLazy.
 func ReadSynopsis(r io.Reader) (Synopsis, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("dpgrid: read synopsis: %w", err)
 	}
+	if codec.Detect(data) {
+		return readSynopsisBinary(data, false)
+	}
+	return readSynopsisJSON(data)
+}
+
+// ReadSynopsisLazy is ReadSynopsis except that a binary sharded
+// manifest loads as a *LazySharded: every shard payload is validated up
+// front, but a shard's query structure is decoded only when a query
+// first touches its tile. Monolithic synopses and JSON files (which
+// lack the offset table lazy loading needs) load eagerly as usual.
+func ReadSynopsisLazy(r io.Reader) (Synopsis, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dpgrid: read synopsis: %w", err)
+	}
+	if codec.Detect(data) {
+		return readSynopsisBinary(data, true)
+	}
+	return readSynopsisJSON(data)
+}
+
+func readSynopsisBinary(data []byte, lazy bool) (Synopsis, error) {
+	_, kind, err := codec.NewDec(data)
+	if err != nil {
+		return nil, fmt.Errorf("dpgrid: %w", err)
+	}
+	switch kind {
+	case codec.KindUniform:
+		return core.ParseUniformGridBinary(data)
+	case codec.KindAdaptive:
+		return core.ParseAdaptiveGridBinary(data)
+	case codec.KindSharded:
+		if lazy {
+			return shard.ParseShardedLazy(data)
+		}
+		return shard.ParseShardedBinary(data)
+	default:
+		return nil, fmt.Errorf("dpgrid: unknown synopsis kind %v", kind)
+	}
+}
+
+func readSynopsisJSON(data []byte) (Synopsis, error) {
 	env, err := core.ReadEnvelope(data)
 	if err != nil {
 		return nil, fmt.Errorf("dpgrid: %w", err)
@@ -54,13 +151,34 @@ func ReadSynopsis(r io.Reader) (Synopsis, error) {
 	}
 }
 
-// WriteSynopsisFile writes s to path with WriteSynopsis. The write is
-// atomic — it goes to a temporary file in the same directory that is
-// renamed over path only on success — so a failure (disk full, encode
-// error) never destroys an existing synopsis file a server may be
-// loading from. A fresh file gets the umask-governed default mode (as
-// os.Create would); overwriting preserves the existing file's mode.
+// WriteSynopsisFile writes s to path with WriteSynopsis (JSON). The
+// write is atomic — it goes to a temporary file in the same directory
+// that is renamed over path only on success — so a failure (disk full,
+// encode error) never destroys an existing synopsis file a server may
+// be loading from. A fresh file gets the umask-governed default mode
+// (as os.Create would); overwriting preserves the existing file's mode.
 func WriteSynopsisFile(path string, s Synopsis) error {
+	return WriteSynopsisFileFormat(path, s, FormatJSON)
+}
+
+// WriteSynopsisFileFormat is WriteSynopsisFile with an explicit
+// encoding (FormatJSON or FormatBinary), with the same atomicity
+// guarantees.
+func WriteSynopsisFileFormat(path string, s Synopsis, format string) error {
+	// Validate the format before touching the filesystem so a bad flag
+	// value cannot leave staging files behind.
+	if format != FormatJSON && format != FormatBinary {
+		return fmt.Errorf("dpgrid: unknown synopsis file format %q (want %q or %q)", format, FormatJSON, FormatBinary)
+	}
+	return writeFileAtomic(path, func(w io.Writer) error {
+		return WriteSynopsisFormat(w, s, format)
+	})
+}
+
+// writeFileAtomic streams encode's output to a temporary file next to
+// path and renames it over path only after a successful encode and
+// fsync.
+func writeFileAtomic(path string, encode func(io.Writer) error) error {
 	// Stage next to the target (same directory, so the rename cannot
 	// cross filesystems). O_EXCL with a retried suffix gives every
 	// caller — including concurrent goroutines in one process — its own
@@ -89,7 +207,7 @@ func WriteSynopsisFile(path string, s Synopsis) error {
 			return fail(fmt.Errorf("dpgrid: %w", err))
 		}
 	}
-	if err := WriteSynopsis(f, s); err != nil {
+	if err := encode(f); err != nil {
 		return fail(err)
 	}
 	// Flush data before the rename: journaling filesystems may commit
@@ -110,12 +228,22 @@ func WriteSynopsisFile(path string, s Synopsis) error {
 }
 
 // ReadSynopsisFile reads a synopsis previously written by
-// WriteSynopsisFile (or WriteSynopsis) from path.
+// WriteSynopsisFile (or WriteSynopsis) from path, in either encoding.
 func ReadSynopsisFile(path string) (Synopsis, error) {
+	return readSynopsisFile(path, ReadSynopsis)
+}
+
+// ReadSynopsisFileLazy is ReadSynopsisFile with lazy shard loading for
+// binary sharded manifests (see ReadSynopsisLazy).
+func ReadSynopsisFileLazy(path string) (Synopsis, error) {
+	return readSynopsisFile(path, ReadSynopsisLazy)
+}
+
+func readSynopsisFile(path string, read func(io.Reader) (Synopsis, error)) (Synopsis, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dpgrid: %w", err)
 	}
 	defer f.Close()
-	return ReadSynopsis(f)
+	return read(f)
 }

@@ -2,6 +2,8 @@ package dpgrid
 
 import (
 	"bytes"
+	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -136,9 +138,9 @@ func TestShardedSynopsisFileRoundTrip(t *testing.T) {
 	}
 }
 
-// validSynopsisFiles serializes one release of each format for the
-// corrupt-file table and the fuzz seed corpus.
-func validSynopsisFiles(t interface{ Fatal(...any) }) map[string][]byte {
+// validSynopses builds one small release of each kind for the
+// round-trip tables, the corrupt-file table, and the fuzz seed corpus.
+func validSynopses(t interface{ Fatal(...any) }) map[string]Synopsis {
 	dom, err := NewDomain(0, 0, 20, 20)
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +149,6 @@ func validSynopsisFiles(t interface{ Fatal(...any) }) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := make(map[string][]byte)
 	ug, err := BuildUniformGrid(nil, dom, 1, UGOptions{GridSize: 3}, NewNoiseSource(1))
 	if err != nil {
 		t.Fatal(err)
@@ -160,9 +161,29 @@ func validSynopsisFiles(t interface{ Fatal(...any) }) map[string][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, s := range map[string]Synopsis{"ug": ug, "ag": ag, "sharded": sh} {
+	return map[string]Synopsis{"ug": ug, "ag": ag, "sharded": sh}
+}
+
+// validSynopsisFiles serializes one release of each kind as JSON.
+func validSynopsisFiles(t interface{ Fatal(...any) }) map[string][]byte {
+	out := make(map[string][]byte)
+	for name, s := range validSynopses(t) {
 		var buf bytes.Buffer
 		if err := WriteSynopsis(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		out[name] = buf.Bytes()
+	}
+	return out
+}
+
+// validBinarySynopsisFiles serializes one release of each kind as a
+// dpgridv2 container.
+func validBinarySynopsisFiles(t interface{ Fatal(...any) }) map[string][]byte {
+	out := make(map[string][]byte)
+	for name, s := range validSynopses(t) {
+		var buf bytes.Buffer
+		if err := WriteSynopsisBinary(&buf, s); err != nil {
 			t.Fatal(err)
 		}
 		out[name] = buf.Bytes()
@@ -196,37 +217,78 @@ func TestReadSynopsisRejectsCorrupt(t *testing.T) {
 		{"sharded payload mismatch", []byte(`{"format":"dpgrid/sharded","version":1,"domain":[0,0,1,1],"epsilon":1,"kx":2,"ky":1,"shard_format":"dpgrid/uniform-grid","shards":[]}`)},
 		{"sharded bad payload", []byte(`{"format":"dpgrid/sharded","version":1,"domain":[0,0,1,1],"epsilon":1,"kx":1,"ky":1,"shard_format":"dpgrid/uniform-grid","shards":[{"x":1}]}`)},
 	}
+	// Binary-container corruption goes through the same entry point.
+	validBin := validBinarySynopsisFiles(t)
+	corruptBin := map[string][]byte{"binary bare magic": []byte("dpgridv2")}
+	for name, data := range validBin {
+		corruptBin["binary "+name+" truncated"] = data[:len(data)/2]
+		corruptBin["binary "+name+" trailing bytes"] = append(bytes.Clone(data), 0)
+	}
+	for name, data := range corruptBin {
+		cases = append(cases, struct {
+			name string
+			data []byte
+		}{name, data})
+	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			if _, err := ReadSynopsis(bytes.NewReader(tc.data)); err == nil {
 				t.Errorf("corrupt input accepted: %.80s", tc.data)
 			}
+			if _, err := ReadSynopsisLazy(bytes.NewReader(tc.data)); err == nil {
+				t.Errorf("corrupt input accepted lazily: %.80s", tc.data)
+			}
 		})
 	}
-	// Sanity: the valid files all load.
+	// Sanity: the valid files all load, in both encodings.
 	for name, data := range valid {
 		if _, err := ReadSynopsis(bytes.NewReader(data)); err != nil {
 			t.Errorf("valid %s file rejected: %v", name, err)
+		}
+	}
+	for name, data := range validBin {
+		if _, err := ReadSynopsis(bytes.NewReader(data)); err != nil {
+			t.Errorf("valid binary %s file rejected: %v", name, err)
 		}
 	}
 }
 
 // FuzzReadSynopsis: the public deserialization entry point must never
 // panic and must either return a queryable synopsis or an error, no
-// matter the bytes. The seed corpus covers every format plus truncated
-// and hand-corrupted variants.
+// matter the bytes. The seed corpus covers every format in both
+// encodings, plus truncated and bit-flipped variants of the dpgridv2
+// containers and hand-corrupted JSON.
 func FuzzReadSynopsis(f *testing.F) {
 	valid := validSynopsisFiles(f)
 	for _, data := range valid {
 		f.Add(data)
 		f.Add(data[:len(data)/2])
 	}
+	for _, data := range validBinarySynopsisFiles(f) {
+		f.Add(data)
+		f.Add(data[:len(data)/3])
+		f.Add(data[:len(data)-1])
+		// Bit flips in the header, the dimension fields, and the
+		// count/offset sections.
+		for _, off := range []int{9, 13, 45, len(data) / 2, len(data) - 9} {
+			flipped := bytes.Clone(data)
+			flipped[off] ^= 0x10
+			f.Add(flipped)
+		}
+	}
 	f.Add([]byte(`{"format":"dpgrid/sharded","version":1}`))
 	f.Add([]byte(`{"format":"dpgrid/sharded","version":1,"domain":[0,0,1,1],"epsilon":1,"kx":1,"ky":1,"shard_format":"dpgrid/uniform-grid","shards":[{"format":"dpgrid/uniform-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"m":1,"counts":[3]}]}`))
 	f.Add([]byte(`not json at all`))
+	f.Add([]byte("dpgridv2"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Both the eager and the lazy path must hold the no-panic,
+		// no-NaN contract, and agree on acceptance.
 		syn, err := ReadSynopsis(bytes.NewReader(data))
+		lazySyn, lazyErr := ReadSynopsisLazy(bytes.NewReader(data))
+		if (err == nil) != (lazyErr == nil) {
+			t.Fatalf("eager err %v, lazy err %v", err, lazyErr)
+		}
 		if err != nil {
 			return
 		}
@@ -234,5 +296,169 @@ func FuzzReadSynopsis(f *testing.F) {
 		if got != got {
 			t.Fatalf("parsed synopsis produced NaN answer")
 		}
+		if lazyGot := lazySyn.Query(NewRect(-1e9, -1e9, 1e9, 1e9)); lazyGot != got {
+			t.Fatalf("lazy answer %g != eager answer %g", lazyGot, got)
+		}
 	})
+}
+
+// TestWriteReadSynopsisBinary: every kind round-trips through
+// WriteSynopsisBinary/ReadSynopsis bit-identically — the re-encoded
+// container equals the original byte for byte.
+func TestWriteReadSynopsisBinary(t *testing.T) {
+	for name, s := range validSynopses(t) {
+		var buf bytes.Buffer
+		if err := WriteSynopsisBinary(&buf, s); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data := bytes.Clone(buf.Bytes())
+		loaded, err := ReadSynopsis(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var again bytes.Buffer
+		if err := WriteSynopsisBinary(&again, loaded); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(data, again.Bytes()) {
+			t.Errorf("%s: binary round trip changed bytes (%d -> %d)", name, len(data), again.Len())
+		}
+		r := NewRect(2.5, 3.5, 17, 16)
+		a, b := s.Query(r), loaded.Query(r)
+		if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: round trip changed answer: %g vs %g", name, a, b)
+		}
+	}
+}
+
+// TestReadSynopsisLazySharded: the lazy entry point returns a
+// *LazySharded for binary manifests, which serializes back to both
+// encodings.
+func TestReadSynopsisLazySharded(t *testing.T) {
+	sh := validSynopses(t)["sharded"]
+	var buf bytes.Buffer
+	if err := WriteSynopsisBinary(&buf, sh); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Clone(buf.Bytes())
+	loaded, err := ReadSynopsisLazy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, ok := loaded.(*LazySharded)
+	if !ok {
+		t.Fatalf("lazy read returned %T, want *LazySharded", loaded)
+	}
+	if lazy.MaterializedShards() != 0 {
+		t.Fatalf("read materialized %d shards", lazy.MaterializedShards())
+	}
+	var bin bytes.Buffer
+	if err := WriteSynopsisBinary(&bin, lazy); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bin.Bytes(), data) {
+		t.Error("lazy re-encode changed bytes")
+	}
+	var asJSON bytes.Buffer
+	if err := WriteSynopsis(&asJSON, lazy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSynopsis(&asJSON); err != nil {
+		t.Fatalf("JSON written from a lazy release does not load: %v", err)
+	}
+	// JSON and monolithic binary files fall back to eager types.
+	var ugBin bytes.Buffer
+	if err := WriteSynopsisBinary(&ugBin, validSynopses(t)["ug"]); err != nil {
+		t.Fatal(err)
+	}
+	eager, err := ReadSynopsisLazy(&ugBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eager.(*UniformGrid); !ok {
+		t.Fatalf("lazy read of a UG file returned %T", eager)
+	}
+}
+
+// TestBinaryManifestSmallerThanJSON: at matched cell counts (the same
+// release encoded both ways) the binary manifest must be substantially
+// smaller.
+func TestBinaryManifestSmallerThanJSON(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 50, 50)
+	plan, err := NewShardPlan(dom, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := examplePoints(55, 20000, dom)
+	sh, err := BuildShardedAdaptiveGrid(pts, plan, 1, AGOptions{M1: 4}, ShardOptions{}, NewNoiseSource(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf, binBuf bytes.Buffer
+	if err := WriteSynopsis(&jsonBuf, sh); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSynopsisBinary(&binBuf, sh); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len() >= jsonBuf.Len() {
+		t.Fatalf("binary manifest %d bytes >= JSON %d bytes", binBuf.Len(), jsonBuf.Len())
+	}
+	t.Logf("sharded manifest: JSON %d bytes, binary %d bytes (%.1fx smaller)",
+		jsonBuf.Len(), binBuf.Len(), float64(jsonBuf.Len())/float64(binBuf.Len()))
+}
+
+// update regenerates the golden files under testdata; run
+// `go test -run TestGoldenFiles -update .` after an intentional format
+// change and commit the result.
+var update = flag.Bool("update", false, "rewrite golden synopsis files")
+
+// TestGoldenFiles pins the on-disk formats: the committed files must
+// load, answer consistently across encodings, and — for the binary
+// containers — re-encode bit-identically. A format change that breaks
+// files already in the field fails here first.
+func TestGoldenFiles(t *testing.T) {
+	if *update {
+		for name, s := range validSynopses(t) {
+			if err := WriteSynopsisFileFormat(filepath.Join("testdata", "golden."+name+".json"), s, FormatJSON); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteSynopsisFileFormat(filepath.Join("testdata", "golden."+name+".dpgrid"), s, FormatBinary); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	queries := []Rect{
+		NewRect(0, 0, 20, 20),
+		NewRect(1.5, 2.5, 18, 19),
+		NewRect(9, 9, 11, 11),
+	}
+	for _, name := range []string{"ug", "ag", "sharded"} {
+		binPath := filepath.Join("testdata", "golden."+name+".dpgrid")
+		fromJSON, err := ReadSynopsisFile(filepath.Join("testdata", "golden."+name+".json"))
+		if err != nil {
+			t.Fatalf("%s: %v (run `go test -run TestGoldenFiles -update .` if the format changed intentionally)", name, err)
+		}
+		fromBin, err := ReadSynopsisFile(binPath)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range queries {
+			a, b := fromJSON.Query(r), fromBin.Query(r)
+			if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s: Query(%v): JSON %g, binary %g", name, r, a, b)
+			}
+		}
+		golden, err := os.ReadFile(binPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var again bytes.Buffer
+		if err := WriteSynopsisBinary(&again, fromBin); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(golden, again.Bytes()) {
+			t.Errorf("%s: re-encoding the golden binary file changed bytes", name)
+		}
+	}
 }

@@ -34,6 +34,16 @@ type ShardOptions = shard.Options
 // short-circuiting through their TotalEstimate.
 type Sharded = shard.Sharded
 
+// LazySharded is a sharded release loaded from a binary (dpgridv2)
+// manifest whose per-shard synopses are decoded on first touch: loading
+// validates every payload but materializes none, so a serving daemon
+// pays decode cost only for the tiles its traffic actually hits.
+// ReadSynopsisLazy returns one; it answers queries identically to the
+// eagerly loaded release and is safe for concurrent use. Use
+// MaterializedShards to observe decode progress and Eager to force a
+// full materialization.
+type LazySharded = shard.Lazy
+
 // BuildShardedUniformGrid builds one UG synopsis per tile of plan, each
 // under the full eps via parallel composition. For a fixed seed and
 // plan the release is bit-identical for every ShardOptions.Workers
