@@ -6,11 +6,15 @@
 //
 // Usage:
 //
-//	dpserve -listen :8080 -synopsis checkin=checkin.ag.json -synopsis road=road.ug.json
+//	dpserve -listen :8080 -synopsis checkin=checkin.ag.dpgrid -synopsis road=road.ug.dpgrid
 //
 // Endpoints:
 //
 //	GET    /healthz              liveness + registered synopsis count
+//	GET    /metrics              Prometheus text exposition: per-synopsis
+//	                             query counts, latency histograms, shard
+//	                             fan-out, lazy materializations, cache
+//	                             hit/miss, decode errors, admission drops
 //	GET    /v1/synopses          list registered synopses with metadata
 //	GET    /v1/synopses/<name>   metadata for one synopsis
 //	PUT    /v1/synopses/<name>   register the synopsis serialized in the body
@@ -35,29 +39,39 @@
 //	-> {"synopsis": "checkin", "counts": [10234.1, 512.9]}
 //
 // Batches are fanned out across one worker per CPU (dpgrid.QueryBatch),
-// so a single large request saturates the machine.
+// so a single large request saturates the machine. Repeated rectangles
+// are answered from a bounded LRU result cache (-cache-entries, 0
+// disables) whose answers are bit-identical to recomputation; the cache
+// is invalidated when PUT or DELETE changes what a name serves.
+//
+// Operational limits: -max-inflight rejects API requests beyond the
+// bound with 429 (health and metrics stay unthrottled), -request-timeout
+// bounds each API request, and SIGINT/SIGTERM trigger a graceful
+// shutdown that stops accepting connections and drains in-flight
+// requests for up to -drain-timeout.
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"math"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
-
-	"github.com/dpgrid/dpgrid"
 )
 
 // synopsisFlags collects repeated -synopsis name=path flags.
 type synopsisFlags []string
 
+// String implements flag.Value.
 func (s *synopsisFlags) String() string { return strings.Join(*s, ",") }
 
+// Set validates and appends one name=path spec.
 func (s *synopsisFlags) Set(v string) error {
 	name, path, ok := strings.Cut(v, "=")
 	if !ok || name == "" || path == "" {
@@ -77,7 +91,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dpserve", flag.ContinueOnError)
 	listen := fs.String("listen", ":8080", "address to serve HTTP on")
-	readonly := fs.Bool("readonly", false, "disable PUT /v1/synopses/<name>; serve only synopses loaded at startup")
+	readonly := fs.Bool("readonly", false, "disable PUT/DELETE /v1/synopses/<name>; serve only synopses loaded at startup")
+	cacheEntries := fs.Int("cache-entries", 4096, "result cache capacity in (synopsis, rect) answers; 0 disables caching")
+	maxInflight := fs.Int("max-inflight", 0, "reject API requests beyond this many in flight with 429; 0 means unlimited")
+	requestTimeout := fs.Duration("request-timeout", time.Minute, "per-request deadline for /v1 endpoints; 0 disables")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
 	var syns synopsisFlags
 	fs.Var(&syns, "synopsis", "synopsis to serve as name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -88,10 +106,55 @@ func run(args []string) error {
 	if err := loadSynopses(reg, syns); err != nil {
 		return err
 	}
+	srv := newDPServer(reg, serverOptions{
+		readonly:       *readonly,
+		cacheEntries:   *cacheEntries,
+		maxInflight:    *maxInflight,
+		requestTimeout: *requestTimeout,
+	})
 
-	srv := newServer(*listen, reg, *readonly)
-	log.Printf("dpserve listening on %s with %d synopses", *listen, reg.count())
-	return srv.ListenAndServe()
+	httpSrv := newHTTPServer(*listen, srv.handler())
+	log.Printf("dpserve listening on %s with %d synopses (cache %d entries, max-inflight %s)",
+		*listen, reg.count(), *cacheEntries, orUnlimited(*maxInflight))
+	return serveUntilSignal(httpSrv, *drainTimeout)
+}
+
+func orUnlimited(n int) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprint(n)
+}
+
+// serveUntilSignal runs the server until it fails or the process
+// receives SIGINT/SIGTERM, then shuts down gracefully: the listener
+// closes immediately (a rolling deploy's replacement can bind), idle
+// connections drop, and in-flight requests get up to drain to finish
+// before the process exits. A second signal during the drain aborts it.
+func serveUntilSignal(httpSrv *http.Server, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	log.Printf("dpserve: shutdown signal received; draining in-flight requests (up to %s)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("dpserve: drained; exiting")
+	return nil
 }
 
 // loadSynopses registers every -synopsis name=path spec. Duplicate
@@ -117,213 +180,19 @@ func loadSynopses(reg *registry, specs []string) error {
 	return nil
 }
 
-// newServer configures the HTTP server around the handler. Full
+// newHTTPServer configures the HTTP server around the handler. Full
 // read/write deadlines, not just header timeouts: bodies can be up to
 // maxBodyBytes, and without a deadline a slow-loris client trickling a
 // body (or draining a response) at a byte a minute pins a handler
-// goroutine and its buffers indefinitely.
-func newServer(addr string, reg *registry, readonly bool) *http.Server {
+// goroutine and its buffers indefinitely. The per-request -request-
+// timeout is enforced separately, inside the handler chain.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
 	return &http.Server{
 		Addr:              addr,
-		Handler:           newHandler(reg, readonly),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-}
-
-// maxBodyBytes caps request bodies (a 1e6-rect batch is ~40 MB; synopsis
-// uploads can be larger but are bounded too).
-const maxBodyBytes = 256 << 20
-
-// queryRequest is the body of POST /v1/query. Rects are
-// [minX, minY, maxX, maxY] quadruples.
-type queryRequest struct {
-	Synopsis string       `json:"synopsis"`
-	Rects    [][4]float64 `json:"rects"`
-}
-
-type queryResponse struct {
-	Synopsis string    `json:"synopsis"`
-	Counts   []float64 `json:"counts"`
-}
-
-// synopsisInfo is one entry of GET /v1/synopses and the body of
-// GET /v1/synopses/<name>. Shards is set only for sharded releases.
-// Domain is a pointer because encoding/json's omitempty is a no-op for
-// arrays: a bare Synopsis without metadata used to report a bogus
-// [0,0,0,0] domain instead of omitting the field.
-type synopsisInfo struct {
-	Name    string      `json:"name"`
-	Epsilon float64     `json:"epsilon,omitempty"`
-	Domain  *[4]float64 `json:"domain,omitempty"`
-	Shards  int         `json:"shards,omitempty"`
-}
-
-// metadata is implemented by every released synopsis type in dpgrid;
-// asserted dynamically so the registry can also hold bare Synopsis
-// implementations without it.
-type metadata interface {
-	Epsilon() float64
-	Domain() dpgrid.Domain
-}
-
-// sharded is implemented by geo-sharded releases (dpgrid.Sharded).
-type sharded interface {
-	NumShards() int
-}
-
-func infoFor(name string, s dpgrid.Synopsis) synopsisInfo {
-	info := synopsisInfo{Name: name}
-	if m, ok := s.(metadata); ok {
-		d := m.Domain()
-		info.Epsilon = m.Epsilon()
-		info.Domain = &[4]float64{d.MinX, d.MinY, d.MaxX, d.MaxY}
-	}
-	if sh, ok := s.(sharded); ok {
-		info.Shards = sh.NumShards()
-	}
-	return info
-}
-
-// newHandler returns the dpserve HTTP API over reg. It is split from run
-// so tests can drive it with httptest. readonly disables the PUT
-// endpoint: dpserve has no authentication, so anyone who can reach the
-// listener can otherwise replace a served synopsis — deploy writable
-// registries only on trusted networks.
-func newHandler(reg *registry, readonly bool) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":   "ok",
-			"synopses": reg.count(),
-		})
-	})
-	mux.HandleFunc("/v1/synopses", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, "use GET")
-			return
-		}
-		infos := make([]synopsisInfo, 0)
-		for _, name := range reg.names() {
-			s, ok := reg.get(name)
-			if !ok {
-				continue
-			}
-			infos = append(infos, infoFor(name, s))
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"synopses": infos})
-	})
-	mux.HandleFunc("/v1/synopses/", func(w http.ResponseWriter, r *http.Request) {
-		name := strings.TrimPrefix(r.URL.Path, "/v1/synopses/")
-		if name == "" || strings.Contains(name, "/") {
-			writeError(w, http.StatusNotFound, "synopsis name missing or invalid")
-			return
-		}
-		switch r.Method {
-		case http.MethodGet:
-			s, ok := reg.get(name)
-			if !ok {
-				writeError(w, http.StatusNotFound, fmt.Sprintf("unknown synopsis %q", name))
-				return
-			}
-			writeJSON(w, http.StatusOK, infoFor(name, s))
-		case http.MethodDelete:
-			if readonly {
-				writeError(w, http.StatusForbidden, "server is read-only (-readonly)")
-				return
-			}
-			if !reg.remove(name) {
-				writeError(w, http.StatusNotFound, fmt.Sprintf("unknown synopsis %q", name))
-				return
-			}
-			writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
-		case http.MethodPut:
-			if readonly {
-				writeError(w, http.StatusForbidden, "server is read-only (-readonly)")
-				return
-			}
-			s, err := readSynopsisBody(r)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, err.Error())
-				return
-			}
-			reg.put(name, s)
-			writeJSON(w, http.StatusOK, map[string]any{"loaded": name})
-		default:
-			writeError(w, http.StatusMethodNotAllowed, "use GET, PUT, or DELETE")
-		}
-	})
-	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, "use POST")
-			return
-		}
-		var req queryRequest
-		body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad query body: "+err.Error())
-			return
-		}
-		s, ok := reg.get(req.Synopsis)
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown synopsis %q", req.Synopsis))
-			return
-		}
-		if i := badRectIndex(req.Rects); i >= 0 {
-			q := req.Rects[i]
-			writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("rect %d: non-finite coordinate in [%g,%g,%g,%g]", i, q[0], q[1], q[2], q[3]))
-			return
-		}
-		rects := make([]dpgrid.Rect, len(req.Rects))
-		for i, q := range req.Rects {
-			rects[i] = dpgrid.NewRect(q[0], q[1], q[2], q[3])
-		}
-		counts := dpgrid.QueryBatch(s, rects, 0)
-		writeJSON(w, http.StatusOK, queryResponse{Synopsis: req.Synopsis, Counts: counts})
-	})
-	return mux
-}
-
-// badRectIndex returns the index of the first rect quadruple containing
-// a NaN or infinite coordinate, or -1 when all are finite. NewRect
-// cannot normalize NaN (every comparison is false) and nothing on the
-// serve path consults Rect.IsValid, so without this gate garbage would
-// flow straight into Prefix.Query. encoding/json already rejects the
-// NaN/Infinity literals and out-of-range numbers, but the handler is
-// also driven programmatically (tests, embedding) and this is the
-// serving path's last line of defense.
-func badRectIndex(rects [][4]float64) int {
-	for i, q := range rects {
-		for _, v := range q {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return i
-			}
-		}
-	}
-	return -1
-}
-
-// readSynopsisBody parses an uploaded synopsis in either encoding
-// (sniffed). Binary sharded manifests load lazily: the upload is fully
-// validated, but per-shard decode cost is deferred to the first query
-// touching each tile.
-func readSynopsisBody(r *http.Request) (dpgrid.Synopsis, error) {
-	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
-	defer io.Copy(io.Discard, body)
-	return dpgrid.ReadSynopsisLazy(body)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("dpserve: encoding response: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
 }

@@ -14,7 +14,7 @@ import (
 	"github.com/dpgrid/dpgrid"
 )
 
-func testSynopsis(t *testing.T, seed int64) *dpgrid.AdaptiveGrid {
+func testSynopsis(t testing.TB, seed int64) *dpgrid.AdaptiveGrid {
 	t.Helper()
 	dom, err := dpgrid.NewDomain(0, 0, 100, 100)
 	if err != nil {
@@ -32,9 +32,18 @@ func testSynopsis(t *testing.T, seed int64) *dpgrid.AdaptiveGrid {
 	return syn
 }
 
+// newTestDPServer assembles serving state with the defaults tests want:
+// cache on, no admission limit, no request timeout.
+func newTestDPServer(reg *registry, opts serverOptions) *server {
+	if opts.cacheEntries == 0 {
+		opts.cacheEntries = 1024
+	}
+	return newDPServer(reg, opts)
+}
+
 func newTestServer(t *testing.T, reg *registry) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newHandler(reg, false))
+	srv := httptest.NewServer(newTestDPServer(reg, serverOptions{}).handler())
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -178,7 +187,7 @@ func TestPutSynopsisRoundTrip(t *testing.T) {
 		t.Fatalf("PUT status = %d", resp.StatusCode)
 	}
 
-	got, ok := reg.get("uploaded")
+	got, _, ok := reg.get("uploaded")
 	if !ok {
 		t.Fatal("synopsis not registered after PUT")
 	}
@@ -198,7 +207,7 @@ func TestRegistryLoadFile(t *testing.T) {
 	if err := reg.loadFile("disk", path); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := reg.get("disk"); !ok {
+	if _, _, ok := reg.get("disk"); !ok {
 		t.Fatal("loadFile did not register the synopsis")
 	}
 	if err := reg.loadFile("missing", filepath.Join(t.TempDir(), "absent.json")); err == nil {
@@ -229,7 +238,7 @@ func TestReadonlyBlocksPut(t *testing.T) {
 	}
 	reg := newRegistry()
 	reg.put("fixed", syn)
-	srv := httptest.NewServer(newHandler(reg, true))
+	srv := httptest.NewServer(newTestDPServer(reg, serverOptions{readonly: true}).handler())
 	t.Cleanup(srv.Close)
 
 	put, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/synopses/evil", &buf)
@@ -244,7 +253,7 @@ func TestReadonlyBlocksPut(t *testing.T) {
 	if resp.StatusCode != http.StatusForbidden {
 		t.Fatalf("PUT on readonly server = %d, want 403", resp.StatusCode)
 	}
-	if _, ok := reg.get("evil"); ok {
+	if _, _, ok := reg.get("evil"); ok {
 		t.Fatal("readonly server registered a synopsis")
 	}
 	// Reads still work.
@@ -259,7 +268,7 @@ func TestReadonlyBlocksPut(t *testing.T) {
 	}
 }
 
-func testShardedSynopsis(t *testing.T, seed int64) *dpgrid.Sharded {
+func testShardedSynopsis(t testing.TB, seed int64) *dpgrid.Sharded {
 	t.Helper()
 	dom, err := dpgrid.NewDomain(0, 0, 100, 100)
 	if err != nil {
@@ -358,7 +367,7 @@ func TestShardedUploadViaPut(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("PUT status = %d", resp.StatusCode)
 	}
-	got, ok := reg.get("mosaic")
+	got, _, ok := reg.get("mosaic")
 	if !ok {
 		t.Fatal("sharded synopsis not registered after PUT")
 	}
@@ -403,7 +412,7 @@ func TestDeleteSynopsis(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("DELETE status = %d", resp.StatusCode)
 	}
-	if _, ok := reg.get("victim"); ok {
+	if _, _, ok := reg.get("victim"); ok {
 		t.Fatal("synopsis still registered after DELETE")
 	}
 	// Deleting again is a 404.
@@ -420,7 +429,7 @@ func TestDeleteSynopsis(t *testing.T) {
 func TestReadonlyBlocksDelete(t *testing.T) {
 	reg := newRegistry()
 	reg.put("fixed", testSynopsis(t, 33))
-	srv := httptest.NewServer(newHandler(reg, true))
+	srv := httptest.NewServer(newTestDPServer(reg, serverOptions{readonly: true}).handler())
 	t.Cleanup(srv.Close)
 
 	del, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/synopses/fixed", nil)
@@ -435,7 +444,7 @@ func TestReadonlyBlocksDelete(t *testing.T) {
 	if resp.StatusCode != http.StatusForbidden {
 		t.Fatalf("DELETE on readonly server = %d, want 403", resp.StatusCode)
 	}
-	if _, ok := reg.get("fixed"); !ok {
+	if _, _, ok := reg.get("fixed"); !ok {
 		t.Fatal("readonly server dropped a synopsis")
 	}
 }
@@ -443,7 +452,7 @@ func TestReadonlyBlocksDelete(t *testing.T) {
 // TestServerTimeoutsConfigured guards the slow-loris protections: the
 // run() server must keep non-zero header/read timeouts.
 func TestServerTimeoutsConfigured(t *testing.T) {
-	srv := newServer(":0", newRegistry(), false)
+	srv := newHTTPServer(":0", nil)
 	if srv.ReadHeaderTimeout <= 0 {
 		t.Error("ReadHeaderTimeout not set")
 	}
@@ -574,7 +583,7 @@ func TestRegistryLoadsShardedManifestLazily(t *testing.T) {
 	if err := reg.loadFile("mosaic", path); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := reg.get("mosaic")
+	got, _, ok := reg.get("mosaic")
 	if !ok {
 		t.Fatal("manifest not registered")
 	}
@@ -652,7 +661,7 @@ func TestPutBinarySynopsis(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("PUT status = %d", resp.StatusCode)
 	}
-	got, ok := reg.get("bin")
+	got, _, ok := reg.get("bin")
 	if !ok {
 		t.Fatal("binary synopsis not registered")
 	}

@@ -14,28 +14,44 @@ import (
 // work happens outside the critical section. Synopses themselves are
 // immutable once built, so handing the same Synopsis to many
 // goroutines is safe.
+//
+// Every put stamps the entry with a process-unique, monotonically
+// increasing generation. The generation is what lets the answer cache
+// key on (name, gen): replacing or retiring a synopsis moves the name
+// to a generation no cached entry carries, so a stale answer can never
+// be served across a swap — even by a query that was already in flight
+// when the swap happened.
 type registry struct {
-	mu   sync.RWMutex
-	syns map[string]dpgrid.Synopsis
+	mu      sync.RWMutex
+	syns    map[string]regEntry
+	nextGen uint64
+}
+
+type regEntry struct {
+	syn dpgrid.Synopsis
+	gen uint64
 }
 
 func newRegistry() *registry {
-	return &registry{syns: make(map[string]dpgrid.Synopsis)}
+	return &registry{syns: make(map[string]regEntry)}
 }
 
-// get returns the synopsis registered under name.
-func (r *registry) get(name string) (dpgrid.Synopsis, bool) {
+// get returns the synopsis registered under name and its registration
+// generation.
+func (r *registry) get(name string) (dpgrid.Synopsis, uint64, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	s, ok := r.syns[name]
-	return s, ok
+	e, ok := r.syns[name]
+	return e.syn, e.gen, ok
 }
 
-// put registers s under name, replacing any previous synopsis.
+// put registers s under name with a fresh generation, replacing any
+// previous synopsis.
 func (r *registry) put(name string, s dpgrid.Synopsis) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.syns[name] = s
+	r.nextGen++
+	r.syns[name] = regEntry{syn: s, gen: r.nextGen}
 }
 
 // remove unregisters name, reporting whether it was present. In-flight

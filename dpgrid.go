@@ -1,40 +1,3 @@
-// Package dpgrid publishes differentially private synopses of
-// two-dimensional (geospatial) point datasets, implementing the methods
-// of Qardaji, Yang, Li: "Differentially Private Grids for Geospatial
-// Data" (ICDE 2013).
-//
-// The two primary methods are:
-//
-//   - UniformGrid (UG): an m x m equi-width grid of Laplace-noised cell
-//     counts, with the grid size chosen by the paper's Guideline 1
-//     (m = sqrt(N*eps/c), c = 10) unless overridden.
-//
-//   - AdaptiveGrid (AG): a coarse first-level grid whose cells are each
-//     re-partitioned adaptively based on their noisy counts (Guideline 2),
-//     with constrained inference reconciling the two levels. AG
-//     consistently outperforms UG and the recursive-partitioning state of
-//     the art in the paper's evaluation — and in this reproduction.
-//
-// The package also exposes the baselines the paper compares against
-// (KD-standard/KD-hybrid trees, Privlet wavelets, grid hierarchies) so
-// downstream users can run their own comparisons.
-//
-// A synopsis answers axis-aligned rectangular count queries: cells fully
-// inside the query contribute their noisy counts; partially covered cells
-// contribute proportionally to the overlapped area (the uniformity
-// assumption). Building a synopsis consumes the entire epsilon it is
-// given; answering any number of queries afterwards consumes nothing
-// (post-processing).
-//
-// # Quick start
-//
-//	dom, _ := dpgrid.NewDomain(-125, 30, -100, 50)
-//	syn, err := dpgrid.BuildAdaptiveGrid(points, dom, 1.0, dpgrid.AGOptions{}, dpgrid.NewNoiseSource(42))
-//	if err != nil { ... }
-//	estimate := syn.Query(dpgrid.NewRect(-123, 45, -120, 48))
-//
-// For reproducible experiments pass a seeded NoiseSource; for deployment
-// implement NoiseSource over crypto/rand.
 package dpgrid
 
 import (

@@ -1,0 +1,148 @@
+// Package cache provides the bounded LRU answer cache that fronts
+// synopsis query execution in the serving path. Released synopses are
+// immutable, so a (synopsis, rectangle) pair always has exactly one
+// answer — a cached value can never go stale while the synopsis it was
+// computed from stays registered, and the only invalidation event is
+// the registry swapping or retiring a synopsis under a name. That makes
+// the cache semantically transparent: a hit is bit-identical to
+// recomputation, and it is free of privacy cost for the same reason
+// queries are (post-processing).
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one cached answer: the synopsis name, the registration
+// generation of the synopsis serving that name, and the canonicalized
+// query rectangle (min/max corner order, as produced by geom.NewRect).
+// Callers must canonicalize before lookup so that the same geometric
+// query expressed with swapped corners hits the same entry.
+//
+// Gen is the race-closing half of invalidation: Invalidate drops a
+// name's entries when a synopsis is replaced or retired, but a query
+// in flight across the swap could still Put an answer computed from
+// the old synopsis afterwards. With the registry's generation in the
+// key, that late write lands under the old generation, which no future
+// lookup ever asks for — staleness is impossible by construction and
+// Invalidate is reduced to promptly freeing memory.
+type Key struct {
+	Synopsis               string
+	Gen                    uint64
+	MinX, MinY, MaxX, MaxY float64
+}
+
+type entry struct {
+	key Key
+	val float64
+}
+
+// Cache is a bounded LRU map from Key to a float64 answer, safe for
+// concurrent use. The zero Cache is invalid; use New.
+//
+// All operations take one mutex: the critical sections are a map lookup
+// plus a list splice, far below the cost of the prefix-table reads a
+// miss pays, and a single lock keeps the recency list coherent without
+// per-shard complexity. If lock contention ever shows up at higher core
+// counts the fix is sharding the cache by key hash, not dropping the
+// recency order.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+// New returns a cache bounded to capacity entries. capacity < 1 returns
+// nil: a nil *Cache is a valid "caching disabled" value on which every
+// method is a safe no-op (Get always misses).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		return nil
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached answer for k and marks it most recently used.
+func (c *Cache) Get(k Key) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// Put stores the answer for k, evicting the least recently used entry
+// when the cache is full. Storing an existing key refreshes its value
+// and recency.
+func (c *Cache) Put(k Key, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+	c.items[k] = c.ll.PushFront(&entry{key: k, val: v})
+}
+
+// Invalidate drops every entry belonging to the named synopsis and
+// returns how many were dropped. It is the registry-mutation hook: a
+// PUT replacing a synopsis or a DELETE retiring it must call this so
+// the name cannot keep answering from the retired release. The scan is
+// O(entries), which is fine at registry-mutation frequency.
+func (c *Cache) Invalidate(synopsis string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if e := el.Value.(*entry); e.key.Synopsis == synopsis {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap returns the configured capacity (0 for a nil, disabled cache).
+func (c *Cache) Cap() int {
+	if c == nil {
+		return 0
+	}
+	return c.cap
+}

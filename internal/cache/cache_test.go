@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func k(syn string, x0, y0, x1, y1 float64) Key {
+	return Key{Synopsis: syn, MinX: x0, MinY: y0, MaxX: x1, MaxY: y1}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(4)
+	key := k("a", 0, 0, 10, 10)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(key, 42.5)
+	if v, ok := c.Get(key); !ok || v != 42.5 {
+		t.Fatalf("Get = %g, %v; want 42.5, true", v, ok)
+	}
+	// Same synopsis, different rect: distinct entry.
+	if _, ok := c.Get(k("a", 0, 0, 10, 11)); ok {
+		t.Fatal("different rect hit the same entry")
+	}
+	// Same rect, different synopsis: distinct entry.
+	if _, ok := c.Get(k("b", 0, 0, 10, 10)); ok {
+		t.Fatal("different synopsis hit the same entry")
+	}
+	// Put refreshes the value.
+	c.Put(key, 7)
+	if v, _ := c.Get(key); v != 7 {
+		t.Fatalf("refreshed value = %g, want 7", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 3; i++ {
+		c.Put(k("s", float64(i), 0, 1, 1), float64(i))
+	}
+	// Touch entry 0 so entry 1 becomes the LRU victim.
+	if _, ok := c.Get(k("s", 0, 0, 1, 1)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	c.Put(k("s", 3, 0, 1, 1), 3)
+	if _, ok := c.Get(k("s", 1, 0, 1, 1)); ok {
+		t.Fatal("LRU entry 1 survived eviction")
+	}
+	for _, i := range []float64{0, 2, 3} {
+		if _, ok := c.Get(k("s", i, 0, 1, 1)); !ok {
+			t.Fatalf("entry %g evicted, want it retained", i)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(10)
+	for i := 0; i < 3; i++ {
+		c.Put(k("a", float64(i), 0, 1, 1), 1)
+		c.Put(k("b", float64(i), 0, 1, 1), 2)
+	}
+	if got := c.Invalidate("a"); got != 3 {
+		t.Fatalf("Invalidate dropped %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Get(k("a", float64(i), 0, 1, 1)); ok {
+			t.Fatalf("entry a/%d survived invalidation", i)
+		}
+		if _, ok := c.Get(k("b", float64(i), 0, 1, 1)); !ok {
+			t.Fatalf("entry b/%d was dropped by another synopsis's invalidation", i)
+		}
+	}
+	if got := c.Invalidate("a"); got != 0 {
+		t.Fatalf("second Invalidate dropped %d, want 0", got)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *Cache
+	if c := New(0); c != nil {
+		t.Fatal("New(0) should return the nil disabled cache")
+	}
+	c.Put(k("a", 0, 0, 1, 1), 1) // must not panic
+	if _, ok := c.Get(k("a", 0, 0, 1, 1)); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	if c.Len() != 0 || c.Cap() != 0 || c.Invalidate("a") != 0 {
+		t.Fatal("nil cache reported non-zero state")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			syn := fmt.Sprintf("s%d", g%2)
+			for i := 0; i < 500; i++ {
+				key := k(syn, float64(i%32), 0, 1, 1)
+				c.Put(key, float64(i))
+				c.Get(key)
+				if i%100 == 0 {
+					c.Invalidate(syn)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("Len = %d exceeds capacity 64", c.Len())
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c := New(1024)
+	key := k("s", 1, 2, 3, 4)
+	c.Put(key, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Get(key)
+	}
+}
+
+func BenchmarkPutEvict(b *testing.B) {
+	c := New(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Put(k("s", float64(i%1024), 0, 1, 1), float64(i))
+	}
+}

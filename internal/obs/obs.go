@@ -1,0 +1,321 @@
+// Package obs provides the serving path's observability primitives:
+// lock-free counters and histograms cheap enough to sit on the per-query
+// hot path, collected in a Registry that renders the Prometheus text
+// exposition format (the de-facto scrape format, version 0.0.4).
+//
+// The package is deliberately minimal — a fraction of a real Prometheus
+// client: one optional label per metric family, no exemplars, no
+// protobuf. That buys an implementation with zero dependencies whose
+// record operations are a single atomic add (counters) or one atomic
+// add plus a CAS loop (histogram sums), so instrumenting a query that
+// itself costs microseconds does not distort what it measures.
+//
+// Concurrency: every record operation (Counter.Add, Histogram.Observe,
+// vector lookups) is safe for concurrent use. Rendering takes only the
+// vector read locks, so a scrape never blocks traffic; values read
+// during a scrape are each individually atomic but the exposition as a
+// whole is not a consistent snapshot, which is the standard Prometheus
+// contract.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram records observations into fixed buckets plus a running sum
+// and count — the Prometheus histogram model. Construct with
+// newHistogram (via Registry); the zero value has no buckets.
+type Histogram struct {
+	bounds  []float64 // upper bounds, strictly increasing; +Inf implicit
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metricKind tags a family's TYPE line.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one named metric family: its metadata plus either a single
+// unlabeled series or a label -> series map.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	label  string // label name for vector families, "" for scalars
+	bounds []float64
+
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+	counter    *Counter       // unlabeled counter family
+	gauge      func() float64 // unlabeled gauge family, sampled at render
+}
+
+// Registry collects metric families and renders them in registration
+// order. Create with NewRegistry; methods on the zero value panic.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register adds a family, panicking on a duplicate name: metric names
+// are compile-time decisions, so a collision is a programming error the
+// process should fail loudly on, not a runtime condition to handle.
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric name %q", f.name))
+	}
+	r.families = append(r.families, f)
+	r.byName[f.name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, kind: kindCounter, counter: &Counter{}})
+	return f.counter
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at render
+// time — the right shape for values that are already maintained
+// elsewhere (a cache's current entry count, a pool's in-flight count).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, gauge: fn})
+}
+
+// CounterVec is a counter family partitioned by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	f := r.register(&family{
+		name: name, help: help, kind: kindCounter,
+		label: label, counters: make(map[string]*Counter),
+	})
+	return &CounterVec{f: f}
+}
+
+// With returns the counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.f.mu.RLock()
+	c, ok := v.f.counters[value]
+	v.f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok = v.f.counters[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.f.counters[value] = c
+	return c
+}
+
+// Forget drops the series for the given label value, freeing its
+// memory and removing it from future expositions. Call it when the
+// labeled entity is retired (e.g. a synopsis is deleted) so label
+// cardinality tracks the live set rather than everything ever seen. A
+// caller still holding the dropped *Counter may keep adding to it;
+// those adds are simply no longer rendered.
+func (v *CounterVec) Forget(value string) {
+	v.f.mu.Lock()
+	delete(v.f.counters, value)
+	v.f.mu.Unlock()
+}
+
+// HistogramVec is a histogram family partitioned by one label.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family with the given
+// strictly increasing upper bucket bounds (the +Inf bucket is implicit).
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %d", name, i))
+		}
+	}
+	f := r.register(&family{
+		name: name, help: help, kind: kindHistogram,
+		label: label, bounds: bounds, histograms: make(map[string]*Histogram),
+	})
+	return &HistogramVec{f: f}
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.f.mu.RLock()
+	h, ok := v.f.histograms[value]
+	v.f.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if h, ok = v.f.histograms[value]; ok {
+		return h
+	}
+	h = newHistogram(v.f.bounds)
+	v.f.histograms[value] = h
+	return h
+}
+
+// Forget drops the series for the given label value (see
+// CounterVec.Forget).
+func (v *HistogramVec) Forget(value string) {
+	v.f.mu.Lock()
+	delete(v.f.histograms, value)
+	v.f.mu.Unlock()
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format, families in registration order and series within a
+// family sorted by label value.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range families {
+		b.Reset()
+		f.render(&b)
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) render(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	switch {
+	case f.gauge != nil:
+		fmt.Fprintf(b, "%s %s\n", f.name, formatValue(f.gauge()))
+	case f.counter != nil:
+		fmt.Fprintf(b, "%s %d\n", f.name, f.counter.Value())
+	case f.counters != nil:
+		f.mu.RLock()
+		values := sortedKeys(f.counters)
+		for _, lv := range values {
+			fmt.Fprintf(b, "%s{%s=\"%s\"} %d\n", f.name, f.label, escapeLabel(lv), f.counters[lv].Value())
+		}
+		f.mu.RUnlock()
+	case f.histograms != nil:
+		f.mu.RLock()
+		values := sortedKeys(f.histograms)
+		for _, lv := range values {
+			h := f.histograms[lv]
+			lab := escapeLabel(lv)
+			var cum uint64
+			for i, bound := range h.bounds {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(b, "%s_bucket{%s=\"%s\",le=\"%s\"} %d\n",
+					f.name, f.label, lab, formatValue(bound), cum)
+			}
+			cum += h.buckets[len(h.bounds)].Load()
+			fmt.Fprintf(b, "%s_bucket{%s=\"%s\",le=\"+Inf\"} %d\n", f.name, f.label, lab, cum)
+			fmt.Fprintf(b, "%s_sum{%s=\"%s\"} %s\n", f.name, f.label, lab, formatValue(h.Sum()))
+			fmt.Fprintf(b, "%s_count{%s=\"%s\"} %d\n", f.name, f.label, lab, h.Count())
+		}
+		f.mu.RUnlock()
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format (%q above
+// adds the surrounding quotes and escapes quotes and backslashes, but
+// Go's %q also escapes non-ASCII; do it manually to match the format).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only, per the
+// format).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}

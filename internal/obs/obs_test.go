@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("up_total", "Ups.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	v := r.CounterVec("queries_total", "Queries by synopsis.", "synopsis")
+	v.With("a").Add(2)
+	v.With("b").Inc()
+	if v.With("a").Value() != 2 || v.With("b").Value() != 1 {
+		t.Fatalf("vec values = %d, %d", v.With("a").Value(), v.With("b").Value())
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP up_total Ups.\n",
+		"# TYPE up_total counter\n",
+		"up_total 5\n",
+		"# TYPE queries_total counter\n",
+		`queries_total{synopsis="a"} 2` + "\n",
+		`queries_total{synopsis="b"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Series sorted by label value.
+	if strings.Index(out, `synopsis="a"`) > strings.Index(out, `synopsis="b"`) {
+		t.Errorf("series not sorted by label value:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("latency_seconds", "Latency.", "synopsis", []float64{0.01, 0.1, 1})
+	h := hv.With("s")
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+5; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{synopsis="s",le="0.01"} 1` + "\n",
+		`latency_seconds_bucket{synopsis="s",le="0.1"} 3` + "\n",
+		`latency_seconds_bucket{synopsis="s",le="1"} 4` + "\n",
+		`latency_seconds_bucket{synopsis="s",le="+Inf"} 5` + "\n",
+		`latency_seconds_count{synopsis="s"} 5` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestObserveOnBoundIsInclusive(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive per the Prometheus contract
+	if got := h.buckets[0].Load(); got != 1 {
+		t.Fatalf("bucket[0] = %d, want 1 (bounds are inclusive)", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 3.0
+	r.GaugeFunc("cache_entries", "Entries.", func() float64 { return n })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "cache_entries 3\n") {
+		t.Errorf("gauge not rendered:\n%s", b.String())
+	}
+	n = 7
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "cache_entries 7\n") {
+		t.Errorf("gauge not resampled:\n%s", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "C.", "name")
+	v.With(`we"ird\name` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `c_total{name="we\"ird\\name\n"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series %q missing from:\n%s", want, b.String())
+	}
+}
+
+func TestForgetDropsSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "C.", "name")
+	hv := r.HistogramVec("h_seconds", "H.", "name", []float64{1})
+	v.With("gone").Inc()
+	v.With("kept").Inc()
+	hv.With("gone").Observe(0.5)
+	v.Forget("gone")
+	hv.Forget("gone")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, `name="gone"`) {
+		t.Errorf("forgotten series still rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `c_total{name="kept"} 1`+"\n") {
+		t.Errorf("unrelated series dropped:\n%s", out)
+	}
+	// Re-use after Forget starts a fresh series.
+	v.With("gone").Inc()
+	if got := v.With("gone").Value(); got != 1 {
+		t.Errorf("re-created series = %d, want a fresh counter at 1", got)
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	r.Counter("x_total", "X again.")
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("adds_total", "Adds.")
+	v := r.CounterVec("vec_total", "Vec.", "k")
+	hv := r.HistogramVec("h_seconds", "H.", "k", []float64{0.5})
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				v.With("a").Inc()
+				hv.With("a").Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != goroutines*per {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*per)
+	}
+	if v.With("a").Value() != goroutines*per {
+		t.Errorf("vec = %d, want %d", v.With("a").Value(), goroutines*per)
+	}
+	h := hv.With("a")
+	if h.Count() != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if got, want := h.Sum(), 0.25*goroutines*per; got != want {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}

@@ -61,11 +61,20 @@ func ParseShardedLazy(data []byte) (*Lazy, error) {
 }
 
 // shard returns tile i's synopsis, materializing it on first touch.
+func (l *Lazy) shard(i int) Synopsis { return l.shardTrack(i, nil) }
+
+// shardTrack is shard with per-call materialization attribution: when
+// fresh is non-nil and this call wins the tile's sync.Once, *fresh is
+// incremented. The closure runs only in the winning goroutine, so a
+// decode raced by concurrent first touches is attributed to exactly one
+// caller — which is what lets QueryStats report materializations as a
+// counter without double counting.
+//
 // Payloads were exhaustively validated at load, so the parse here
 // cannot fail; a failure means the backing bytes were mutated after
 // load, which is memory corruption — panic loudly rather than serve
 // garbage.
-func (l *Lazy) shard(i int) Synopsis {
+func (l *Lazy) shardTrack(i int, fresh *int) Synopsis {
 	t := &l.tiles[i]
 	t.once.Do(func() {
 		syn, err := parseShardPayload(l.kind, l.payloads[i])
@@ -74,6 +83,9 @@ func (l *Lazy) shard(i int) Synopsis {
 		}
 		t.syn = syn
 		l.materialized.Add(1)
+		if fresh != nil {
+			*fresh++
+		}
 	})
 	return t.syn
 }
@@ -89,6 +101,15 @@ func (l *Lazy) MaterializedShards() int { return int(l.materialized.Load()) }
 // eagerly parsed release's.
 func (l *Lazy) Query(r geom.Rect) float64 {
 	return routeQuery(l.plan, r, l.shard)
+}
+
+// QueryStats is Query, also reporting the fan-out observations the
+// query produced, including how many shards it decoded on first touch.
+// The estimate is bit-identical to Query's.
+func (l *Lazy) QueryStats(r geom.Rect) (float64, QueryStats) {
+	var fresh int
+	est, n := routeQueryN(l.plan, r, func(i int) Synopsis { return l.shardTrack(i, &fresh) })
+	return est, QueryStats{Shards: n, Materialized: fresh}
 }
 
 // ShardAnswer returns shard i's partial answer to r (see

@@ -347,15 +347,36 @@ func build(plan Plan, eps float64, opts Options, src noise.Source, format string
 	return &Sharded{plan: plan, eps: eps, format: format, tiles: tiles}, nil
 }
 
+// QueryStats reports the routing observations of a single query — the
+// serving path's instrumentation hook (dpserve aggregates these into
+// its /metrics families). Collecting them costs nothing beyond the
+// fan-out the query performs anyway.
+type QueryStats struct {
+	// Shards is the number of overlapping shards the fan-out visited
+	// (every visited shard contributes to the answer).
+	Shards int
+	// Materialized is the number of shards this query decoded on first
+	// touch. It is always 0 for an eagerly loaded release, and for a
+	// Lazy it attributes each one-time decode to exactly one query even
+	// under concurrent first touches.
+	Materialized int
+}
+
 // routeQuery is the shared fan-out both the eager and the lazy release
 // use: the answer is the sum, in shard-index order, of every
 // overlapping shard's partial answer. Non-overlapping shards are never
 // requested from tileAt, so planet-scale mosaics answer small queries
 // by visiting (and, lazily, materializing) a handful of tiles.
 func routeQuery(plan Plan, r geom.Rect, tileAt func(int) Synopsis) float64 {
+	est, _ := routeQueryN(plan, r, tileAt)
+	return est
+}
+
+// routeQueryN is routeQuery, also reporting how many shards it visited.
+func routeQueryN(plan Plan, r geom.Rect, tileAt func(int) Synopsis) (float64, int) {
 	clipped, ok := plan.dom.Clip(r)
 	if !ok {
-		return 0
+		return 0, 0
 	}
 	bx0, by0, bx1, by1 := plan.tileRange(clipped)
 	var total float64
@@ -364,7 +385,7 @@ func routeQuery(plan Plan, r geom.Rect, tileAt func(int) Synopsis) float64 {
 			total += tileAnswer(tileAt(by*plan.kx+bx), clipped)
 		}
 	}
-	return total
+	return total, (bx1 - bx0 + 1) * (by1 - by0 + 1)
 }
 
 // tileAnswer answers one shard for a rectangle already clipped to the
@@ -382,6 +403,14 @@ func tileAnswer(tile Synopsis, clipped geom.Rect) float64 {
 // Query estimates the number of data points in r (see routeQuery).
 func (s *Sharded) Query(r geom.Rect) float64 {
 	return routeQuery(s.plan, r, s.tileAt)
+}
+
+// QueryStats is Query, also reporting the fan-out observations the
+// query produced. The estimate is bit-identical to Query's (the same
+// routeQuery walk in the same order).
+func (s *Sharded) QueryStats(r geom.Rect) (float64, QueryStats) {
+	est, n := routeQueryN(s.plan, r, s.tileAt)
+	return est, QueryStats{Shards: n}
 }
 
 // ShardAnswer returns shard i's partial answer to r — exactly the term

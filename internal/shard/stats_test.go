@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+// buildStatsFixture builds a 4x2 UG mosaic over [0,80]x[0,40] (tiles
+// 20x20) and its lazily loaded twin.
+func buildStatsFixture(t *testing.T) (*Sharded, *Lazy) {
+	t.Helper()
+	dom := geom.MustDomain(0, 0, 80, 40)
+	plan, err := NewPlan(dom, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := testPoints(9, 6000, dom)
+	eager, err := BuildUniform(pts, plan, 1, core.UGOptions{GridSize: 8}, Options{}, noise.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := eager.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := ParseShardedLazy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eager, lazy
+}
+
+func TestQueryStatsFanout(t *testing.T) {
+	eager, lazy := buildStatsFixture(t)
+	cases := []struct {
+		name   string
+		rect   geom.Rect
+		shards int
+	}{
+		{"inside one tile", geom.NewRect(2, 2, 18, 18), 1},
+		{"two tiles horizontally", geom.NewRect(15, 2, 25, 18), 2},
+		{"four tiles", geom.NewRect(15, 15, 25, 25), 4},
+		{"whole domain", geom.NewRect(0, 0, 80, 40), 8},
+		{"overhanging", geom.NewRect(-50, -50, 500, 500), 8},
+		{"outside", geom.NewRect(200, 200, 300, 300), 0},
+	}
+	for _, tc := range cases {
+		est, st := eager.QueryStats(tc.rect)
+		if st.Shards != tc.shards {
+			t.Errorf("%s: eager fan-out %d, want %d", tc.name, st.Shards, tc.shards)
+		}
+		if st.Materialized != 0 {
+			t.Errorf("%s: eager release reported %d materializations", tc.name, st.Materialized)
+		}
+		if want := eager.Query(tc.rect); est != want {
+			t.Errorf("%s: QueryStats estimate %g != Query %g", tc.name, est, want)
+		}
+		lest, lst := lazy.QueryStats(tc.rect)
+		if lst.Shards != tc.shards {
+			t.Errorf("%s: lazy fan-out %d, want %d", tc.name, lst.Shards, tc.shards)
+		}
+		if lest != est {
+			t.Errorf("%s: lazy estimate %g != eager %g", tc.name, lest, est)
+		}
+	}
+}
+
+// TestQueryStatsMaterializationAttribution: each lazy decode is counted
+// by exactly the query that performed it; repeats over the same tiles
+// report zero.
+func TestQueryStatsMaterializationAttribution(t *testing.T) {
+	_, lazy := buildStatsFixture(t)
+	r1 := geom.NewRect(2, 2, 18, 18) // one tile
+	if _, st := lazy.QueryStats(r1); st.Materialized != 1 {
+		t.Fatalf("first touch materialized %d, want 1", st.Materialized)
+	}
+	if _, st := lazy.QueryStats(r1); st.Materialized != 0 {
+		t.Fatalf("repeat materialized %d, want 0", st.Materialized)
+	}
+	r2 := geom.NewRect(15, 15, 25, 25) // four tiles, one already decoded
+	if _, st := lazy.QueryStats(r2); st.Materialized != 3 {
+		t.Fatalf("straddling query materialized %d, want 3", st.Materialized)
+	}
+	if lazy.MaterializedShards() != 4 {
+		t.Fatalf("MaterializedShards = %d, want 4", lazy.MaterializedShards())
+	}
+}

@@ -1,0 +1,187 @@
+// Command linkcheck validates the repository's markdown cross-links
+// without network access: every inline link's relative target must
+// exist on disk, and every fragment (`#section`, in-file or
+// cross-file) must match a heading anchor under GitHub's slugging
+// rules. External http(s)/mailto links are skipped — CI must not fail
+// on someone else's outage — which keeps the check deterministic and
+// runnable offline.
+//
+// Usage:
+//
+//	go run ./internal/tools/linkcheck README.md docs/*.md
+//
+// Exit status is non-zero if any file cannot be read or any link is
+// broken; each problem prints as file:line: message.
+//
+// Known limits: only inline [text](target) links are checked
+// (reference-style links are not used in this repo), and a target
+// containing a space or ')' does not match the link pattern and is
+// skipped — such targets are invalid markdown without <angle-bracket>
+// quoting anyway, so keep file names space-free.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// linkRe matches inline markdown links and images: [text](target) with
+// an optional "title". Reference-style links are not used in this repo.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func run(paths []string, w io.Writer) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(w, "linkcheck: no files given")
+		return 2
+	}
+	problems := 0
+	checked := 0
+	for _, path := range paths {
+		probs, links, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", path, err)
+			problems++
+			continue
+		}
+		checked += links
+		for _, p := range probs {
+			fmt.Fprintln(w, p)
+			problems++
+		}
+	}
+	if problems > 0 {
+		fmt.Fprintf(w, "linkcheck: %d broken link(s)\n", problems)
+		return 1
+	}
+	fmt.Fprintf(w, "linkcheck: %d link(s) across %d file(s) OK\n", checked, len(paths))
+	return 0
+}
+
+// checkFile validates every link in one markdown file, returning the
+// problems and the number of links inspected.
+func checkFile(path string) (problems []string, links int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	dir := filepath.Dir(path)
+	for i, line := range stripFences(string(data)) {
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			links++
+			if msg := checkTarget(dir, data, m[1]); msg != "" {
+				problems = append(problems, fmt.Sprintf("%s:%d: %s", path, i+1, msg))
+			}
+		}
+	}
+	return problems, links, nil
+}
+
+// stripFences returns the file's lines with fenced code blocks
+// blanked (positions preserved), so link syntax inside examples is not
+// validated but reported line numbers stay accurate.
+func stripFences(text string) []string {
+	lines := strings.Split(text, "\n")
+	inFence := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			lines[i] = ""
+		} else if inFence {
+			lines[i] = ""
+		}
+	}
+	return lines
+}
+
+// checkTarget validates one link target against the filesystem and
+// heading anchors. It returns "" when the link is fine.
+func checkTarget(dir string, self []byte, target string) string {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external: skipped by design
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	if file == "" { // in-file fragment
+		if !hasAnchor(self, frag) {
+			return fmt.Sprintf("no heading for anchor #%s", frag)
+		}
+		return ""
+	}
+	resolved := filepath.Join(dir, file)
+	info, err := os.Stat(resolved)
+	if err != nil {
+		return fmt.Sprintf("target %s does not exist", target)
+	}
+	if frag != "" {
+		if info.IsDir() || !strings.HasSuffix(resolved, ".md") {
+			return fmt.Sprintf("fragment #%s on non-markdown target %s", frag, file)
+		}
+		data, err := os.ReadFile(resolved)
+		if err != nil {
+			return fmt.Sprintf("reading %s: %v", file, err)
+		}
+		if !hasAnchor(data, frag) {
+			return fmt.Sprintf("%s has no heading for anchor #%s", file, frag)
+		}
+	}
+	return ""
+}
+
+// hasAnchor reports whether the markdown document contains a heading
+// whose GitHub slug equals frag, including the -N suffixes GitHub
+// appends to repeated headings (the second "Setup" anchors as
+// #setup-1).
+func hasAnchor(md []byte, frag string) bool {
+	anchors := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(md), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(trimmed, "#")
+		if heading == trimmed || (heading != "" && heading[0] != ' ') {
+			continue // not a heading (e.g. a #! line or #### with no text)
+		}
+		slug := slugify(heading)
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors[frag]
+}
+
+// slugify lowercases a heading and maps it to GitHub's anchor form:
+// letters, digits, hyphens, and underscores survive; spaces become
+// hyphens; everything else (backticks, colons, parens, ...) drops out.
+func slugify(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(h)) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -46,7 +46,7 @@ func WriteSynopsis(w io.Writer, s Synopsis) error {
 		_, err := v.WriteTo(w)
 		return err
 	default:
-		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid, AdaptiveGrid, and Sharded)", s)
+		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid, AdaptiveGrid, Sharded, and LazySharded)", s)
 	}
 }
 
@@ -59,7 +59,7 @@ func WriteSynopsisBinary(w io.Writer, s Synopsis) error {
 		AppendBinary(dst []byte) ([]byte, error)
 	})
 	if !ok {
-		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid, AdaptiveGrid, and Sharded)", s)
+		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid, AdaptiveGrid, Sharded, and LazySharded)", s)
 	}
 	data, err := ba.AppendBinary(nil)
 	if err != nil {

@@ -44,6 +44,26 @@ type Sharded = shard.Sharded
 // full materialization.
 type LazySharded = shard.Lazy
 
+// ShardQueryStats reports the routing observations of a single query
+// against a sharded release: how many shards the fan-out visited and,
+// for lazily loaded releases, how many it decoded on first touch. It is
+// the serving path's instrumentation hook — dpserve aggregates these
+// into its /metrics families.
+type ShardQueryStats = shard.QueryStats
+
+// ShardObserver is implemented by sharded releases (Sharded,
+// LazySharded) whose queries can report routing observations.
+// QueryStats returns the same estimate as Query, bit for bit, plus the
+// per-query stats; serving layers type-assert this interface so
+// monolithic synopses (which have no fan-out to observe) skip the
+// instrumentation entirely.
+type ShardObserver interface {
+	Synopsis
+	// QueryStats estimates the number of data points in r and reports
+	// the fan-out observations of the query.
+	QueryStats(r Rect) (float64, ShardQueryStats)
+}
+
 // BuildShardedUniformGrid builds one UG synopsis per tile of plan, each
 // under the full eps via parallel composition. For a fixed seed and
 // plan the release is bit-identical for every ShardOptions.Workers
