@@ -24,6 +24,7 @@ import (
 
 	"github.com/dpgrid/dpgrid/internal/datasets"
 	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/pool"
 	"github.com/dpgrid/dpgrid/internal/shard"
 )
 
@@ -41,6 +42,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output file (default stdout)")
 	tiles := fs.String("tiles", "", "split the output into a KxL tile mosaic of CSVs, e.g. 2x3 (requires -o)")
+	workers := fs.Int("workers", 0, "goroutines writing tile files concurrently (0 = one per CPU); the files are byte-identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,7 +60,7 @@ func run(args []string) error {
 		if *out == "" {
 			return fmt.Errorf("-tiles requires -o (one output file per tile)")
 		}
-		return writeTiles(d, kx, ky, *out)
+		return writeTiles(d, kx, ky, *out, *workers)
 	}
 
 	w := os.Stdout
@@ -79,8 +81,10 @@ func run(args []string) error {
 }
 
 // writeTiles partitions d's points into a kx x ky mosaic and writes one
-// CSV per tile, named <out-base>.tileNNN<ext>.
-func writeTiles(d *datasets.Dataset, kx, ky int, out string) error {
+// CSV per tile, named <out-base>.tileNNN<ext>. Tiles are written across
+// workers goroutines — each file is owned by exactly one worker, so the
+// bytes of every file are identical for every worker count.
+func writeTiles(d *datasets.Dataset, kx, ky int, out string, workers int) error {
 	plan, err := shard.NewPlan(d.Domain, kx, ky)
 	if err != nil {
 		return err
@@ -93,34 +97,40 @@ func writeTiles(d *datasets.Dataset, kx, ky int, out string) error {
 	}
 	ext := filepath.Ext(out)
 	base := strings.TrimSuffix(out, ext)
+	paths := make([]string, len(buckets))
+	for i := range buckets {
+		paths[i] = fmt.Sprintf("%s.tile%03d%s", base, i, ext)
+	}
+	errs := make([]error, len(buckets))
+	pool.For(len(buckets), workers, func(i int) {
+		f, err := os.Create(paths[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if err := datasets.WriteCSV(f, buckets[i]); err != nil {
+			f.Close()
+			errs[i] = err
+			return
+		}
+		errs[i] = f.Close()
+	})
 	// Remove the whole mosaic on any failure: a partial set of
 	// valid-looking tile files would feed a sharded pipeline an
 	// incomplete partition of the dataset, silently dropping the
 	// missing tiles' points from the release.
-	written := make([]string, 0, len(buckets))
-	fail := func(err error) error {
-		for _, p := range written {
-			os.Remove(p)
+	for _, err := range errs {
+		if err != nil {
+			for _, p := range paths {
+				os.Remove(p)
+			}
+			return err
 		}
-		return err
 	}
 	for i, pts := range buckets {
-		path := fmt.Sprintf("%s.tile%03d%s", base, i, ext)
-		f, err := os.Create(path)
-		if err != nil {
-			return fail(err)
-		}
-		written = append(written, path)
-		if err := datasets.WriteCSV(f, pts); err != nil {
-			f.Close()
-			return fail(err)
-		}
-		if err := f.Close(); err != nil {
-			return fail(err)
-		}
 		tile := plan.Tile(i)
 		fmt.Fprintf(os.Stderr, "dpgen: wrote %d points of %s tile %d (domain [%g,%g]x[%g,%g]) to %s\n",
-			len(pts), d.Name, i, tile.MinX, tile.MaxX, tile.MinY, tile.MaxY, path)
+			len(pts), d.Name, i, tile.MinX, tile.MaxX, tile.MinY, tile.MaxY, paths[i])
 	}
 	return nil
 }

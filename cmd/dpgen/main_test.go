@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/dpgrid/dpgrid/internal/datasets"
@@ -72,6 +75,37 @@ func TestRunTilesValidation(t *testing.T) {
 	for _, bad := range []string{"2", "0x2", "2x-1", "axb"} {
 		if err := run([]string{"-dataset", "storage", "-tiles", bad, "-o", "x.csv"}); err == nil {
 			t.Errorf("-tiles %q accepted", bad)
+		}
+	}
+}
+
+// TestRunTilesWorkersIdentical: parallel tile writing must produce
+// byte-identical files for every -workers value.
+func TestRunTilesWorkersIdentical(t *testing.T) {
+	dir := t.TempDir()
+	outs := map[string]string{}
+	for _, workers := range []string{"1", "3", "0"} {
+		out := filepath.Join(dir, "w"+workers+".csv")
+		if err := run([]string{"-dataset", "storage", "-scale", "0.1", "-seed", "2",
+			"-tiles", "2x2", "-workers", workers, "-o", out}); err != nil {
+			t.Fatalf("workers=%s: %v", workers, err)
+		}
+		outs[workers] = strings.TrimSuffix(out, ".csv")
+	}
+	for i := 0; i < 4; i++ {
+		suffix := fmt.Sprintf(".tile%03d.csv", i)
+		want, err := os.ReadFile(outs["1"] + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []string{"3", "0"} {
+			got, err := os.ReadFile(outs[workers] + suffix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("tile %d: workers=%s bytes differ from workers=1", i, workers)
+			}
 		}
 	}
 }

@@ -18,6 +18,11 @@
 //	dpgrid -in points.csv -domain="0,0,100,100" -method ag -eps 1 \
 //	       -shards 4x4 -format binary -save mosaic.dpgrid
 //
+// ug/ag builds stream the CSV through the parallel ingestion engine
+// (-workers bounds the goroutines, default one per CPU); for a fixed
+// -seed the released synopsis is bit-identical for every -workers
+// value.
+//
 // The synopsis is built once (consuming the full epsilon); every query
 // answered afterwards is free post-processing.
 package main
@@ -56,6 +61,7 @@ func run(args []string, w io.Writer) error {
 	eps := fs.Float64("eps", 1, "privacy budget epsilon")
 	gridSize := fs.Int("m", 0, "grid size override (ug/privlet); 0 = Guideline 1")
 	seed := fs.Int64("seed", 0, "noise seed (0 = non-deterministic)")
+	workers := fs.Int("workers", 0, "goroutines for the parallel build engine (0 = one per CPU); the released synopsis is bit-identical for every value")
 	queryFlag := fs.String("query", "", "single query rectangle x0,y0,x1,y1")
 	queriesFile := fs.String("queries", "", "file of query rectangles, one x0,y0,x1,y1 per line")
 	saveFile := fs.String("save", "", "write the built synopsis (ug/ag) to this file for later -load")
@@ -102,19 +108,23 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 
-		f, err := os.Open(*in)
-		if err != nil {
-			return err
-		}
-		points, err := datasets.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-
 		src := dpgrid.NewNoiseSource(*seed)
 		if *seed == 0 {
 			src = dpgrid.NewNoiseSource(int64(os.Getpid())*1e9 + nowNanos())
+		}
+
+		// ug/ag (mono or sharded) build through the streaming ingestion
+		// engine — the CSV is block-parsed and histogrammed without ever
+		// materializing the dataset; the baseline methods still need the
+		// point slice in memory.
+		seq := dpgrid.CSVFilePoints(*in)
+		readPoints := func() ([]dpgrid.Point, error) {
+			f, err := os.Open(*in)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return datasets.ReadCSV(f)
 		}
 
 		if *shards != "" {
@@ -126,11 +136,12 @@ func run(args []string, w io.Writer) error {
 			if perr != nil {
 				return perr
 			}
+			sopts := dpgrid.ShardOptions{Workers: *workers}
 			switch *method {
 			case "ug":
-				syn, err = dpgrid.BuildShardedUniformGrid(points, plan, *eps, dpgrid.UGOptions{GridSize: *gridSize}, dpgrid.ShardOptions{}, src)
+				syn, err = dpgrid.BuildShardedUniformGridSeq(seq, plan, *eps, dpgrid.UGOptions{GridSize: *gridSize, Workers: *workers}, sopts, src)
 			case "ag":
-				syn, err = dpgrid.BuildShardedAdaptiveGrid(points, plan, *eps, dpgrid.AGOptions{}, dpgrid.ShardOptions{}, src)
+				syn, err = dpgrid.BuildShardedAdaptiveGridSeq(seq, plan, *eps, dpgrid.AGOptions{Workers: *workers}, sopts, src)
 			default:
 				return fmt.Errorf("-shards supports ug and ag, not %q", *method)
 			}
@@ -140,19 +151,26 @@ func run(args []string, w io.Writer) error {
 		} else {
 			switch *method {
 			case "ug":
-				syn, err = dpgrid.BuildUniformGrid(points, dom, *eps, dpgrid.UGOptions{GridSize: *gridSize}, src)
+				syn, err = dpgrid.BuildUniformGridSeq(seq, dom, *eps, dpgrid.UGOptions{GridSize: *gridSize, Workers: *workers}, src)
 			case "ag":
-				syn, err = dpgrid.BuildAdaptiveGrid(points, dom, *eps, dpgrid.AGOptions{}, src)
-			case "kdhybrid":
-				syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDHybrid}, src)
-			case "kdstandard":
-				syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDStandard}, src)
-			case "privlet":
-				m := *gridSize
-				if m == 0 {
-					m = dpgrid.SuggestedGridSize(len(points), *eps)
+				syn, err = dpgrid.BuildAdaptiveGridSeq(seq, dom, *eps, dpgrid.AGOptions{Workers: *workers}, src)
+			case "kdhybrid", "kdstandard", "privlet":
+				points, perr := readPoints()
+				if perr != nil {
+					return perr
 				}
-				syn, err = dpgrid.BuildPrivlet(points, dom, *eps, dpgrid.PrivletOptions{GridSize: m}, src)
+				switch *method {
+				case "kdhybrid":
+					syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDHybrid}, src)
+				case "kdstandard":
+					syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDStandard}, src)
+				case "privlet":
+					m := *gridSize
+					if m == 0 {
+						m = dpgrid.SuggestedGridSize(len(points), *eps)
+					}
+					syn, err = dpgrid.BuildPrivlet(points, dom, *eps, dpgrid.PrivletOptions{GridSize: m}, src)
+				}
 			default:
 				return fmt.Errorf("unknown method %q", *method)
 			}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 	"math/rand"
 	"os"
@@ -301,6 +303,47 @@ func TestRunRejectsNonFiniteQuery(t *testing.T) {
 		}, io.Discard)
 		if err == nil {
 			t.Errorf("query %q accepted", q)
+		}
+	}
+}
+
+// TestRunWorkersBitIdentical: the -workers flag must never change the
+// released bytes — the parallel ingestion engine's determinism
+// guarantee, observed end to end through the CLI.
+func TestRunWorkersBitIdentical(t *testing.T) {
+	csv := writeTestCSV(t, 20000)
+	dir := t.TempDir()
+	configs := [][]string{
+		{"-method", "ug"},
+		{"-method", "ag"},
+		{"-method", "ag", "-shards", "2x2"},
+	}
+	for ci, extra := range configs {
+		var files []string
+		for _, workers := range []string{"1", "3", "0"} {
+			out := filepath.Join(dir, fmt.Sprintf("c%d-w%s.dpgrid", ci, workers))
+			args := append([]string{
+				"-in", csv, "-domain", "0,0,100,100", "-eps", "1", "-seed", "7",
+				"-workers", workers, "-format", "binary", "-save", out,
+			}, extra...)
+			var sb strings.Builder
+			if err := run(args, &sb); err != nil {
+				t.Fatalf("%v workers=%s: %v", extra, workers, err)
+			}
+			files = append(files, out)
+		}
+		want, err := os.ReadFile(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files[1:] {
+			got, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%v: %s differs from %s (release not worker-count independent)", extra, f, files[0])
+			}
 		}
 	}
 }

@@ -91,11 +91,16 @@ func QueryBatch(s Synopsis, rs []Rect, workers int) []float64 {
 }
 
 // UGOptions configures BuildUniformGrid; the zero value applies the
-// paper's Guideline 1 defaults.
+// paper's Guideline 1 defaults. Workers parallelizes the ingestion
+// scans (bit-identical output for every value, any NoiseSource).
 type UGOptions = core.UGOptions
 
 // AGOptions configures BuildAdaptiveGrid; the zero value applies the
-// paper's defaults (alpha = 0.5, c = 10, c2 = 5, m1 rule).
+// paper's defaults (alpha = 0.5, c = 10, c2 = 5, m1 rule). Workers
+// parallelizes the ingestion scans and the per-cell noise/inference
+// pass (Workers > 1 needs a ForkableNoiseSource); IndexLimit bounds
+// the fused single-pass build's point index. Every setting releases
+// the bit-identical synopsis per seed.
 type AGOptions = core.AGOptions
 
 // UniformGrid is the UG synopsis.

@@ -30,16 +30,31 @@ type AGOptions struct {
 	// NBudgetFrac, when positive, spends that fraction of eps on a noisy
 	// estimate of N for the m1 rule (see UGOptions.NBudgetFrac).
 	NBudgetFrac float64
-	// Workers bounds the goroutines used for the second-level pass (each
-	// first-level cell's noise and inference are independent, so the pass
-	// is cell-parallel). 0 means one worker per CPU; 1 forces the
-	// sequential path. Parallel construction requires a noise.Forkable
-	// source (noise.NewSource qualifies): each cell draws from the
-	// sub-stream keyed by its index, so for a given seed the released
-	// synopsis is bit-identical for every Workers value. With a
-	// non-Forkable source, Workers > 1 is an error and the zero value
-	// falls back to the single-stream sequential path.
+	// Workers bounds the goroutines used across the whole build: the
+	// ingestion scans (counting, the fused histogram-and-index pass,
+	// and the leaf pass) and the per-cell noise/inference pass. 0 means
+	// one worker per CPU; 1 forces the sequential path. Parallel
+	// construction requires a noise.Forkable source (noise.NewSource
+	// qualifies): each cell draws noise from the sub-stream keyed by
+	// its index, and the scan results are exact integer histograms that
+	// merge identically under any stream partition — so for a given
+	// seed the released synopsis is bit-identical for every Workers
+	// value. With a non-Forkable source, Workers > 1 is an error and
+	// the zero value falls back to the single-stream sequential path.
 	Workers int
+	// IndexLimit caps how many in-domain points the fused single-pass
+	// build may buffer in its level-1-binned point index (the structure
+	// that lets the leaf pass iterate cache-local bins instead of
+	// re-scanning the source). 0 picks automatically: up to
+	// DefaultAGIndexPoints for sources whose re-scan costs real work (a
+	// CSV file re-parses, a spool re-reads disk), and no index for
+	// in-memory slices, whose re-scan is a free pass over RAM that the
+	// index could only lose to. A negative value disables the index
+	// unconditionally (pure streaming build, bounded memory); a
+	// positive value forces that cap for any source. Every setting
+	// releases the bit-identical synopsis — the knob trades memory for
+	// scan cost only.
+	IndexLimit int
 	// DisableInference skips the constrained-inference step and answers
 	// from raw second-level counts only. It exists for ablation studies
 	// (quantifying how much CI contributes to AG); it wastes the level-1
@@ -121,12 +136,55 @@ func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts 
 		return nil, fmt.Errorf("core: NBudgetFrac must be in [0, 1), got %g", opts.NBudgetFrac)
 	}
 
+	// Resolve the shared parallelism level up front: the ingestion
+	// scans and the per-cell noise pass use the same Workers knob, and
+	// Workers > 1 needs a Forkable source for the noise (the scans
+	// themselves never touch src).
+	forkable, canFork := src.(noise.Forkable)
+	workers := opts.Workers
+	if !canFork {
+		if workers > 1 {
+			return nil, errors.New("core: AGOptions.Workers > 1 requires a noise.Forkable source (noise.NewSource provides one)")
+		}
+		workers = 1
+	}
+	indexLimit := opts.IndexLimit
+	if indexLimit == 0 {
+		if _, inMemory := seq.(geom.SlicePoints); inMemory {
+			indexLimit = -1
+		} else {
+			indexLimit = DefaultAGIndexPoints
+		}
+	}
+
 	remaining := eps
+	histSeq := seq
 	m1 := opts.M1
 	if m1 == 0 {
-		nInt, err := countInDomain(seq, dom)
-		if err != nil {
-			return nil, err
+		var nInt int64
+		if indexLimit > 0 {
+			// Fuse the counting pass with point gathering: when the
+			// dataset fits the index budget, the m1-rule scan already
+			// collected every in-domain point, and the histogram pass
+			// below runs over memory instead of a second source scan.
+			pts, n, err := collectInDomain(seq, dom, workers, indexLimit)
+			if err != nil {
+				return nil, err
+			}
+			nInt = n
+			if pts != nil {
+				histSeq = geom.SlicePoints(pts)
+			} else {
+				// The dataset already exceeded the index budget; do not
+				// let the histogram pass buffer it all over again.
+				indexLimit = -1
+			}
+		} else {
+			n, err := geom.CountInDomain(seq, dom, workers)
+			if err != nil {
+				return nil, fmt.Errorf("core: counting points: %w", err)
+			}
+			nInt = n
 		}
 		n := float64(nInt)
 		if opts.NBudgetFrac > 0 {
@@ -149,10 +207,12 @@ func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts 
 	eps1 := alpha * remaining
 	eps2 := (1 - alpha) * remaining
 
-	// First pass: exact first-level histogram, then noise with eps1.
-	level1, err := grid.FromSeq(dom, m1, m1, seq)
+	// Fused first pass: one scan produces the exact first-level
+	// histogram and (within IndexLimit) the level-1-binned point index
+	// the leaf pass reads in place of a second scan of the source.
+	level1, pindex, err := histogramIndexed(histSeq, dom, m1, workers, indexLimit)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
 	if err := budget.Spend(eps1); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -178,25 +238,22 @@ func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts 
 		}
 	}
 
-	// Second pass: exact leaf histograms (the paper's "two passes over the
-	// dataset"), then noise with eps2.
-	leafCounts := make([][]float64, m1*m1)
+	// Leaf pass: exact leaf histograms in one flat buffer with per-cell
+	// CSR offsets (cache-local, and partial buffers merge in one sweep).
+	// With a point index the pass is cell-parallel over in-memory bins —
+	// no second scan of the source; without one (IndexLimit disabled or
+	// exceeded) the streaming re-scan runs, the paper's "two passes over
+	// the dataset". Then noise with eps2.
+	leafStarts := make([]int, m1*m1+1)
 	for i, m2 := range m2s {
-		leafCounts[i] = make([]float64, m2*m2)
+		leafStarts[i+1] = leafStarts[i] + m2*m2
 	}
-	err = seq.ForEach(func(p geom.Point) {
-		if !dom.Contains(p) {
-			return
-		}
-		ix, iy := dom.CellIndex(p, m1, m1)
-		k := iy*m1 + ix
-		m2 := m2s[k]
-		cellRect := dom.CellRect(ix, iy, m1, m1)
-		lx, ly := leafIndex(p, cellRect, m2)
-		leafCounts[k][ly*m2+lx]++
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: second pass: %w", err)
+	leafFlat := make([]float64, leafTotal)
+	leafOf := func(k int) []float64 { return leafFlat[leafStarts[k]:leafStarts[k+1]] }
+	if pindex != nil {
+		leafFill(pindex, dom, m1, m2s, leafStarts, leafFlat, workers)
+	} else if err := leafRescan(histSeq, dom, m1, m2s, leafStarts, leafFlat, workers); err != nil {
+		return nil, err
 	}
 	if err := budget.Spend(eps2); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -210,9 +267,7 @@ func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts 
 	// A plain Source cannot be shared across goroutines (see
 	// noise.Source's concurrency contract); it keeps the legacy
 	// single-stream sequential draw order.
-	forkable, canFork := src.(noise.Forkable)
 	var nonce uint64
-	workers := opts.Workers
 	if canFork {
 		// Per-build offset for the fork keys: drawn from the advancing
 		// parent stream so that reusing one Source across builds yields
@@ -220,16 +275,12 @@ func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts 
 		// Source with the same seed still reproduces the build exactly.
 		nonce = noise.ForkNonce(src)
 	} else {
-		if workers > 1 {
-			return nil, errors.New("core: AGOptions.Workers > 1 requires a noise.Forkable source (noise.NewSource provides one)")
-		}
-		workers = 1
 		mech2, err := noise.NewMechanism(eps2, 1, src)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		for _, leaves := range leafCounts {
-			mech2.PerturbAll(leaves)
+		for k := 0; k < m1*m1; k++ {
+			mech2.PerturbAll(leafOf(k))
 		}
 	}
 
@@ -258,7 +309,7 @@ func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts 
 	pool.For(m1*m1, workers, func(k int) {
 		ix, iy := k%m1, k/m1
 		m2 := m2s[k]
-		leaves := leafCounts[k]
+		leaves := leafOf(k)
 		if canFork {
 			mech2, err := noise.NewMechanism(eps2, 1, forkable.Fork(nonce+uint64(k)))
 			if err != nil {
@@ -305,27 +356,6 @@ func BuildAdaptiveGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts 
 	}
 	ag.level1 = grid.NewPrefix(totals)
 	return ag, nil
-}
-
-// leafIndex maps p into the lx, ly leaf cell of an m2 x m2 grid over cell.
-func leafIndex(p geom.Point, cell geom.Rect, m2 int) (lx, ly int) {
-	w := cell.Width() / float64(m2)
-	h := cell.Height() / float64(m2)
-	lx = int((p.X - cell.MinX) / w)
-	ly = int((p.Y - cell.MinY) / h)
-	if lx >= m2 {
-		lx = m2 - 1
-	}
-	if ly >= m2 {
-		ly = m2 - 1
-	}
-	if lx < 0 {
-		lx = 0
-	}
-	if ly < 0 {
-		ly = 0
-	}
-	return lx, ly
 }
 
 // Query estimates the number of data points in r. First-level cells fully

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+// ingestTestPoints mixes uniform points with points sitting exactly on
+// first-level cell edges and leaf-cell edges — the coordinates where a
+// binning-arithmetic change would first show.
+func ingestTestPoints(n int, dom geom.Domain, m1 int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	w1, h1 := dom.CellSize(m1, m1)
+	pts := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0, 1, 2:
+			pts = append(pts, geom.Point{
+				X: dom.MinX + rng.Float64()*dom.Width(),
+				Y: dom.MinY + rng.Float64()*dom.Height(),
+			})
+		case 3: // exactly on a level-1 cell edge
+			pts = append(pts, geom.Point{
+				X: dom.MinX + float64(rng.Intn(m1))*w1,
+				Y: dom.MinY + float64(rng.Intn(m1))*h1,
+			})
+		default: // exactly on a leaf edge of some m2 subdivision
+			ix, iy := rng.Intn(m1), rng.Intn(m1)
+			cell := dom.CellRect(ix, iy, m1, m1)
+			m2 := 1 + rng.Intn(8)
+			pts = append(pts, geom.Point{
+				X: cell.MinX + float64(rng.Intn(m2))*(cell.Width()/float64(m2)),
+				Y: cell.MinY + float64(rng.Intn(m2))*(cell.Height()/float64(m2)),
+			})
+		}
+	}
+	return pts
+}
+
+func agBytes(t *testing.T, ag *AdaptiveGrid) []byte {
+	t.Helper()
+	b, err := ag.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func ugBytes(t *testing.T, ug *UniformGrid) []byte {
+	t.Helper()
+	b, err := ug.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// The tentpole acceptance property: the fused single-pass AG build must
+// release bytes bit-identical to the streaming multi-pass build, for
+// every Workers value, index mode, and source shape — including
+// chunk-boundary stream sizes and points on cell/leaf edges.
+func TestAGFusedBitIdentical(t *testing.T) {
+	dom := geom.MustDomain(-20, 5, 100, 65)
+	workerCounts := []int{1, 2, 7, runtime.GOMAXPROCS(0), 0}
+	// Auto plan, streaming re-scan, forced mid-scan fallback, and an
+	// explicit cap that forces the index even for in-memory slices.
+	limits := []int{0, -1, 100, 1 << 30}
+	for _, m1 := range []int{0, 8} {
+		for _, n := range []int{0, 1, geom.DefaultChunkSize, geom.DefaultChunkSize + 1, 20000} {
+			pts := ingestTestPoints(n, dom, 8, int64(n)+3)
+			// Reference: the legacy-shaped build — sequential, no index,
+			// every pass a separate scan.
+			ref, err := BuildAdaptiveGridSeq(geom.SlicePoints(pts), dom, 1,
+				AGOptions{M1: m1, Workers: 1, IndexLimit: -1}, noise.NewSource(42))
+			if err != nil {
+				t.Fatalf("m1=%d n=%d reference: %v", m1, n, err)
+			}
+			want := agBytes(t, ref)
+			funcSeq := geom.FuncSeq(func(fn func(geom.Point)) error {
+				for _, p := range pts {
+					fn(p)
+				}
+				return nil
+			})
+			for _, workers := range workerCounts {
+				for _, limit := range limits {
+					for name, seq := range map[string]geom.PointSeq{"slice": geom.SlicePoints(pts), "func": funcSeq} {
+						got, err := BuildAdaptiveGridSeq(seq, dom, 1,
+							AGOptions{M1: m1, Workers: workers, IndexLimit: limit}, noise.NewSource(42))
+						if err != nil {
+							t.Fatalf("m1=%d n=%d workers=%d limit=%d %s: %v", m1, n, workers, limit, name, err)
+						}
+						if !bytes.Equal(agBytes(t, got), want) {
+							t.Fatalf("m1=%d n=%d workers=%d limit=%d %s: released bytes differ from sequential streaming build",
+								m1, n, workers, limit, name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUGBitIdenticalAcrossWorkers(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 360, 150)
+	pts := ingestTestPoints(30000, dom, 16, 9)
+	for _, gridSize := range []int{0, 32} {
+		ref, err := BuildUniformGridSeq(geom.SlicePoints(pts), dom, 1,
+			UGOptions{GridSize: gridSize, Workers: 1}, noise.NewSource(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ugBytes(t, ref)
+		for _, workers := range []int{2, 7, 0, runtime.GOMAXPROCS(0)} {
+			got, err := BuildUniformGridSeq(geom.SlicePoints(pts), dom, 1,
+				UGOptions{GridSize: gridSize, Workers: workers}, noise.NewSource(7))
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if !bytes.Equal(ugBytes(t, got), want) {
+				t.Fatalf("m=%d workers=%d: released bytes differ (not bit-identical)", gridSize, workers)
+			}
+		}
+	}
+}
+
+// UG's scan parallelism must not require a Forkable source — the noise
+// is drawn after the scans, on the calling goroutine.
+func TestUGWorkersWithPlainSource(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := ingestTestPoints(5000, dom, 4, 11)
+	if _, err := BuildUniformGridSeq(geom.SlicePoints(pts), dom, 1,
+		UGOptions{GridSize: 16, Workers: 4}, noise.FromRand(rand.New(rand.NewSource(1)))); err != nil {
+		t.Fatalf("plain source with Workers > 1: %v", err)
+	}
+}
+
+// scanSeq counts complete scans of the source, whichever view (per-point
+// or chunked) the consumer uses.
+type scanSeq struct {
+	pts   []geom.Point
+	scans *int
+}
+
+func (s scanSeq) ForEach(fn func(geom.Point)) error {
+	*s.scans++
+	for _, p := range s.pts {
+		fn(p)
+	}
+	return nil
+}
+
+func (s scanSeq) ForEachChunk(fn func([]geom.Point) error) error {
+	*s.scans++
+	return geom.SlicePoints(s.pts).ForEachChunk(fn)
+}
+
+// The pass-fusion acceptance table: how many times each build
+// configuration may read the raw source.
+func TestAGScanCounts(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 100, 100)
+	pts := ingestTestPoints(10000, dom, 8, 5)
+	cases := []struct {
+		name  string
+		opts  AGOptions
+		scans int
+	}{
+		// Fixed m1, fused: the one-scan build.
+		{"m1-fixed-fused", AGOptions{M1: 8}, 1},
+		// Fixed m1, index disabled: histogram scan + leaf re-scan.
+		{"m1-fixed-streaming", AGOptions{M1: 8, IndexLimit: -1}, 2},
+		// Auto m1, fused: the counting scan doubles as the gathering
+		// scan, so the histogram and leaf passes run over memory.
+		{"m1-auto-fused", AGOptions{}, 1},
+		// Auto m1, index disabled: the legacy three scans.
+		{"m1-auto-streaming", AGOptions{IndexLimit: -1}, 3},
+		// Auto m1, dataset over the index budget: the count scan could
+		// not gather, and the histogram pass must not re-buffer.
+		{"m1-auto-over-limit", AGOptions{IndexLimit: 100}, 3},
+	}
+	for _, tc := range cases {
+		scans := 0
+		if _, err := BuildAdaptiveGridSeq(scanSeq{pts, &scans}, dom, 1, tc.opts, noise.NewSource(3)); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if scans != tc.scans {
+			t.Errorf("%s: %d scans of the source, want %d", tc.name, scans, tc.scans)
+		}
+	}
+}
+
+func TestUGScanCounts(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 100, 100)
+	pts := ingestTestPoints(10000, dom, 8, 6)
+	for _, tc := range []struct {
+		name  string
+		opts  UGOptions
+		scans int
+	}{
+		{"m-fixed", UGOptions{GridSize: 32}, 1},
+		{"m-auto", UGOptions{}, 2}, // counting scan + histogram scan
+	} {
+		scans := 0
+		if _, err := BuildUniformGridSeq(scanSeq{pts, &scans}, dom, 1, tc.opts, noise.NewSource(3)); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if scans != tc.scans {
+			t.Errorf("%s: %d scans of the source, want %d", tc.name, scans, tc.scans)
+		}
+	}
+}

@@ -33,6 +33,16 @@ type UGOptions struct {
 	// paper; eval.AblationAspect measures its effect on wide domains
 	// such as checkin's 360 x 150.
 	AspectAware bool
+	// Workers bounds the goroutines used by the ingestion scans (the
+	// optional counting pass and the histogram pass). 0 means one
+	// worker per CPU; 1 forces the sequential scan. Every value
+	// releases the bit-identical synopsis: cell counts are sums of
+	// exact integers, so partial histograms merge to the same totals
+	// regardless of how the stream was split, and the noise draw order
+	// from src never changes. Unlike AGOptions.Workers this needs no
+	// Forkable source — UG's noise is applied after the scans, on the
+	// calling goroutine.
+	Workers int
 }
 
 // UniformGrid is the UG synopsis: an equi-width grid of Laplace-noised
@@ -81,9 +91,9 @@ func BuildUniformGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts U
 	m := opts.GridSize
 	cellEps := eps
 	if m == 0 {
-		nInt, err := countInDomain(seq, dom)
+		nInt, err := geom.CountInDomain(seq, dom, opts.Workers)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: counting points: %w", err)
 		}
 		n := float64(nInt)
 		if opts.NBudgetFrac > 0 {
@@ -111,7 +121,7 @@ func BuildUniformGridSeq(seq geom.PointSeq, dom geom.Domain, eps float64, opts U
 	if err := budget.Spend(cellEps); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	counts, err := grid.FromSeq(dom, mx, my, seq)
+	counts, err := grid.FromSeqParallel(dom, mx, my, seq, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -178,16 +188,3 @@ func (u *UniformGrid) TotalEstimate() float64 { return u.prefix.Total() }
 // Counts exposes the noisy cell counts (the released synopsis). The
 // returned grid is the synopsis itself, not a copy; treat it as read-only.
 func (u *UniformGrid) Counts() *grid.Counts { return u.noisy }
-
-func countInDomain(seq geom.PointSeq, dom geom.Domain) (int, error) {
-	n := 0
-	err := seq.ForEach(func(p geom.Point) {
-		if dom.Contains(p) {
-			n++
-		}
-	})
-	if err != nil {
-		return 0, fmt.Errorf("core: counting points: %w", err)
-	}
-	return n, nil
-}

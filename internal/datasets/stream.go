@@ -9,9 +9,11 @@ import (
 
 // CSVFileSeq streams points from a CSV file of "x,y" records without
 // loading them into memory, re-opening the file on every pass. It
-// implements geom.PointSeq, so UG (one scan) and AG (two scans) can be
-// built over datasets larger than RAM — the paper's section IV-C
-// efficiency argument.
+// implements geom.PointSeq and geom.ChunkSeq, so the synopsis builders
+// can ingest datasets larger than RAM — the paper's section IV-C
+// efficiency argument — and the parallel ingestion engine can hand
+// whole parsed blocks to histogram workers instead of a per-point
+// callback.
 type CSVFileSeq struct {
 	Path string
 }
@@ -25,4 +27,16 @@ func (s CSVFileSeq) ForEach(fn func(geom.Point)) error {
 	defer f.Close()
 	// Stream record by record instead of materializing the slice.
 	return streamCSV(f, fn)
+}
+
+// ForEachChunk implements geom.ChunkSeq via the buffered block reader:
+// each block is parsed into a reused buffer of up to
+// geom.DefaultChunkSize points and handed to fn.
+func (s CSVFileSeq) ForEachChunk(fn func(chunk []geom.Point) error) error {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return fmt.Errorf("datasets: %w", err)
+	}
+	defer f.Close()
+	return streamCSVChunks(f, fn)
 }

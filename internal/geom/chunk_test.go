@@ -1,0 +1,190 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func chunkTestPoints(n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: float64(i % 101), Y: float64(i % 37)}
+	}
+	return pts
+}
+
+// funcSeqOf adapts a slice to a FuncSeq, forcing the generic buffered
+// chunk adapter (FuncSeq has no native ForEachChunk).
+func funcSeqOf(pts []Point) FuncSeq {
+	return func(fn func(Point)) error {
+		for _, p := range pts {
+			fn(p)
+		}
+		return nil
+	}
+}
+
+// Chunk-boundary sizes: the empty stream, one point, and one point on
+// either side of every chunk edge.
+func chunkSizes() []int {
+	return []int{0, 1, DefaultChunkSize - 1, DefaultChunkSize, DefaultChunkSize + 1, 3 * DefaultChunkSize}
+}
+
+func TestForEachChunkPartitionsStream(t *testing.T) {
+	for _, n := range chunkSizes() {
+		pts := chunkTestPoints(n)
+		for name, seq := range map[string]PointSeq{"slice": SlicePoints(pts), "func": funcSeqOf(pts)} {
+			var got []Point
+			err := ForEachChunk(seq, func(chunk []Point) error {
+				if len(chunk) == 0 {
+					t.Fatalf("n=%d %s: empty chunk", n, name)
+				}
+				got = append(got, chunk...)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, name, err)
+			}
+			if len(got) != n {
+				t.Fatalf("n=%d %s: chunks hold %d points", n, name, len(got))
+			}
+			for i, p := range got {
+				if p != pts[i] {
+					t.Fatalf("n=%d %s: point %d = %v, want %v (order not preserved)", n, name, i, p, pts[i])
+				}
+			}
+		}
+	}
+}
+
+func TestForEachChunkErrorStopsIteration(t *testing.T) {
+	pts := chunkTestPoints(3 * DefaultChunkSize)
+	boom := errors.New("boom")
+	for name, seq := range map[string]PointSeq{"slice": SlicePoints(pts), "func": funcSeqOf(pts)} {
+		calls := 0
+		err := ForEachChunk(seq, func(chunk []Point) error {
+			calls++
+			if calls == 2 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("%s: error = %v, want boom", name, err)
+		}
+		if calls != 2 {
+			t.Errorf("%s: fn ran %d times after error, want 2", name, calls)
+		}
+	}
+}
+
+func TestForEachChunkParallelSeesEveryPointOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0, runtime.GOMAXPROCS(0)} {
+		for _, n := range chunkSizes() {
+			pts := chunkTestPoints(n)
+			for name, seq := range map[string]PointSeq{"slice": SlicePoints(pts), "func": funcSeqOf(pts)} {
+				var mu sync.Mutex
+				seen := make(map[Point]int, n)
+				total := 0
+				err := ForEachChunkParallel(seq, workers, func(w int, chunk []Point) {
+					mu.Lock()
+					defer mu.Unlock()
+					total += len(chunk)
+					for _, p := range chunk {
+						seen[p]++
+					}
+				})
+				if err != nil {
+					t.Fatalf("workers=%d n=%d %s: %v", workers, n, name, err)
+				}
+				if total != n {
+					t.Fatalf("workers=%d n=%d %s: saw %d points", workers, n, name, total)
+				}
+				want := make(map[Point]int, n)
+				for _, p := range pts {
+					want[p]++
+				}
+				for p, c := range want {
+					if seen[p] != c {
+						t.Fatalf("workers=%d n=%d %s: point %v seen %d times, want %d", workers, n, name, p, seen[p], c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForEachChunkParallelPropagatesSourceError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	seq := FuncSeq(func(fn func(Point)) error {
+		for i := 0; i < 2*DefaultChunkSize; i++ {
+			fn(Point{X: float64(i)})
+		}
+		return boom
+	})
+	for _, workers := range []int{1, 4} {
+		err := ForEachChunkParallel(seq, workers, func(int, []Point) {})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: error = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestCountInDomain(t *testing.T) {
+	dom := MustDomain(0, 0, 10, 10)
+	pts := []Point{
+		{X: 5, Y: 5},
+		{X: 0, Y: 0},    // min corner: inside (boundary inclusive)
+		{X: 10, Y: 10},  // max corner: inside
+		{X: 10.1, Y: 5}, // outside
+		{X: -1, Y: 5},   // outside
+	}
+	// Pad with in-domain points across a chunk boundary.
+	for i := 0; i < DefaultChunkSize; i++ {
+		pts = append(pts, Point{X: 1, Y: 1})
+	}
+	want := int64(3 + DefaultChunkSize)
+	for _, workers := range []int{1, 2, 7, 0} {
+		for name, seq := range map[string]PointSeq{"slice": SlicePoints(pts), "func": funcSeqOf(pts)} {
+			got, err := CountInDomain(seq, dom, workers)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, name, err)
+			}
+			if got != want {
+				t.Errorf("workers=%d %s: count = %d, want %d", workers, name, got, want)
+			}
+		}
+	}
+}
+
+func TestSlicePointsChunksAreSubslices(t *testing.T) {
+	pts := chunkTestPoints(DefaultChunkSize + 5)
+	s := SlicePoints(pts)
+	var chunks [][]Point
+	if err := s.ForEachChunk(func(chunk []Point) error {
+		chunks = append(chunks, chunk) // safe: slice chunks alias stable memory
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 2 || len(chunks[0]) != DefaultChunkSize || len(chunks[1]) != 5 {
+		t.Fatalf("chunk shapes: %d chunks", len(chunks))
+	}
+	if &chunks[0][0] != &pts[0] || &chunks[1][0] != &pts[DefaultChunkSize] {
+		t.Error("slice chunks are copies, want zero-copy subslices")
+	}
+}
+
+func ExampleForEachChunk() {
+	pts := SlicePoints{{X: 1, Y: 2}, {X: 3, Y: 4}, {X: 5, Y: 6}}
+	total := 0
+	_ = ForEachChunk(pts, func(chunk []Point) error {
+		total += len(chunk)
+		return nil
+	})
+	fmt.Println(total)
+	// Output: 3
+}

@@ -150,6 +150,17 @@ func (d Domain) CellSize(mx, my int) (w, h float64) {
 // into the last row/column so every in-domain point has a cell.
 func (d Domain) CellIndex(p Point, mx, my int) (ix, iy int) {
 	w, h := d.CellSize(mx, my)
+	return d.CellIndexAt(p, w, h, mx, my)
+}
+
+// CellIndexAt is CellIndex with the cell-size divisors precomputed by
+// the caller — hot ingestion loops hoist CellSize out of their
+// per-point loop (CellSize returns the identical w and h every call,
+// so hoisting cannot change a point's binning). This function is the
+// single source of truth for the binning arithmetic: every histogram
+// kernel and point index must go through it so their cell assignments
+// can never diverge.
+func (d Domain) CellIndexAt(p Point, w, h float64, mx, my int) (ix, iy int) {
 	ix = int((p.X - d.MinX) / w)
 	iy = int((p.Y - d.MinY) / h)
 	if ix >= mx {

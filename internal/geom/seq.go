@@ -3,10 +3,13 @@ package geom
 // PointSeq is a re-iterable stream of points. It abstracts the data
 // source so synopsis builders can scan datasets too large to hold in
 // memory (the paper's section IV-C efficiency claim: UG needs one scan,
-// AG two).
+// AG at most two).
 //
 // ForEach must be callable multiple times, each call replaying the whole
-// stream in the same order (AG's second pass re-reads the data).
+// stream in the same order (the streaming AG build re-reads the data
+// when its point index is disabled). Sources that can also replay in
+// blocks should implement ChunkSeq; the ingestion engine consumes every
+// source through its chunked view (see ForEachChunk).
 type PointSeq interface {
 	ForEach(fn func(Point)) error
 }

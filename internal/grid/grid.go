@@ -53,18 +53,17 @@ func FromPoints(dom geom.Domain, mx, my int, points []geom.Point) (*Counts, erro
 }
 
 // FromSeq is FromPoints over a streaming point source, for datasets that
-// do not fit in memory.
+// do not fit in memory. It consumes the stream through its chunked view
+// (geom.ForEachChunk) so block sources amortize the per-point callback;
+// see FromSeqParallel for the multi-worker variant.
 func FromSeq(dom geom.Domain, mx, my int, seq geom.PointSeq) (*Counts, error) {
 	c, err := New(dom, mx, my)
 	if err != nil {
 		return nil, err
 	}
-	err = seq.ForEach(func(p geom.Point) {
-		if !dom.Contains(p) {
-			return
-		}
-		ix, iy := dom.CellIndex(p, mx, my)
-		c.vals[iy*mx+ix]++
+	err = geom.ForEachChunk(seq, func(chunk []geom.Point) error {
+		histogramChunk(dom, mx, my, chunk, c.vals)
+		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("grid: scanning points: %w", err)

@@ -1,0 +1,73 @@
+package grid
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/datasets"
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// benchIngestPoints is the shared workload of the ingestion
+// benchmarks: 1M uniform points (the acceptance scale of the parallel
+// engine).
+const benchIngestPoints = 1 << 20
+
+func benchPoints(n int) ([]geom.Point, geom.Domain) {
+	rng := rand.New(rand.NewSource(1))
+	dom := geom.MustDomain(0, 0, 100, 100)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	return pts, dom
+}
+
+func benchCSV(b *testing.B, pts []geom.Point) geom.PointSeq {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := datasets.WriteCSV(f, pts); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return datasets.CSVFileSeq{Path: path}
+}
+
+// BenchmarkFromSeqParallel measures histogram ingestion throughput —
+// sequential vs parallel, in-memory vs CSV — in points/sec. The
+// sequential variants are the baseline the ≥3x parallel speedup is
+// measured against on multi-core runners.
+func BenchmarkFromSeqParallel(b *testing.B) {
+	pts, dom := benchPoints(benchIngestPoints)
+	sources := []struct {
+		name string
+		seq  geom.PointSeq
+	}{
+		{"mem", geom.SlicePoints(pts)},
+		{"csv", benchCSV(b, pts)},
+	}
+	for _, src := range sources {
+		for _, workers := range []int{1, 0} {
+			name := src.name + "/seq"
+			if workers != 1 {
+				name = src.name + "/par"
+			}
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := FromSeqParallel(dom, 256, 256, src.seq, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(benchIngestPoints)*float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+			})
+		}
+	}
+}

@@ -177,6 +177,13 @@ type Options struct {
 	// source, Workers > 1 is an error and the zero value falls back to
 	// the single-stream sequential path.
 	Workers int
+	// MaxBufferedPoints caps the aggregate number of points the
+	// one-scan streaming partitioner (BuildUniformSeq /
+	// BuildAdaptiveSeq) holds in memory before sweeping every tile's
+	// buffer to its bounded spill file. 0 means DefaultSpillPoints.
+	// Smaller trades memory for more appending file I/O; the released
+	// mosaic is bit-identical for every value.
+	MaxBufferedPoints int
 }
 
 // Synopsis is the per-tile synopsis contract the sharded release
@@ -204,21 +211,25 @@ type Sharded struct {
 // BuildUniform builds one UG synopsis per tile of plan, each under the
 // full eps (parallel composition over disjoint tiles).
 func BuildUniform(points []geom.Point, plan Plan, eps float64, grid core.UGOptions, opts Options, src noise.Source) (*Sharded, error) {
+	grid = innerUGOptions(plan, grid, opts)
 	return buildBuckets(points, plan, opts, core.FormatUG, src,
 		func(tile geom.Domain, seq geom.PointSeq, shardSrc noise.Source) (Synopsis, error) {
 			return core.BuildUniformGridSeq(seq, tile, eps, grid, shardSrc)
 		}, eps)
 }
 
-// BuildUniformSeq is BuildUniform over a streaming point source. Each
-// shard filters its own pass over the stream, so a kx x ky plan adds
-// kx*ky filtered scans; for in-memory data prefer BuildUniform, which
-// buckets points once.
+// BuildUniformSeq is BuildUniform over a streaming point source: one
+// scan of the source partitions the stream into per-tile bounded spill
+// buffers (see Options.MaxBufferedPoints), and each shard then builds
+// from its own compact spool — the raw source is never re-scanned, so
+// the build cost no longer grows with the tile count. The release is
+// bit-identical to BuildUniform's for the same seed and plan.
 func BuildUniformSeq(seq geom.PointSeq, plan Plan, eps float64, grid core.UGOptions, opts Options, src noise.Source) (*Sharded, error) {
-	return build(plan, eps, opts, src, core.FormatUG,
-		func(i int, tile geom.Domain, shardSrc noise.Source) (Synopsis, error) {
-			return core.BuildUniformGridSeq(tileSeq{seq: seq, plan: plan, tile: i}, tile, eps, grid, shardSrc)
-		})
+	grid = innerUGOptions(plan, grid, opts)
+	return buildSpill(seq, plan, opts, core.FormatUG, src,
+		func(tile geom.Domain, seq geom.PointSeq, shardSrc noise.Source) (Synopsis, error) {
+			return core.BuildUniformGridSeq(seq, tile, eps, grid, shardSrc)
+		}, eps)
 }
 
 // BuildAdaptive builds one AG synopsis per tile of plan, each under the
@@ -234,14 +245,19 @@ func BuildAdaptive(points []geom.Point, plan Plan, eps float64, grid core.AGOpti
 		}, eps)
 }
 
-// BuildAdaptiveSeq is BuildAdaptive over a streaming point source (see
-// BuildUniformSeq for the scan-count trade-off).
+// BuildAdaptiveSeq is BuildAdaptive over a streaming point source: the
+// source is scanned once into per-tile spill spools (see
+// BuildUniformSeq), and each shard's AG build replays its own spool for
+// whatever passes it needs. Per-shard builds inherit the caller's
+// AGOptions, including IndexLimit; for datasets far beyond RAM set
+// AGOptions.IndexLimit < 0 so concurrent shard builds stream from
+// their spools instead of buffering point indexes.
 func BuildAdaptiveSeq(seq geom.PointSeq, plan Plan, eps float64, grid core.AGOptions, opts Options, src noise.Source) (*Sharded, error) {
 	grid = innerAGOptions(plan, grid, opts)
-	return build(plan, eps, opts, src, core.FormatAG,
-		func(i int, tile geom.Domain, shardSrc noise.Source) (Synopsis, error) {
-			return core.BuildAdaptiveGridSeq(tileSeq{seq: seq, plan: plan, tile: i}, tile, eps, grid, shardSrc)
-		})
+	return buildSpill(seq, plan, opts, core.FormatAG, src,
+		func(tile geom.Domain, seq geom.PointSeq, shardSrc noise.Source) (Synopsis, error) {
+			return core.BuildAdaptiveGridSeq(seq, tile, eps, grid, shardSrc)
+		}, eps)
 }
 
 // innerAGOptions keeps nested parallelism bounded: with a parallel
@@ -257,19 +273,34 @@ func innerAGOptions(plan Plan, grid core.AGOptions, opts Options) core.AGOptions
 	return grid
 }
 
-// tileSeq filters a PointSeq down to the points owned by one tile.
-type tileSeq struct {
-	seq  geom.PointSeq
-	plan Plan
-	tile int
+// innerUGOptions is innerAGOptions for the UG builders: a parallel
+// shard fan-out forces each per-shard build's ingestion scans
+// sequential so the two parallelism layers do not multiply goroutines
+// or partial-histogram memory. The released bits are identical either
+// way (UG scans are exact and never touch the noise source).
+func innerUGOptions(plan Plan, grid core.UGOptions, opts Options) core.UGOptions {
+	if plan.NumTiles() > 1 && pool.Workers(opts.Workers) > 1 {
+		grid.Workers = 1
+	}
+	return grid
 }
 
-func (t tileSeq) ForEach(fn func(geom.Point)) error {
-	return t.seq.ForEach(func(p geom.Point) {
-		if t.plan.TileIndex(p) == t.tile {
-			fn(p)
-		}
-	})
+// buildSpill is the streaming engine: one scan of the source routes
+// every point into its tile's bounded spill spool, then the shared
+// fan-out builds per-shard synopses from the spools. Spool replay
+// preserves stream order, so the release matches the in-memory bucket
+// path bit for bit.
+func buildSpill(seq geom.PointSeq, plan Plan, opts Options, format string, src noise.Source,
+	mk func(tile geom.Domain, seq geom.PointSeq, shardSrc noise.Source) (Synopsis, error), eps float64) (*Sharded, error) {
+	sp, err := partitionSpill(seq, plan, opts.MaxBufferedPoints)
+	if err != nil {
+		return nil, err
+	}
+	defer sp.Close()
+	return build(plan, eps, opts, src, format,
+		func(i int, tile geom.Domain, shardSrc noise.Source) (Synopsis, error) {
+			return mk(tile, sp.tileSeq(i), shardSrc)
+		})
 }
 
 // buildBuckets is the in-memory fast path: one O(n) pass assigns every

@@ -1,0 +1,161 @@
+// Command benchjson runs a set of Go benchmarks and records the parsed
+// results as JSON — the repo's perf-trajectory format. The committed
+// BENCH_ingest.json at the repo root is produced by:
+//
+//	go run ./internal/tools/benchjson -o BENCH_ingest.json
+//
+// and CI re-runs the same command on every push, uploading the fresh
+// file as an artifact so ingestion throughput is measured, not assumed.
+//
+// Flags select the benchmark regexp, benchtime, and packages; the
+// defaults cover the ingestion engine (histogram scans, fused AG
+// builds, one-scan sharded streaming builds — sequential vs parallel,
+// in-memory vs CSV, mono vs sharded).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Pkg        string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the file format: run metadata plus every parsed result.
+type Report struct {
+	GeneratedBy string   `json:"generated_by"`
+	Date        string   `json:"date"`
+	Go          string   `json:"go"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	CPU         string   `json:"cpu,omitempty"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Bench       string   `json:"bench"`
+	Benchtime   string   `json:"benchtime"`
+	Results     []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultBench matches the ingestion-engine benchmarks.
+const defaultBench = "FromSeqParallel|AGBuildFused|UGBuildWorkers|ShardedStreamBuild"
+
+// defaultPkgs hold those benchmarks.
+var defaultPkgs = []string{"./internal/grid/", "./internal/core/", "./internal/shard/"}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	bench := fs.String("bench", defaultBench, "benchmark regexp passed to go test -bench")
+	benchtime := fs.String("benchtime", "3x", "go test -benchtime value")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = defaultPkgs
+	}
+
+	cmdArgs := append([]string{"test", "-run=^$", "-bench=" + *bench, "-benchtime=" + *benchtime}, pkgs...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(cmdArgs, " "), err)
+	}
+	report, err := parseBench(strings.NewReader(string(raw)))
+	if err != nil {
+		return err
+	}
+	report.GeneratedBy = "go run ./internal/tools/benchjson"
+	report.Date = time.Now().UTC().Format("2006-01-02")
+	report.Go = runtime.Version()
+	report.GOOS = runtime.GOOS
+	report.GOARCH = runtime.GOARCH
+	report.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	report.Bench = *bench
+	report.Benchtime = *benchtime
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// benchLine matches "BenchmarkName-8   123   456 ns/op   789 points/sec".
+// The -N GOMAXPROCS suffix is split off into the name's metrics context.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)((?:\s+\S+ \S+)+)$`)
+
+// parseBench parses `go test -bench` output. Context lines (pkg:, cpu:)
+// annotate the results that follow them.
+func parseBench(r io.Reader) (*Report, error) {
+	report := &Report{Results: []Result{}}
+	sc := bufio.NewScanner(r)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			iters, err := strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad iteration count in %q", line)
+			}
+			fields := strings.Fields(m[4])
+			if len(fields)%2 != 0 {
+				return nil, fmt.Errorf("odd metric fields in %q", line)
+			}
+			metrics := make(map[string]float64, len(fields)/2)
+			for i := 0; i < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad metric value %q in %q", fields[i], line)
+				}
+				metrics[fields[i+1]] = v
+			}
+			report.Results = append(report.Results, Result{
+				Pkg:        pkg,
+				Name:       m[1],
+				Iterations: iters,
+				Metrics:    metrics,
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}

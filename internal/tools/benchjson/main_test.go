@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/dpgrid/dpgrid/internal/grid
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFromSeqParallel/mem/seq         	       5	   6870470 ns/op	 152689047 points/sec
+BenchmarkFromSeqParallel/mem/par-8       	       5	   1750826 ns/op	 582411072 points/sec
+PASS
+ok  	github.com/dpgrid/dpgrid/internal/grid	1.161s
+pkg: github.com/dpgrid/dpgrid/internal/shard
+BenchmarkShardedStreamBuild/onescan/4x4 	       1	 351674164 ns/op	   2981687 points/sec
+PASS
+ok  	github.com/dpgrid/dpgrid/internal/shard	27.982s
+`
+
+func TestParseBench(t *testing.T) {
+	report, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(report.Results))
+	}
+	if report.CPU != "Intel(R) Xeon(R) Processor @ 2.70GHz" {
+		t.Errorf("cpu = %q", report.CPU)
+	}
+	r0 := report.Results[0]
+	if r0.Pkg != "github.com/dpgrid/dpgrid/internal/grid" {
+		t.Errorf("result 0 pkg = %q", r0.Pkg)
+	}
+	if r0.Name != "BenchmarkFromSeqParallel/mem/seq" {
+		t.Errorf("result 0 name = %q", r0.Name)
+	}
+	if r0.Iterations != 5 {
+		t.Errorf("result 0 iterations = %d", r0.Iterations)
+	}
+	if r0.Metrics["ns/op"] != 6870470 || r0.Metrics["points/sec"] != 152689047 {
+		t.Errorf("result 0 metrics = %v", r0.Metrics)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped from the name.
+	if got := report.Results[1].Name; got != "BenchmarkFromSeqParallel/mem/par" {
+		t.Errorf("result 1 name = %q, want GOMAXPROCS suffix stripped", got)
+	}
+	if got := report.Results[2].Pkg; got != "github.com/dpgrid/dpgrid/internal/shard" {
+		t.Errorf("result 2 pkg = %q (pkg context not tracked)", got)
+	}
+}
+
+func TestParseBenchRejectsBadMetrics(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX \t 5 \t abc ns/op\n")); err == nil {
+		t.Error("bad metric value accepted")
+	}
+}
+
+func TestParseBenchEmptyInput(t *testing.T) {
+	report, err := parseBench(strings.NewReader("PASS\nok  \tx\t0.01s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 0 {
+		t.Errorf("parsed %d results from benchmark-free output", len(report.Results))
+	}
+}

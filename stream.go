@@ -8,16 +8,23 @@ import (
 
 // PointSeq is a re-iterable stream of points, the input abstraction for
 // building synopses over datasets too large to hold in memory. ForEach
-// must replay the full stream on every call (AG scans the data twice).
+// must replay the full stream on every call (the streaming AG build
+// re-scans the data when its point index is disabled or overflows).
+//
+// Sources that can also replay the stream in blocks (geom.ChunkSeq)
+// feed the parallel ingestion engine without a per-point callback;
+// SlicePoints and CSVFilePoints both do.
 type PointSeq = geom.PointSeq
 
 // SlicePoints adapts an in-memory []Point to PointSeq.
 type SlicePoints = geom.SlicePoints
 
 // CSVFilePoints returns a PointSeq streaming "x,y" records from the file
-// at path, re-opening it on each pass. Building UG over it performs one
-// scan, AG two (plus one counting scan each when the grid size is chosen
-// from the data), matching the paper's out-of-core construction claim.
+// at path, re-opening it on each pass and parsing in buffered blocks.
+// Building UG over it performs one scan (plus one counting scan when the
+// grid size is chosen from the data); AG's fused build performs at most
+// one scan when the dataset fits AGOptions.IndexLimit and two to three
+// otherwise, matching the paper's out-of-core construction claim.
 func CSVFilePoints(path string) PointSeq {
 	return datasets.CSVFileSeq{Path: path}
 }

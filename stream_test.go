@@ -77,14 +77,18 @@ func TestStreamingMissingFile(t *testing.T) {
 	}
 }
 
-// errSeq fails partway through iteration, exercising error propagation
-// from mid-stream failures (e.g. disk errors on the second AG pass).
-type errSeq struct{ calls *int }
+// errSeq fails partway through iteration once failAt scans have
+// started, exercising error propagation from mid-stream failures (e.g.
+// disk errors during a build scan).
+type errSeq struct {
+	calls  *int
+	failAt int
+}
 
 func (e errSeq) ForEach(fn func(Point)) error {
 	*e.calls++
 	fn(Point{X: 0.5, Y: 0.5})
-	if *e.calls >= 2 {
+	if *e.calls >= e.failAt {
 		return errors.New("disk on fire")
 	}
 	return nil
@@ -92,10 +96,22 @@ func (e errSeq) ForEach(fn func(Point)) error {
 
 func TestStreamingMidStreamError(t *testing.T) {
 	dom, _ := NewDomain(0, 0, 1, 1)
+	// Fused build: one scan produces histogram and leaf index, so a
+	// first-scan failure is the mid-stream case.
 	calls := 0
-	_, err := BuildAdaptiveGridSeq(errSeq{&calls}, dom, 1, AGOptions{M1: 2}, NewNoiseSource(1))
+	_, err := BuildAdaptiveGridSeq(errSeq{&calls, 1}, dom, 1, AGOptions{M1: 2}, NewNoiseSource(1))
 	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
-		t.Errorf("mid-stream error not propagated: %v", err)
+		t.Errorf("fused build: mid-stream error not propagated: %v", err)
+	}
+	// Streaming build (index disabled): the leaf pass re-scans the
+	// source, and a failure on that second scan must propagate too.
+	calls = 0
+	_, err = BuildAdaptiveGridSeq(errSeq{&calls, 2}, dom, 1, AGOptions{M1: 2, IndexLimit: -1}, NewNoiseSource(1))
+	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+		t.Errorf("streaming build: second-scan error not propagated: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("streaming build made %d scans before failing, want 2", calls)
 	}
 }
 
