@@ -56,7 +56,7 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("dpgrid", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV of x,y points (required unless -load)")
 	domainFlag := fs.String("domain", "", "public domain as minX,minY,maxX,maxY (required with -in; do not derive from private data)")
-	method := fs.String("method", "ag", "synopsis method: ug|ag|kdhybrid|kdstandard|privlet")
+	method := fs.String("method", "ag", "synopsis method: ug|ag|hierarchy|kdtree|kdstandard|privlet|auto (kdhybrid = kdtree; auto picks per the paper's guidelines and the query workload, explaining its choice on stderr)")
 	shards := fs.String("shards", "", "build a geo-sharded KxL release, e.g. 4x4 (ug/ag only; each tile spends the full epsilon via parallel composition)")
 	eps := fs.Float64("eps", 1, "privacy budget epsilon")
 	gridSize := fs.Int("m", 0, "grid size override (ug/privlet); 0 = Guideline 1")
@@ -64,7 +64,7 @@ func run(args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "goroutines for the parallel build engine (0 = one per CPU); the released synopsis is bit-identical for every value")
 	queryFlag := fs.String("query", "", "single query rectangle x0,y0,x1,y1")
 	queriesFile := fs.String("queries", "", "file of query rectangles, one x0,y0,x1,y1 per line")
-	saveFile := fs.String("save", "", "write the built synopsis (ug/ag) to this file for later -load")
+	saveFile := fs.String("save", "", "write the built synopsis (any method) to this file for later -load")
 	saveFormat := fs.String("format", dpgrid.FormatJSON, "-save encoding: json (readable) or binary (compact dpgridv2; loads lazily in dpserve when sharded)")
 	loadFile := fs.String("load", "", "load a previously saved synopsis instead of building one (either encoding, sniffed)")
 	synthesize := fs.Int("synthesize", 0, "sample this many synthetic points from the synopsis as CSV on stdout (-1 = synopsis's own size estimate)")
@@ -85,6 +85,14 @@ func run(args []string, w io.Writer) error {
 	}
 	if *saveFormat != dpgrid.FormatJSON && *saveFormat != dpgrid.FormatBinary {
 		return fmt.Errorf("bad -format %q: want %s or %s", *saveFormat, dpgrid.FormatJSON, dpgrid.FormatBinary)
+	}
+
+	// Parse the query workload up front: bad specs fail before the
+	// (budget-consuming) build, and -method auto folds the workload
+	// shape into its choice.
+	queries, err := loadQueries(*queryFlag, *queriesFile)
+	if err != nil {
+		return err
 	}
 
 	var syn dpgrid.Synopsis
@@ -127,6 +135,28 @@ func run(args []string, w io.Writer) error {
 			return datasets.ReadCSV(f)
 		}
 
+		// Resolve aliases and -method auto to a concrete method before
+		// dispatching. auto reads the dataset once to learn N, folds in
+		// the workload shape, and reports its (auditable) choice on
+		// stderr so pipelines capturing stdout stay clean.
+		chosen := *method
+		if chosen == "kdhybrid" {
+			chosen = "kdtree"
+		}
+		if chosen == "auto" {
+			points, perr := readPoints()
+			if perr != nil {
+				return perr
+			}
+			rects := make([]dpgrid.Rect, len(queries))
+			for i, q := range queries {
+				rects[i] = q.rect
+			}
+			choice := dpgrid.SelectMethod(len(points), *eps, dpgrid.WorkloadShapeOf(dom, rects))
+			fmt.Fprintf(os.Stderr, "auto: selected %s (%s)\n", choice.Method, choice.Reason)
+			chosen = string(choice.Method)
+		}
+
 		if *shards != "" {
 			kx, ky, perr := shard.ParseDims(*shards)
 			if perr != nil {
@@ -137,30 +167,36 @@ func run(args []string, w io.Writer) error {
 				return perr
 			}
 			sopts := dpgrid.ShardOptions{Workers: *workers}
-			switch *method {
+			switch chosen {
 			case "ug":
 				syn, err = dpgrid.BuildShardedUniformGridSeq(seq, plan, *eps, dpgrid.UGOptions{GridSize: *gridSize, Workers: *workers}, sopts, src)
 			case "ag":
 				syn, err = dpgrid.BuildShardedAdaptiveGridSeq(seq, plan, *eps, dpgrid.AGOptions{Workers: *workers}, sopts, src)
 			default:
-				return fmt.Errorf("-shards supports ug and ag, not %q", *method)
+				return fmt.Errorf("-shards supports ug and ag, not %q", chosen)
 			}
 			if err != nil {
 				return err
 			}
 		} else {
-			switch *method {
+			switch chosen {
 			case "ug":
 				syn, err = dpgrid.BuildUniformGridSeq(seq, dom, *eps, dpgrid.UGOptions{GridSize: *gridSize, Workers: *workers}, src)
 			case "ag":
 				syn, err = dpgrid.BuildAdaptiveGridSeq(seq, dom, *eps, dpgrid.AGOptions{Workers: *workers}, src)
-			case "kdhybrid", "kdstandard", "privlet":
+			case "hierarchy", "kdtree", "kdstandard", "privlet":
 				points, perr := readPoints()
 				if perr != nil {
 					return perr
 				}
-				switch *method {
-				case "kdhybrid":
+				switch chosen {
+				case "hierarchy":
+					if *gridSize > 0 {
+						syn, err = dpgrid.BuildHierarchy(points, dom, *eps, dpgrid.HierarchyOptions{GridSize: *gridSize, Branching: 2, Depth: 3}, src)
+					} else {
+						syn, err = dpgrid.BuildMethod(dpgrid.MethodHierarchy, points, dom, *eps, src)
+					}
+				case "kdtree":
 					syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDHybrid}, src)
 				case "kdstandard":
 					syn, err = dpgrid.BuildKDTree(points, dom, *eps, dpgrid.KDTreeOptions{Method: dpgrid.KDStandard}, src)
@@ -172,7 +208,7 @@ func run(args []string, w io.Writer) error {
 					syn, err = dpgrid.BuildPrivlet(points, dom, *eps, dpgrid.PrivletOptions{GridSize: m}, src)
 				}
 			default:
-				return fmt.Errorf("unknown method %q", *method)
+				return fmt.Errorf("unknown method %q", chosen)
 			}
 			if err != nil {
 				return err
@@ -210,45 +246,60 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	if *queryFlag == "" && *queriesFile == "" {
-		return nil
+	for _, q := range queries {
+		fmt.Fprintf(w, "%s\t%.2f\n", q.spec, syn.Query(q.rect))
 	}
+	return nil
+}
 
-	answer := func(spec string) error {
+// querySpec pairs a query rectangle with the spec string it was parsed
+// from, so answers echo the operator's own text.
+type querySpec struct {
+	spec string
+	rect dpgrid.Rect
+}
+
+// loadQueries collects the workload from -query and -queries, validating
+// every spec. Blank lines and #-comments in the file are skipped.
+func loadQueries(single, file string) ([]querySpec, error) {
+	var specs []string
+	if single != "" {
+		specs = append(specs, single)
+	}
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		scanner := bufio.NewScanner(f)
+		for scanner.Scan() {
+			line := strings.TrimSpace(scanner.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			specs = append(specs, line)
+		}
+		if err := scanner.Err(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]querySpec, len(specs))
+	for i, spec := range specs {
 		q, err := parseFloats(spec, 4)
 		if err != nil {
-			return fmt.Errorf("bad query %q: %w", spec, err)
+			return nil, fmt.Errorf("bad query %q: %w", spec, err)
 		}
 		// strconv.ParseFloat happily parses "NaN" and "Inf", and NewRect
 		// cannot normalize NaN (comparisons are false) — gate them here
 		// instead of letting garbage into the synopsis query path.
 		r := dpgrid.NewRect(q[0], q[1], q[2], q[3])
 		if !r.IsValid() {
-			return fmt.Errorf("bad query %q: coordinates must be finite", spec)
+			return nil, fmt.Errorf("bad query %q: coordinates must be finite", spec)
 		}
-		fmt.Fprintf(w, "%s\t%.2f\n", spec, syn.Query(r))
-		return nil
+		out[i] = querySpec{spec: spec, rect: r}
 	}
-
-	if *queryFlag != "" {
-		return answer(*queryFlag)
-	}
-	qf, err := os.Open(*queriesFile)
-	if err != nil {
-		return err
-	}
-	defer qf.Close()
-	scanner := bufio.NewScanner(qf)
-	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		if err := answer(line); err != nil {
-			return err
-		}
-	}
-	return scanner.Err()
+	return out, nil
 }
 
 func parseFloats(s string, n int) ([]float64, error) {

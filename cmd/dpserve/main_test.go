@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -668,5 +669,117 @@ func TestPutBinarySynopsis(t *testing.T) {
 	r := dpgrid.NewRect(10, 10, 60, 60)
 	if math.Abs(got.Query(r)-syn.Query(r)) > 1e-9 {
 		t.Fatalf("binary upload answers %g, original %g", got.Query(r), syn.Query(r))
+	}
+}
+
+// TestServeNewKindsEndToEnd: every registry kind added after the
+// original UG/AG/sharded trio is servable — PUT a binary container,
+// read back its kind from the info endpoint, query it, see it labeled
+// on /metrics, and watch the label disappear on DELETE.
+func TestServeNewKindsEndToEnd(t *testing.T) {
+	dom, err := dpgrid.NewDomain(0, 0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	pts := make([]dpgrid.Point, 2000)
+	for i := range pts {
+		pts[i] = dpgrid.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	synopses := map[string]dpgrid.Synopsis{}
+	hier, err := dpgrid.BuildHierarchy(pts, dom, 1, dpgrid.HierarchyOptions{GridSize: 8, Branching: 2, Depth: 3}, dpgrid.NewNoiseSource(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	synopses["hierarchy"] = hier
+	kd, err := dpgrid.BuildKDTree(pts, dom, 1, dpgrid.KDTreeOptions{Method: dpgrid.KDHybrid}, dpgrid.NewNoiseSource(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	synopses["kd-tree"] = kd
+	pl, err := dpgrid.BuildPrivlet(pts, dom, 1, dpgrid.PrivletOptions{GridSize: 6}, dpgrid.NewNoiseSource(74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	synopses["privlet"] = pl
+
+	reg := newRegistry()
+	srv := newTestServer(t, reg)
+	scrape := func() string {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		if _, err := io.Copy(&sb, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	for kind, syn := range synopses {
+		name := "syn-" + kind
+		var buf bytes.Buffer
+		if err := dpgrid.WriteSynopsisBinary(&buf, syn); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		put, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/synopses/"+name, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(put)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: PUT status = %d", kind, resp.StatusCode)
+		}
+
+		var info synopsisInfo
+		getJSON(t, srv.URL+"/v1/synopses/"+name, &info)
+		if info.Kind != kind {
+			t.Errorf("%s: info kind = %q", kind, info.Kind)
+		}
+
+		body, err := json.Marshal(queryRequest{Synopsis: name, Rects: [][4]float64{{10, 10, 60, 60}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qresp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var qr queryResponse
+		if err := json.NewDecoder(qresp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+		qresp.Body.Close()
+		want := syn.Query(dpgrid.NewRect(10, 10, 60, 60))
+		if len(qr.Counts) != 1 || math.Abs(qr.Counts[0]-want) > 1e-9 {
+			t.Errorf("%s: served %v, direct %g", kind, qr.Counts, want)
+		}
+
+		label := `dpserve_synopsis_kind{synopsis="` + name + `",kind="` + kind + `"} 1`
+		if met := scrape(); !strings.Contains(met, label) {
+			t.Errorf("%s: /metrics missing %s", kind, label)
+		}
+
+		del, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/synopses/"+name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp, err := http.DefaultClient.Do(del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: DELETE status = %d", kind, dresp.StatusCode)
+		}
+		if met := scrape(); strings.Contains(met, label) {
+			t.Errorf("%s: kind series survived DELETE", kind)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"sync/atomic"
 
+	"github.com/dpgrid/dpgrid"
 	"github.com/dpgrid/dpgrid/internal/obs"
 )
 
@@ -34,6 +35,7 @@ type serverMetrics struct {
 	materializations *obs.CounterVec   // lazy shards decoded on first touch
 	cacheHits        *obs.CounterVec
 	cacheMisses      *obs.CounterVec
+	synopsisKind     *obs.InfoVec // container kind per served synopsis
 
 	// Registry and lifecycle counters.
 	decodeErrors *obs.Counter // rejected PUT bodies
@@ -60,6 +62,9 @@ func newServerMetrics(cacheEntries, synopsisCount func() float64) *serverMetrics
 		"Rectangle queries answered from the result cache, by synopsis.", "synopsis")
 	m.cacheMisses = r.CounterVec("dpserve_cache_misses_total",
 		"Rectangle queries computed from the synopsis, by synopsis.", "synopsis")
+	m.synopsisKind = r.InfoVec("dpserve_synopsis_kind",
+		"Container kind of each registered synopsis (info pattern: value is always 1; join on the synopsis label).",
+		"synopsis", "kind")
 	m.decodeErrors = r.Counter("dpserve_decode_errors_total",
 		"Synopsis uploads rejected because the body failed to decode or validate.")
 	m.rejected = r.Counter("dpserve_requests_rejected_total",
@@ -87,6 +92,19 @@ func (m *serverMetrics) forgetSynopsis(name string) {
 	m.materializations.Forget(name)
 	m.cacheHits.Forget(name)
 	m.cacheMisses.Forget(name)
+	m.synopsisKind.Forget(name)
+}
+
+// setSynopsisKind records the registered synopsis's container kind in
+// the dpserve_synopsis_kind info family. Synopsis implementations from
+// outside the dpgrid registry have no kind and are labeled "unknown"
+// rather than omitted, so the info join never silently loses a name.
+func (m *serverMetrics) setSynopsisKind(name string, syn dpgrid.Synopsis) {
+	kind := dpgrid.SynopsisKind(syn)
+	if kind == "" {
+		kind = "unknown"
+	}
+	m.synopsisKind.Set(name, kind)
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition

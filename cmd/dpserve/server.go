@@ -60,6 +60,14 @@ func newDPServer(reg *registry, opts serverOptions) *server {
 		func() float64 { return float64(s.cache.Len()) },
 		func() float64 { return float64(reg.count()) },
 	)
+	// Startup-loaded synopses (-load) predate the metrics registry; seed
+	// their kind info series so /metrics describes the full serving set
+	// from the first scrape, not just names PUT after boot.
+	for _, name := range reg.names() {
+		if syn, _, ok := reg.get(name); ok {
+			s.met.setSynopsisKind(name, syn)
+		}
+	}
 	return s
 }
 
@@ -84,6 +92,7 @@ type queryResponse struct {
 // [0,0,0,0] domain instead of omitting the field.
 type synopsisInfo struct {
 	Name    string      `json:"name"`
+	Kind    string      `json:"kind,omitempty"`
 	Epsilon float64     `json:"epsilon,omitempty"`
 	Domain  *[4]float64 `json:"domain,omitempty"`
 	Shards  int         `json:"shards,omitempty"`
@@ -104,7 +113,7 @@ type sharded interface {
 }
 
 func infoFor(name string, s dpgrid.Synopsis) synopsisInfo {
-	info := synopsisInfo{Name: name}
+	info := synopsisInfo{Name: name, Kind: dpgrid.SynopsisKind(s)}
 	if m, ok := s.(metadata); ok {
 		d := m.Domain()
 		info.Epsilon = m.Epsilon()
@@ -258,6 +267,7 @@ func (s *server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
 		}
 		s.reg.put(name, syn)
 		s.cache.Invalidate(name)
+		s.met.setSynopsisKind(name, syn)
 		writeJSON(w, http.StatusOK, map[string]any{"loaded": name})
 	default:
 		writeError(w, http.StatusMethodNotAllowed, "use GET, PUT, or DELETE")

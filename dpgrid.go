@@ -65,7 +65,8 @@ type Synopsis interface {
 }
 
 // BatchSynopsis is a Synopsis that also answers batches directly.
-// UniformGrid, AdaptiveGrid, and Hierarchy implement it; today their
+// Every released synopsis type (UniformGrid, AdaptiveGrid, Hierarchy,
+// KDTree, Privlet, Sharded, LazySharded) implements it; today their
 // QueryBatch methods and the generic fan-out below do the same work
 // (pool.Map over Query), but the interface leaves room for synopsis
 // types whose batch path is genuinely smarter (e.g. sorting queries for

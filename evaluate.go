@@ -3,7 +3,9 @@ package dpgrid
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
+	"github.com/dpgrid/dpgrid/internal/core"
 	"github.com/dpgrid/dpgrid/internal/pointindex"
 	"github.com/dpgrid/dpgrid/internal/query"
 )
@@ -72,4 +74,114 @@ func Evaluate(syn Synopsis, points []Point, dom Domain, queries []Rect) (ErrorSt
 func RandomQueries(dom Domain, w, h float64, count int, seed int64) ([]Rect, error) {
 	rng := rand.New(rand.NewSource(seed))
 	return query.Generate(rng, dom, w, h, count)
+}
+
+// Method selection and comparison: the programmatic face of the CLI's
+// -method auto flag and the method-shootout example. SelectMethod
+// applies the paper's static guidance; CompareMethods measures every
+// requested method on the caller's own data for empirical selection.
+
+// MethodName identifies a synopsis construction method ("ug", "ag",
+// "hierarchy", "kdtree", "privlet").
+type MethodName = core.MethodName
+
+// The selectable construction methods.
+const (
+	MethodUG        = core.MethodUG
+	MethodAG        = core.MethodAG
+	MethodHierarchy = core.MethodHierarchy
+	MethodKDTree    = core.MethodKDTree
+	MethodPrivlet   = core.MethodPrivlet
+)
+
+// WorkloadShape summarizes a query workload for method selection; build
+// one from a concrete workload with WorkloadShapeOf.
+type WorkloadShape = core.WorkloadShape
+
+// MethodChoice is SelectMethod's result: the chosen method, suggested
+// grid parameters, and the auditable reason.
+type MethodChoice = core.MethodChoice
+
+// WorkloadShapeOf summarizes a concrete query workload over dom.
+func WorkloadShapeOf(dom Domain, queries []Rect) WorkloadShape {
+	return core.ShapeOf(dom, queries)
+}
+
+// SelectMethod picks a construction method for n points under eps from
+// the paper's guidelines (sections IV-V) plus the workload shape: UG
+// when N*eps is too small for adaptivity or the workload is dominated
+// by large queries, AG otherwise. Pass the zero WorkloadShape when the
+// workload is unknown.
+func SelectMethod(n int, eps float64, shape WorkloadShape) MethodChoice {
+	return core.SelectMethod(n, eps, shape)
+}
+
+// BuildMethod constructs a synopsis of points with the named method
+// under the paper's suggested parameters for the dataset scale — the
+// builder behind -method auto, usable directly when the caller has a
+// MethodChoice (or wants a specific method) without hand-picking
+// options.
+func BuildMethod(m MethodName, points []Point, dom Domain, eps float64, src NoiseSource) (Synopsis, error) {
+	n := len(points)
+	switch m {
+	case MethodUG:
+		return BuildUniformGrid(points, dom, eps, UGOptions{}, src)
+	case MethodAG:
+		return BuildAdaptiveGrid(points, dom, eps, AGOptions{}, src)
+	case MethodHierarchy:
+		// H_{2,3} at the guideline scale: the leaf grid must divide
+		// evenly through both coarser levels, so round the guideline
+		// size up to a multiple of branching^(depth-1) = 4.
+		size := SuggestedGridSize(n, eps)
+		if size < 4 {
+			size = 4
+		} else if r := size % 4; r != 0 {
+			size += 4 - r
+		}
+		return BuildHierarchy(points, dom, eps, HierarchyOptions{GridSize: size, Branching: 2, Depth: 3}, src)
+	case MethodKDTree:
+		return BuildKDTree(points, dom, eps, KDTreeOptions{Method: KDHybrid}, src)
+	case MethodPrivlet:
+		return BuildPrivlet(points, dom, eps, PrivletOptions{GridSize: SuggestedGridSize(n, eps)}, src)
+	default:
+		return nil, fmt.Errorf("dpgrid: unknown method %q", m)
+	}
+}
+
+// MethodMeasurement is one method's measured accuracy from
+// CompareMethods, with the synopsis it measured so the caller can
+// release the winner without rebuilding.
+type MethodMeasurement struct {
+	Method   MethodName
+	Stats    ErrorStats
+	Synopsis Synopsis
+}
+
+// CompareMethods builds every requested method over the same data and
+// measures each against ground truth on the same workload, returning
+// the measurements sorted by mean relative error (best first). Like
+// Evaluate, it touches the raw data: it is the data holder's
+// pre-release tuning tool, and its outputs are not differentially
+// private. Each build consumes eps independently — release only the
+// winner (sequential composition charges every released synopsis).
+func CompareMethods(points []Point, dom Domain, eps float64, methods []MethodName, queries []Rect, src NoiseSource) ([]MethodMeasurement, error) {
+	if len(methods) == 0 {
+		return nil, fmt.Errorf("dpgrid: no methods to compare")
+	}
+	out := make([]MethodMeasurement, 0, len(methods))
+	for _, m := range methods {
+		syn, err := BuildMethod(m, points, dom, eps, src)
+		if err != nil {
+			return nil, fmt.Errorf("dpgrid: build %s: %w", m, err)
+		}
+		stats, err := Evaluate(syn, points, dom, queries)
+		if err != nil {
+			return nil, fmt.Errorf("dpgrid: evaluate %s: %w", m, err)
+		}
+		out = append(out, MethodMeasurement{Method: m, Stats: stats, Synopsis: syn})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Stats.MeanRelativeError < out[j].Stats.MeanRelativeError
+	})
+	return out, nil
 }

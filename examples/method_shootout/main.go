@@ -1,23 +1,24 @@
 // Method shootout: a miniature version of the paper's final comparison
-// (Figure 5) run through the public API — KD-hybrid vs UG vs Privlet vs
-// AG on one dataset, one epsilon, with mean relative error per query
-// size class.
+// (Figure 5) run through the public API — every selectable method
+// (KD-hybrid, UG, Privlet, Hierarchy, AG) measured on one dataset and
+// one epsilon with CompareMethods, then checked against SelectMethod's
+// static pick. This is the offline twin of `dpgrid -method auto`: the
+// CLI applies SelectMethod's guideline rule online; this example
+// measures whether that rule would have won on this data.
 //
 //	go run ./examples/method_shootout
 //
-// Expected shape (the paper's headline result): AG < UG ~ KD-hybrid, with
-// Privlet competitive only at large grid sizes.
+// Expected shape (the paper's headline result): AG < UG ~ KD-hybrid,
+// with Privlet and Hierarchy trailing — and SelectMethod's pick at or
+// near the top of the measured ranking.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math"
-	"math/rand"
 
 	"github.com/dpgrid/dpgrid"
 	"github.com/dpgrid/dpgrid/internal/datasets"
-	"github.com/dpgrid/dpgrid/internal/pointindex"
 )
 
 const (
@@ -30,73 +31,55 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	idx, err := pointindex.New(data.Domain, data.Points)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rho := 0.001 * float64(data.N())
 
-	suggested := dpgrid.SuggestedGridSize(data.N(), eps)
-	methods := []struct {
-		name string
-		syn  dpgrid.Synopsis
-	}{
-		{"KD-hybrid", must(dpgrid.BuildKDTree(data.Points, data.Domain, eps,
-			dpgrid.KDTreeOptions{Method: dpgrid.KDHybrid}, dpgrid.NewNoiseSource(31)))},
-		{"UG (Guideline 1)", must(dpgrid.BuildUniformGrid(data.Points, data.Domain, eps,
-			dpgrid.UGOptions{}, dpgrid.NewNoiseSource(32)))},
-		{"Privlet", must(dpgrid.BuildPrivlet(data.Points, data.Domain, eps,
-			dpgrid.PrivletOptions{GridSize: suggested}, dpgrid.NewNoiseSource(33)))},
-		{"AG (Guideline 2)", must(dpgrid.BuildAdaptiveGrid(data.Points, data.Domain, eps,
-			dpgrid.AGOptions{}, dpgrid.NewNoiseSource(34)))},
-	}
-
-	fmt.Printf("landmark stand-in: N=%d, eps=%g, %d queries per size\n\n", data.N(), eps, queriesPerSz)
-	fmt.Printf("%-18s", "method")
-	for s := 1; s <= 6; s++ {
-		fmt.Printf(" %8s", fmt.Sprintf("q%d", s))
-	}
-	fmt.Printf(" %9s\n", "overall")
-
-	rng := rand.New(rand.NewSource(77))
-	// Same workloads for every method.
-	workloads := make([][]dpgrid.Rect, 6)
-	truths := make([][]float64, 6)
+	// One workload across the paper's six query size classes, shared by
+	// every method so the ranking is apples-to-apples.
+	var queries []dpgrid.Rect
 	for s := 1; s <= 6; s++ {
 		w, h := data.QuerySize(s)
-		qs := make([]dpgrid.Rect, queriesPerSz)
-		ts := make([]float64, queriesPerSz)
-		for i := range qs {
-			x0 := data.Domain.MinX + rng.Float64()*(data.Domain.Width()-w)
-			y0 := data.Domain.MinY + rng.Float64()*(data.Domain.Height()-h)
-			qs[i] = dpgrid.NewRect(x0, y0, x0+w, y0+h)
-			ts[i] = float64(idx.Count(qs[i]))
+		qs, err := dpgrid.RandomQueries(data.Domain, w, h, queriesPerSz, int64(77+s))
+		if err != nil {
+			log.Fatal(err)
 		}
-		workloads[s-1] = qs
-		truths[s-1] = ts
+		queries = append(queries, qs...)
 	}
 
-	for _, m := range methods {
-		fmt.Printf("%-18s", m.name)
-		var overall float64
-		for s := 0; s < 6; s++ {
-			var sum float64
-			for i, q := range workloads[s] {
-				est := m.syn.Query(q)
-				sum += math.Abs(est-truths[s][i]) / math.Max(truths[s][i], rho)
-			}
-			mean := sum / float64(len(workloads[s]))
-			overall += mean
-			fmt.Printf(" %8.4f", mean)
-		}
-		fmt.Printf(" %9.4f\n", overall/6)
+	methods := []dpgrid.MethodName{
+		dpgrid.MethodKDTree,
+		dpgrid.MethodUG,
+		dpgrid.MethodPrivlet,
+		dpgrid.MethodHierarchy,
+		dpgrid.MethodAG,
 	}
-	fmt.Println("\n(lower is better; the AG row should win, reproducing Figure 5's shape)")
-}
 
-func must[T any](v T, err error) T {
+	// CompareMethods builds each synopsis under the paper's suggested
+	// parameters and measures it against ground truth. Each build spends
+	// eps independently: this is the data holder's pre-release tuning
+	// loop — release only the winner.
+	results, err := dpgrid.CompareMethods(data.Points, data.Domain, eps,
+		methods, queries, dpgrid.NewNoiseSource(31))
 	if err != nil {
 		log.Fatal(err)
 	}
-	return v
+
+	fmt.Printf("landmark stand-in: N=%d, eps=%g, %d queries (%d per size class)\n\n",
+		data.N(), eps, len(queries), queriesPerSz)
+	fmt.Printf("%-12s %10s %10s %10s\n", "method", "mean rel", "median", "p95")
+	for _, r := range results {
+		fmt.Printf("%-12s %10.4f %10.4f %10.4f\n",
+			r.Method, r.Stats.MeanRelativeError, r.Stats.RelMedian, r.Stats.RelP95)
+	}
+
+	// The static rule `dpgrid -method auto` applies online, without
+	// touching the data beyond N.
+	shape := dpgrid.WorkloadShapeOf(data.Domain, queries)
+	choice := dpgrid.SelectMethod(data.N(), eps, shape)
+	fmt.Printf("\nSelectMethod picks %q: %s\n", choice.Method, choice.Reason)
+	if results[0].Method == choice.Method {
+		fmt.Println("-> the static pick also won the measured shootout")
+	} else {
+		fmt.Printf("-> measured winner was %q; the static rule optimizes the paper's\n"+
+			"   average case, CompareMethods measures your data\n", results[0].Method)
+	}
+	fmt.Println("\n(lower is better; the ag row should win, reproducing Figure 5's shape)")
 }

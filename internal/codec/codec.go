@@ -31,6 +31,10 @@ const Version = 1
 // Kind tags the synopsis type a container holds.
 type Kind uint16
 
+// The kind numbers are wire format: they never change meaning, and new
+// kinds only append. The codecs behind each kind live next to the types
+// they serialize and announce themselves through Register (see
+// registry.go).
 const (
 	// KindInvalid is the zero Kind; no container carries it.
 	KindInvalid Kind = 0
@@ -40,20 +44,22 @@ const (
 	KindAdaptive Kind = 2
 	// KindSharded tags a sharded manifest with a per-shard offset table.
 	KindSharded Kind = 3
+	// KindHierarchy tags a grid-hierarchy (H_{b,d}) payload.
+	KindHierarchy Kind = 4
+	// KindKDTree tags a kd-tree / quadtree payload.
+	KindKDTree Kind = 5
+	// KindPrivlet tags a Privlet wavelet payload.
+	KindPrivlet Kind = 6
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer, rendering the registered kind name
+// (e.g. "uniform-grid") and falling back to the numeric tag for kinds
+// this build does not know.
 func (k Kind) String() string {
-	switch k {
-	case KindUniform:
-		return "uniform-grid"
-	case KindAdaptive:
-		return "adaptive-grid"
-	case KindSharded:
-		return "sharded"
-	default:
-		return fmt.Sprintf("kind(%d)", uint16(k))
+	if name := kindName(k); name != "" {
+		return name
 	}
+	return fmt.Sprintf("kind(%d)", uint16(k))
 }
 
 // Detect reports whether data begins with the dpgridv2 magic — the
@@ -133,8 +139,20 @@ func NewDec(data []byte) (*Dec, Kind, error) {
 	if version != Version {
 		return nil, KindInvalid, fmt.Errorf("codec: unsupported container version %d (have %d)", version, Version)
 	}
-	if kind < KindUniform || kind > KindSharded {
-		return nil, KindInvalid, fmt.Errorf("codec: unknown synopsis kind %d", kind)
+	// The known-kind set is the registry, not a hard-coded range, so a
+	// newly registered kind is accepted everywhere with no further code.
+	// An unknown kind splits two ways: a kind beyond everything this
+	// build registers most likely comes from a newer writer (the numbers
+	// only ever grow), which deserves an upgrade hint rather than a
+	// generic corruption error; a kind inside the registered range that
+	// somehow is not registered is a corrupt or tampered container.
+	if _, ok := Lookup(kind); !ok {
+		if max := MaxKind(); kind > max {
+			return nil, KindInvalid, fmt.Errorf(
+				"codec: synopsis kind %d is newer than this build understands (max known kind %d %q); upgrade dpgrid to read this file",
+				kind, uint16(max), max)
+		}
+		return nil, KindInvalid, fmt.Errorf("codec: unknown synopsis kind %d (corrupt container)", kind)
 	}
 	return d, kind, nil
 }

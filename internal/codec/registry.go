@@ -1,0 +1,190 @@
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// The kind registry is the dispatch table every serialization layer
+// shares. Each synopsis package registers its kind once (in an init
+// function, next to the codecs themselves); the container layer
+// (NewDec's known-kind check), the root package's JSON/binary sniffing,
+// sharded-manifest embedding, and dpserve loading all consult the same
+// table. Adding an estimator is one Registration plus a body codec —
+// no switch statement anywhere else grows a case.
+
+// Synopsis is the minimal query interface every registered decoder
+// returns. It mirrors the root package's Synopsis interface, so decoded
+// values flow to callers without conversion.
+type Synopsis interface {
+	// Query estimates the number of data points in r.
+	Query(r geom.Rect) float64
+}
+
+// Kinder is implemented by synopses that can report the container kind
+// they serialize as. Serving layers use it to expose which estimator
+// backs a loaded synopsis.
+type Kinder interface {
+	ContainerKind() Kind
+}
+
+// Info summarizes a payload's envelope-level fields — what a manifest
+// validator needs to cross-check an embedded shard without
+// materializing it.
+type Info struct {
+	Dom geom.Domain
+	Eps float64
+}
+
+// Registration describes one synopsis kind: its identity (container
+// kind, short name, JSON format tag) and its codecs. Decode functions
+// receive the complete serialized bytes (container header included for
+// binary) and must validate every structural invariant.
+type Registration struct {
+	// Kind is the container kind tag. Required, nonzero, unique.
+	Kind Kind
+	// Name is the short stable kind name (e.g. "uniform-grid"), unique;
+	// Kind.String and operator-facing surfaces render it.
+	Name string
+	// JSONFormat is the envelope format tag of the kind's JSON encoding
+	// (e.g. "dpgrid/uniform-grid"), unique when set.
+	JSONFormat string
+	// DecodeBinary deserializes a dpgridv2 container of this kind,
+	// materializing the synopsis. Required.
+	DecodeBinary func(data []byte) (Synopsis, error)
+	// DecodeBinaryLazy, when set, is preferred by lazy read paths (e.g.
+	// sharded manifests that defer per-shard decoding).
+	DecodeBinaryLazy func(data []byte) (Synopsis, error)
+	// DecodeJSON deserializes the kind's JSON encoding. Required when
+	// JSONFormat is set.
+	DecodeJSON func(data []byte) (Synopsis, error)
+	// Validate runs every structural and value check of DecodeBinary
+	// without materializing the synopsis. Kinds that provide it (plus
+	// both decoders) are embeddable as sharded-manifest payloads; the
+	// manifest kind itself leaves it nil, which is what rules out
+	// nested sharding.
+	Validate func(data []byte) (Info, error)
+}
+
+// Embeddable reports whether payloads of this kind may be embedded as
+// tiles of a sharded manifest: the manifest needs the validate-only
+// check for lazy loading plus both per-tile codecs.
+func (r Registration) Embeddable() bool {
+	return r.Validate != nil && r.DecodeBinary != nil &&
+		r.DecodeJSON != nil && r.JSONFormat != ""
+}
+
+// registry holds the registered kinds. Registration happens in package
+// init functions; lookups happen on every decode, so reads take the
+// shared lock.
+var registry struct {
+	mu       sync.RWMutex
+	byKind   map[Kind]Registration
+	byName   map[string]Kind
+	byFormat map[string]Kind
+	maxKind  Kind
+}
+
+// Register adds a kind to the registry, panicking on any identity
+// collision — kinds are compile-time decisions, so a duplicate is a
+// programming error the process should fail loudly on.
+func Register(r Registration) {
+	if r.Kind == KindInvalid {
+		panic("codec: Register: kind must be nonzero")
+	}
+	if r.Name == "" {
+		panic("codec: Register: name must be set")
+	}
+	if r.DecodeBinary == nil {
+		panic(fmt.Sprintf("codec: Register(%s): DecodeBinary must be set", r.Name))
+	}
+	if r.JSONFormat != "" && r.DecodeJSON == nil {
+		panic(fmt.Sprintf("codec: Register(%s): JSONFormat %q without DecodeJSON", r.Name, r.JSONFormat))
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.byKind == nil {
+		registry.byKind = make(map[Kind]Registration)
+		registry.byName = make(map[string]Kind)
+		registry.byFormat = make(map[string]Kind)
+	}
+	if prev, dup := registry.byKind[r.Kind]; dup {
+		panic(fmt.Sprintf("codec: Register(%s): kind %d already registered as %q", r.Name, uint16(r.Kind), prev.Name))
+	}
+	if _, dup := registry.byName[r.Name]; dup {
+		panic(fmt.Sprintf("codec: Register: duplicate kind name %q", r.Name))
+	}
+	if r.JSONFormat != "" {
+		if _, dup := registry.byFormat[r.JSONFormat]; dup {
+			panic(fmt.Sprintf("codec: Register(%s): duplicate JSON format %q", r.Name, r.JSONFormat))
+		}
+		registry.byFormat[r.JSONFormat] = r.Kind
+	}
+	registry.byKind[r.Kind] = r
+	registry.byName[r.Name] = r.Kind
+	if r.Kind > registry.maxKind {
+		registry.maxKind = r.Kind
+	}
+}
+
+// Lookup returns the registration for a container kind.
+func Lookup(k Kind) (Registration, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	r, ok := registry.byKind[k]
+	return r, ok
+}
+
+// LookupName returns the registration with the given short name.
+func LookupName(name string) (Registration, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	k, ok := registry.byName[name]
+	if !ok {
+		return Registration{}, false
+	}
+	return registry.byKind[k], true
+}
+
+// LookupJSONFormat returns the registration whose JSON encoding carries
+// the given envelope format tag.
+func LookupJSONFormat(format string) (Registration, bool) {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	k, ok := registry.byFormat[format]
+	if !ok {
+		return Registration{}, false
+	}
+	return registry.byKind[k], true
+}
+
+// MaxKind returns the largest registered kind — the boundary NewDec
+// uses to tell a corrupt kind field from a file written by a newer
+// dpgrid release.
+func MaxKind() Kind {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.maxKind
+}
+
+// Kinds returns every registered kind in ascending order.
+func Kinds() []Kind {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	out := make([]Kind, 0, len(registry.byKind))
+	for k := range registry.byKind {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// kindName returns the registered name of k, or "" when unregistered.
+func kindName(k Kind) string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return registry.byKind[k].Name
+}

@@ -1,0 +1,160 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// The real registrations live in the synopsis packages (internal/core,
+// internal/shard, ...) next to their codecs, so a codec-only test
+// binary starts with an empty registry. Register stand-ins for the
+// built-in kinds here — same kinds, same names, stub decoders — so the
+// header tests exercise NewDec exactly as a fully linked binary would.
+func init() {
+	stub := func(data []byte) (Synopsis, error) { return nil, nil }
+	for _, r := range []Registration{
+		{Kind: KindUniform, Name: "uniform-grid"},
+		{Kind: KindAdaptive, Name: "adaptive-grid"},
+		{Kind: KindSharded, Name: "sharded"},
+		{Kind: KindHierarchy, Name: "hierarchy"},
+		{Kind: KindKDTree, Name: "kd-tree"},
+		{Kind: KindPrivlet, Name: "privlet"},
+	} {
+		r.DecodeBinary = stub
+		Register(r)
+	}
+}
+
+func TestRegisterRejectsBadRegistrations(t *testing.T) {
+	stub := func(data []byte) (Synopsis, error) { return nil, nil }
+	cases := map[string]Registration{
+		"zero kind":      {Kind: KindInvalid, Name: "x", DecodeBinary: stub},
+		"empty name":     {Kind: Kind(200), DecodeBinary: stub},
+		"nil decoder":    {Kind: Kind(200), Name: "x"},
+		"duplicate kind": {Kind: KindUniform, Name: "x", DecodeBinary: stub},
+		"duplicate name": {Kind: Kind(200), Name: "sharded", DecodeBinary: stub},
+		"format, no decodeJSON": {
+			Kind: Kind(200), Name: "x", DecodeBinary: stub, JSONFormat: "dpgrid/x",
+		},
+	}
+	for name, reg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Register did not panic", name)
+				}
+			}()
+			Register(reg)
+		}()
+	}
+}
+
+func TestLookupByKindNameAndFormat(t *testing.T) {
+	reg := Registration{
+		Kind:         Kind(210),
+		Name:         "lookup-test",
+		JSONFormat:   "dpgrid/lookup-test",
+		DecodeBinary: func(data []byte) (Synopsis, error) { return nil, nil },
+		DecodeJSON:   func(data []byte) (Synopsis, error) { return nil, nil },
+	}
+	Register(reg)
+	if got, ok := Lookup(Kind(210)); !ok || got.Name != "lookup-test" {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	if got, ok := LookupName("lookup-test"); !ok || got.Kind != Kind(210) {
+		t.Fatalf("LookupName = %+v, %v", got, ok)
+	}
+	if got, ok := LookupJSONFormat("dpgrid/lookup-test"); !ok || got.Kind != Kind(210) {
+		t.Fatalf("LookupJSONFormat = %+v, %v", got, ok)
+	}
+	if _, ok := Lookup(Kind(211)); ok {
+		t.Fatal("Lookup found an unregistered kind")
+	}
+	if Kind(210).String() != "lookup-test" {
+		t.Fatalf("Kind.String = %q", Kind(210))
+	}
+	if MaxKind() < Kind(210) {
+		t.Fatalf("MaxKind = %v", MaxKind())
+	}
+	kinds := Kinds()
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i] <= kinds[i-1] {
+			t.Fatalf("Kinds not ascending: %v", kinds)
+		}
+	}
+}
+
+func TestEmbeddable(t *testing.T) {
+	stub := func(data []byte) (Synopsis, error) { return nil, nil }
+	val := func(data []byte) (Info, error) { return Info{}, nil }
+	full := Registration{
+		Name: "x", DecodeBinary: stub, DecodeJSON: stub,
+		JSONFormat: "dpgrid/x", Validate: val,
+	}
+	if !full.Embeddable() {
+		t.Error("fully equipped registration not embeddable")
+	}
+	noVal := full
+	noVal.Validate = nil
+	if noVal.Embeddable() {
+		t.Error("registration without Validate reported embeddable")
+	}
+}
+
+// TestNewDecUnknownKindErrors pins the corrupt-vs-newer-writer split:
+// a kind beyond everything registered gets the upgrade hint, a gap
+// inside the registered range reads as corruption.
+func TestNewDecUnknownKindErrors(t *testing.T) {
+	Register(Registration{
+		Kind: Kind(230), Name: "gap-high",
+		DecodeBinary: func(data []byte) (Synopsis, error) { return nil, nil },
+	})
+	_, _, err := NewDec(NewEnc(nil, Kind(229)).Bytes())
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("in-range unregistered kind: err = %v, want corrupt-container error", err)
+	}
+	_, _, err = NewDec(NewEnc(nil, Kind(4000)).Bytes())
+	if err == nil || !strings.Contains(err.Error(), "upgrade") {
+		t.Errorf("beyond-max kind: err = %v, want newer-writer upgrade error", err)
+	}
+}
+
+func TestSectionHelpers(t *testing.T) {
+	dom, err := geom.NewDomain(-1, -2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEnc(nil, KindUniform)
+	e.Domain(dom)
+	d, _, err := NewDec(e.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Domain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dom {
+		t.Fatalf("domain round trip = %v, want %v", got, dom)
+	}
+
+	sums := []float64{0, 0, 0, 1} // 1x1 prefix table
+	e2 := NewEnc(nil, KindUniform)
+	e2.F64s(sums)
+	d2, _, _ := NewDec(e2.Bytes())
+	raw := d2.RawF64s(4)
+	if err := CheckPrefixSumsRaw(raw, 1, 1); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	vs := DecodeF64s(raw)
+	if len(vs) != 4 || vs[3] != 1 {
+		t.Fatalf("DecodeF64s = %v", vs)
+	}
+	raw2 := append([]byte(nil), raw...)
+	raw2[0] = 1 // border entry nonzero
+	if err := CheckPrefixSumsRaw(raw2, 1, 1); err == nil {
+		t.Fatal("border violation accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// Shared body-section helpers. Every kind's body starts with the same
+// envelope fields (domain bounds, epsilon), and the grid-backed kinds
+// persist their prefix-sum tables verbatim; centralizing the wire form
+// and the raw-section checks here keeps the per-kind codecs down to
+// their genuinely kind-specific fields.
+
+// Domain appends a domain's four bounds as float64s — the shared wire
+// form every container kind uses for domains.
+func (e *Enc) Domain(dom geom.Domain) {
+	e.F64(dom.MinX)
+	e.F64(dom.MinY)
+	e.F64(dom.MaxX)
+	e.F64(dom.MaxY)
+}
+
+// Domain reads and validates the four-bound wire form Enc.Domain
+// writes.
+func (d *Dec) Domain() (geom.Domain, error) {
+	minX, minY := d.F64(), d.F64()
+	maxX, maxY := d.F64(), d.F64()
+	if err := d.Err(); err != nil {
+		return geom.Domain{}, err
+	}
+	return geom.NewDomain(minX, minY, maxX, maxY)
+}
+
+// DecodeF64s materializes a raw float64 section (as returned by
+// Dec.RawF64s).
+func DecodeF64s(raw []byte) []float64 {
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = F64At(raw, i)
+	}
+	return out
+}
+
+// CheckFiniteRaw scans an undecoded float64 section for NaN or infinite
+// entries without materializing it.
+func CheckFiniteRaw(raw []byte) error {
+	for i := 0; i < len(raw)/8; i++ {
+		if v := F64At(raw, i); math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("codec: non-finite value %g at index %d", v, i)
+		}
+	}
+	return nil
+}
+
+// CheckPrefixSumsRaw validates an undecoded (mx+1) x (my+1) prefix-sum
+// table: every entry finite, first row and column zero.
+// grid.PrefixFromSums enforces the same border, so validate-only and
+// materializing decodes accept exactly the same payloads.
+func CheckPrefixSumsRaw(raw []byte, mx, my int) error {
+	w := mx + 1
+	for i := 0; i < w*(my+1); i++ {
+		v := F64At(raw, i)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("codec: non-finite prefix sum %g at index %d", v, i)
+		}
+		if (i < w || i%w == 0) && v != 0 {
+			return fmt.Errorf("codec: prefix-sum border entry %d is %g, want 0", i, v)
+		}
+	}
+	return nil
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/dpgrid/dpgrid/internal/codec"
 	"github.com/dpgrid/dpgrid/internal/geom"
@@ -32,11 +31,46 @@ import (
 
 // BinaryInfo summarizes a binary payload's envelope-level fields. It is
 // what a manifest validator needs to cross-check an embedded shard
-// without materializing it.
-type BinaryInfo struct {
-	Dom geom.Domain
-	Eps float64
+// without materializing it. It is an alias of codec.Info so the
+// registry's Validate hooks and this package's validators interchange
+// freely.
+type BinaryInfo = codec.Info
+
+// init announces the UG and AG codecs to the kind registry; every
+// serialization layer (container sniffing, sharded-manifest embedding,
+// dpserve loading) dispatches through it.
+func init() {
+	codec.Register(codec.Registration{
+		Kind:       codec.KindUniform,
+		Name:       "uniform-grid",
+		JSONFormat: FormatUG,
+		DecodeBinary: func(data []byte) (codec.Synopsis, error) {
+			return ParseUniformGridBinary(data)
+		},
+		DecodeJSON: func(data []byte) (codec.Synopsis, error) {
+			return ParseUniformGrid(data)
+		},
+		Validate: ValidateUniformGridBinary,
+	})
+	codec.Register(codec.Registration{
+		Kind:       codec.KindAdaptive,
+		Name:       "adaptive-grid",
+		JSONFormat: FormatAG,
+		DecodeBinary: func(data []byte) (codec.Synopsis, error) {
+			return ParseAdaptiveGridBinary(data)
+		},
+		DecodeJSON: func(data []byte) (codec.Synopsis, error) {
+			return ParseAdaptiveGrid(data)
+		},
+		Validate: ValidateAdaptiveGridBinary,
+	})
 }
+
+// ContainerKind reports the synopsis's container kind.
+func (u *UniformGrid) ContainerKind() codec.Kind { return codec.KindUniform }
+
+// ContainerKind reports the synopsis's container kind.
+func (a *AdaptiveGrid) ContainerKind() codec.Kind { return codec.KindAdaptive }
 
 // AppendBinary appends the synopsis's dpgridv2 container to dst and
 // returns the extended slice.
@@ -111,24 +145,13 @@ func ValidateAdaptiveGridBinary(data []byte) (BinaryInfo, error) {
 
 // EncodeDomain appends a domain's four bounds as float64s — the shared
 // wire form every container kind (including internal/shard's manifests)
-// uses for domains.
-func EncodeDomain(e *codec.Enc, dom geom.Domain) {
-	e.F64(dom.MinX)
-	e.F64(dom.MinY)
-	e.F64(dom.MaxX)
-	e.F64(dom.MaxY)
-}
+// uses for domains. Kept as a wrapper over codec's Enc.Domain for
+// callers already importing core.
+func EncodeDomain(e *codec.Enc, dom geom.Domain) { e.Domain(dom) }
 
 // DecodeDomain reads and validates the four-bound wire form
 // EncodeDomain writes.
-func DecodeDomain(d *codec.Dec) (geom.Domain, error) {
-	minX, minY := d.F64(), d.F64()
-	maxX, maxY := d.F64(), d.F64()
-	if err := d.Err(); err != nil {
-		return geom.Domain{}, err
-	}
-	return geom.NewDomain(minX, minY, maxX, maxY)
-}
+func DecodeDomain(d *codec.Dec) (geom.Domain, error) { return d.Domain() }
 
 type ugBinary struct {
 	dom    geom.Domain
@@ -327,38 +350,15 @@ func (f *agBinary) build() (*AdaptiveGrid, error) {
 }
 
 // decodeF64s materializes a raw float64 section.
-func decodeF64s(raw []byte) []float64 {
-	out := make([]float64, len(raw)/8)
-	for i := range out {
-		out[i] = codec.F64At(raw, i)
-	}
-	return out
-}
+func decodeF64s(raw []byte) []float64 { return codec.DecodeF64s(raw) }
 
 // checkFiniteRaw is checkFinite over an undecoded float64 section.
-func checkFiniteRaw(raw []byte) error {
-	for i := 0; i < len(raw)/8; i++ {
-		if v := codec.F64At(raw, i); math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("core: non-finite count %g at index %d", v, i)
-		}
-	}
-	return nil
-}
+func checkFiniteRaw(raw []byte) error { return codec.CheckFiniteRaw(raw) }
 
 // checkSumsRaw validates an undecoded (m2+1)^2 prefix-sum table: every
 // entry finite, first row and column zero (grid.PrefixFromSums enforces
 // the same border, so validate-only and materializing decodes accept
 // exactly the same payloads).
 func checkSumsRaw(raw []byte, m2 int) error {
-	w := m2 + 1
-	for i := 0; i < w*w; i++ {
-		v := codec.F64At(raw, i)
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("core: non-finite prefix sum %g at index %d", v, i)
-		}
-		if (i < w || i%w == 0) && v != 0 {
-			return fmt.Errorf("core: prefix-sum border entry %d is %g, want 0", i, v)
-		}
-	}
-	return nil
+	return codec.CheckPrefixSumsRaw(raw, m2, m2)
 }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// Method selection: the paper's guidance (sections IV and V) reduced to
+// a decision rule over the quantities it is stated in — the dataset
+// scale N*eps and the workload's query size. The paper's findings, in
+// the order the rule applies them:
+//
+//  1. When Guideline 1 yields a tiny grid (N*eps small), the adaptive
+//     second level has nothing to adapt: the m1 = max(10, m/4) floor
+//     binds and AG degenerates to a 10x10 UG with half the budget
+//     wasted on the coarse level. UG at the guideline size is strictly
+//     simpler and no less accurate.
+//  2. For workloads dominated by large queries (area a substantial
+//     fraction of the domain), answer error is governed by the
+//     boundary cells of the query, which the coarse uniform grid
+//     already handles well; section V's Figure 5-7 discussion shows UG
+//     within noise of AG there, so the rule keeps the simpler method.
+//  3. Otherwise AG: the paper's headline result is that adaptive grids
+//     dominate or match every competitor (trees, hierarchies,
+//     wavelets) across datasets and budgets — hierarchies "do not help
+//     much" in 2D (section IV-C) and kd-trees/privlets trail in the
+//     evaluation — so nothing else is ever the static choice.
+//
+// Hierarchy, kd-tree, and privlet synopses remain available for
+// measurement (the method-shootout path): SelectMethod encodes the
+// paper's static guidance, while CompareMethods measures all of them on
+// the caller's own data when empirical selection is wanted.
+
+// MethodName identifies a synopsis construction method.
+type MethodName string
+
+// The selectable construction methods.
+const (
+	MethodUG        MethodName = "ug"
+	MethodAG        MethodName = "ag"
+	MethodHierarchy MethodName = "hierarchy"
+	MethodKDTree    MethodName = "kdtree"
+	MethodPrivlet   MethodName = "privlet"
+)
+
+// LargeQueryAreaFraction is the workload threshold of rule 2: a
+// workload whose mean query area is at least half the domain counts as
+// large-query dominated.
+const LargeQueryAreaFraction = 0.5
+
+// WorkloadShape summarizes a query workload for method selection.
+type WorkloadShape struct {
+	// Queries is the number of queries summarized (0 means no workload
+	// information, which disables the workload rule).
+	Queries int
+	// MeanAreaFraction is the mean query area as a fraction of the
+	// domain area, in [0, 1].
+	MeanAreaFraction float64
+}
+
+// ShapeOf summarizes a concrete workload: every query is clipped to the
+// domain before its area is measured, so off-domain extent does not
+// inflate the fraction.
+func ShapeOf(dom geom.Domain, queries []geom.Rect) WorkloadShape {
+	domArea := dom.Width() * dom.Height()
+	if len(queries) == 0 || !(domArea > 0) {
+		return WorkloadShape{}
+	}
+	var sum float64
+	for _, q := range queries {
+		if clipped, ok := dom.Clip(q); ok {
+			sum += clipped.Area() / domArea
+		}
+	}
+	return WorkloadShape{Queries: len(queries), MeanAreaFraction: sum / float64(len(queries))}
+}
+
+// MethodChoice is SelectMethod's result: the chosen method, the grid
+// parameters the guidelines suggest for it, and a human-readable reason
+// operators can audit.
+type MethodChoice struct {
+	Method MethodName
+	// GridSize is Guideline 1's size for UG choices; for AG it is the
+	// suggested leaf scale (informational — the AG builder derives its
+	// own per-cell sizes).
+	GridSize int
+	// M1 is the AG first-level size (AG choices only).
+	M1 int
+	// Reason explains the rule that fired.
+	Reason string
+}
+
+// SelectMethod picks a construction method for n points under eps from
+// the paper's guidelines plus the workload shape. It never returns an
+// error: degenerate inputs fall back to the smallest UG, mirroring how
+// the guideline formulas saturate.
+func SelectMethod(n int, eps float64, shape WorkloadShape) MethodChoice {
+	if n <= 0 || !(eps > 0) {
+		return MethodChoice{
+			Method:   MethodUG,
+			GridSize: 1,
+			Reason:   "degenerate input (no data or no budget): smallest uniform grid",
+		}
+	}
+	m := SuggestedUGSize(float64(n), eps, DefaultC)
+	rawM1 := int(math.Round(GuidelineGridSize(float64(n), eps, DefaultC) / 4))
+	if rawM1 <= MinM1 {
+		return MethodChoice{
+			Method:   MethodUG,
+			GridSize: m,
+			Reason: fmt.Sprintf("N*eps too small for adaptivity (m1 floor %d binds): uniform grid at guideline size %d",
+				MinM1, m),
+		}
+	}
+	if shape.Queries > 0 && shape.MeanAreaFraction >= LargeQueryAreaFraction {
+		return MethodChoice{
+			Method:   MethodUG,
+			GridSize: m,
+			Reason: fmt.Sprintf("workload dominated by large queries (mean area %.0f%% of domain): uniform grid at guideline size %d",
+				shape.MeanAreaFraction*100, m),
+		}
+	}
+	return MethodChoice{
+		Method:   MethodAG,
+		GridSize: m,
+		M1:       SuggestedM1(float64(n), eps, DefaultC),
+		Reason:   "adaptive grid (the paper's recommended method at this scale and workload)",
+	}
+}

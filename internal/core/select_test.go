@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+func TestShapeOf(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 10, 10)
+	if s := ShapeOf(dom, nil); s != (WorkloadShape{}) {
+		t.Fatalf("empty workload shape = %+v", s)
+	}
+	s := ShapeOf(dom, []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, // full domain: 1.0
+		{MinX: 0, MinY: 0, MaxX: 5, MaxY: 10},  // half: 0.5
+	})
+	if s.Queries != 2 || s.MeanAreaFraction != 0.75 {
+		t.Fatalf("shape = %+v, want 2 queries at 0.75", s)
+	}
+	// Off-domain extent must be clipped, not counted.
+	s = ShapeOf(dom, []geom.Rect{{MinX: -10, MinY: -10, MaxX: 20, MaxY: 20}})
+	if s.MeanAreaFraction != 1 {
+		t.Fatalf("clipped fraction = %g, want 1", s.MeanAreaFraction)
+	}
+}
+
+func TestSelectMethod(t *testing.T) {
+	small := WorkloadShape{Queries: 100, MeanAreaFraction: 0.01}
+	large := WorkloadShape{Queries: 100, MeanAreaFraction: 0.9}
+	cases := []struct {
+		name   string
+		n      int
+		eps    float64
+		shape  WorkloadShape
+		want   MethodName
+		reason string
+	}{
+		{"degenerate n", 0, 1, small, MethodUG, "degenerate"},
+		{"degenerate eps", 1000, 0, small, MethodUG, "degenerate"},
+		// sqrt(10000*1/10)/4 ≈ 7.9 < 10: the m1 floor binds.
+		{"small scale", 10_000, 1, small, MethodUG, "m1 floor"},
+		// sqrt(1e6*1/10)/4 ≈ 79: plenty of adaptivity.
+		{"large scale small queries", 1_000_000, 1, small, MethodAG, "adaptive"},
+		{"large scale large queries", 1_000_000, 1, large, MethodUG, "large queries"},
+		{"large scale no workload info", 1_000_000, 1, WorkloadShape{}, MethodAG, "adaptive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SelectMethod(tc.n, tc.eps, tc.shape)
+			if got.Method != tc.want {
+				t.Fatalf("method = %q (%s), want %q", got.Method, got.Reason, tc.want)
+			}
+			if !strings.Contains(got.Reason, tc.reason) {
+				t.Errorf("reason %q does not mention %q", got.Reason, tc.reason)
+			}
+			if got.GridSize < 1 {
+				t.Errorf("grid size %d < 1", got.GridSize)
+			}
+			if got.Method == MethodAG && got.M1 <= MinM1 {
+				t.Errorf("AG chosen with m1 %d at the floor", got.M1)
+			}
+		})
+	}
+}
+
+// TestSelectMethodMatchesGuidelines pins the AG threshold to the m1
+// formula itself: the rule flips from UG to AG exactly where
+// round(sqrt(n*eps/c)/4) leaves the MinM1 floor.
+func TestSelectMethodMatchesGuidelines(t *testing.T) {
+	eps := 1.0
+	prev := MethodUG
+	var flips int
+	for n := 1000; n <= 2_000_000; n += 1000 {
+		got := SelectMethod(n, eps, WorkloadShape{})
+		if got.Method != prev {
+			flips++
+			rawM1 := SuggestedM1(float64(n), eps, DefaultC)
+			if rawM1 <= MinM1 {
+				t.Fatalf("flipped to %q at n=%d where suggested m1 %d is still at the floor", got.Method, n, rawM1)
+			}
+			prev = got.Method
+		}
+	}
+	if flips != 1 {
+		t.Fatalf("method flipped %d times over the n sweep, want exactly 1 (UG -> AG)", flips)
+	}
+}

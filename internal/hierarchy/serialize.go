@@ -1,0 +1,266 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/grid"
+)
+
+// Serialization of hierarchy synopses. The released synopsis is the
+// reconciled leaf grid, so — exactly like AG cells — both encodings
+// persist the prefix-sum table, the synopsis's in-memory query
+// structure: encode/decode never recompute sums, round trips are
+// bit-identical, and decoding is an allocation plus a copy. The level
+// structure (branching, depth) rides along so accessors and re-encodes
+// reproduce the build configuration; the per-level sizes are derived,
+// not stored.
+//
+// Binary layout (after the codec container header; little endian):
+//
+//	domain (4 f64) | epsilon (f64) | grid size m (u32) |
+//	branching (u32) | depth (u32) |
+//	prefix sums (length-prefixed f64 section, (m+1)^2 row-major)
+
+const (
+	// FormatHierarchy tags serialized Hierarchy synopses.
+	FormatHierarchy = "dpgrid/hierarchy"
+	// serializeVersion is bumped on breaking format changes.
+	serializeVersion = 1
+)
+
+func init() {
+	codec.Register(codec.Registration{
+		Kind:       codec.KindHierarchy,
+		Name:       "hierarchy",
+		JSONFormat: FormatHierarchy,
+		DecodeBinary: func(data []byte) (codec.Synopsis, error) {
+			return ParseHierarchyBinary(data)
+		},
+		DecodeJSON: func(data []byte) (codec.Synopsis, error) {
+			return ParseHierarchy(data)
+		},
+		Validate: ValidateHierarchyBinary,
+	})
+}
+
+// ContainerKind reports the synopsis's container kind.
+func (h *Hierarchy) ContainerKind() codec.Kind { return codec.KindHierarchy }
+
+// AppendBinary appends the synopsis's dpgridv2 container to dst and
+// returns the extended slice.
+func (h *Hierarchy) AppendBinary(dst []byte) ([]byte, error) {
+	e := codec.NewEnc(dst, codec.KindHierarchy)
+	e.Domain(h.dom)
+	e.F64(h.eps)
+	e.U32(uint32(h.opts.GridSize))
+	e.U32(uint32(h.opts.Branching))
+	e.U32(uint32(h.opts.Depth))
+	e.F64s(h.prefix.Sums())
+	return e.Bytes(), nil
+}
+
+// hierFile is the on-disk JSON form.
+type hierFile struct {
+	core.Envelope
+	Domain    [4]float64 `json:"domain"` // minX, minY, maxX, maxY
+	Epsilon   float64    `json:"epsilon"`
+	GridSize  int        `json:"grid_size"`
+	Branching int        `json:"branching"`
+	Depth     int        `json:"depth"`
+	Sums      []float64  `json:"sums"` // (m+1)^2 row-major prefix sums
+}
+
+// WriteTo serializes the synopsis as JSON.
+func (h *Hierarchy) WriteTo(w io.Writer) (int64, error) {
+	f := hierFile{
+		Envelope:  core.Envelope{Format: FormatHierarchy, Version: serializeVersion},
+		Domain:    [4]float64{h.dom.MinX, h.dom.MinY, h.dom.MaxX, h.dom.MaxY},
+		Epsilon:   h.eps,
+		GridSize:  h.opts.GridSize,
+		Branching: h.opts.Branching,
+		Depth:     h.opts.Depth,
+		Sums:      h.prefix.Sums(),
+	}
+	data, err := json.Marshal(&f)
+	if err != nil {
+		return 0, fmt.Errorf("hierarchy: marshal synopsis: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// checkShape validates the level structure: positive leaf size within
+// the cell cap, positive depth, and — when the hierarchy has coarser
+// levels — a branching factor that divides every level size evenly
+// (the same constraint BuildHierarchy enforces). It returns the derived
+// per-level sizes, leaf first.
+func checkShape(m, b, d int) ([]int, error) {
+	if m < 1 || uint64(m)*uint64(m) > grid.MaxCells {
+		return nil, fmt.Errorf("hierarchy: invalid grid size %d", m)
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("hierarchy: invalid depth %d", d)
+	}
+	if d > 1 && b < 2 {
+		return nil, fmt.Errorf("hierarchy: invalid branching %d for depth %d", b, d)
+	}
+	levels := make([]int, d)
+	levels[0] = m
+	for l := 1; l < d; l++ {
+		if levels[l-1]%b != 0 {
+			return nil, fmt.Errorf("hierarchy: level size %d not divisible by branching %d", levels[l-1], b)
+		}
+		levels[l] = levels[l-1] / b
+		if levels[l] < 1 {
+			return nil, fmt.Errorf("hierarchy: depth %d too deep for grid size %d with branching %d", d, m, b)
+		}
+	}
+	return levels, nil
+}
+
+type hierBinary struct {
+	dom     geom.Domain
+	eps     float64
+	m, b, d int
+	levels  []int
+	sums    []float64 // nil when decoded in validate-only mode
+}
+
+// decodeHierarchyBinary reads and validates a hierarchy container. With
+// keep false it checks every invariant — including the prefix table's
+// finiteness and zero border, scanned in place — but materializes
+// nothing.
+func decodeHierarchyBinary(data []byte, keep bool) (hierBinary, error) {
+	var f hierBinary
+	d, kind, err := codec.NewDec(data)
+	if err != nil {
+		return f, fmt.Errorf("hierarchy: parse synopsis: %w", err)
+	}
+	if kind != codec.KindHierarchy {
+		return f, fmt.Errorf("hierarchy: container kind %v is not %v", kind, codec.KindHierarchy)
+	}
+	f.dom, err = d.Domain()
+	if err != nil {
+		return f, fmt.Errorf("hierarchy: parse synopsis: %w", err)
+	}
+	f.eps = d.F64()
+	f.m, f.b, f.d = d.Int32(), d.Int32(), d.Int32()
+	if err := d.Err(); err != nil {
+		return f, fmt.Errorf("hierarchy: parse synopsis: %w", err)
+	}
+	if !(f.eps > 0) {
+		return f, fmt.Errorf("hierarchy: invalid epsilon %g", f.eps)
+	}
+	f.levels, err = checkShape(f.m, f.b, f.d)
+	if err != nil {
+		return f, err
+	}
+	raw := d.RawF64s((f.m + 1) * (f.m + 1))
+	if err := d.Finish(); err != nil {
+		return f, fmt.Errorf("hierarchy: parse synopsis: %w", err)
+	}
+	if err := codec.CheckPrefixSumsRaw(raw, f.m, f.m); err != nil {
+		return f, fmt.Errorf("hierarchy: %w", err)
+	}
+	if keep {
+		f.sums = codec.DecodeF64s(raw)
+	}
+	return f, nil
+}
+
+func (f *hierBinary) build() (*Hierarchy, error) {
+	prefix, err := grid.PrefixFromSums(f.dom, f.m, f.m, f.sums)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: %w", err)
+	}
+	return &Hierarchy{
+		dom:    f.dom,
+		eps:    f.eps,
+		opts:   Options{GridSize: f.m, Branching: f.b, Depth: f.d},
+		prefix: prefix,
+		levels: f.levels,
+	}, nil
+}
+
+// ParseHierarchyBinary deserializes a hierarchy dpgridv2 container,
+// validating all structural invariants.
+func ParseHierarchyBinary(data []byte) (*Hierarchy, error) {
+	f, err := decodeHierarchyBinary(data, true)
+	if err != nil {
+		return nil, err
+	}
+	return f.build()
+}
+
+// ValidateHierarchyBinary runs every check of ParseHierarchyBinary
+// without materializing the synopsis — the registry's Validate hook,
+// which is what makes hierarchy payloads embeddable in sharded
+// manifests with lazy loading.
+func ValidateHierarchyBinary(data []byte) (codec.Info, error) {
+	f, err := decodeHierarchyBinary(data, false)
+	if err != nil {
+		return codec.Info{}, err
+	}
+	return codec.Info{Dom: f.dom, Eps: f.eps}, nil
+}
+
+// ParseHierarchy deserializes a JSON hierarchy synopsis, validating all
+// structural invariants.
+func ParseHierarchy(data []byte) (*Hierarchy, error) {
+	var f hierFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("hierarchy: parse synopsis: %w", err)
+	}
+	if f.Format != FormatHierarchy {
+		return nil, fmt.Errorf("hierarchy: format %q is not %q", f.Format, FormatHierarchy)
+	}
+	if f.Version != serializeVersion {
+		return nil, fmt.Errorf("hierarchy: unsupported version %d (have %d)", f.Version, serializeVersion)
+	}
+	dom, err := geom.NewDomain(f.Domain[0], f.Domain[1], f.Domain[2], f.Domain[3])
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: parse synopsis: %w", err)
+	}
+	if !(f.Epsilon > 0) {
+		return nil, fmt.Errorf("hierarchy: invalid epsilon %g", f.Epsilon)
+	}
+	levels, err := checkShape(f.GridSize, f.Branching, f.Depth)
+	if err != nil {
+		return nil, err
+	}
+	if want := (f.GridSize + 1) * (f.GridSize + 1); len(f.Sums) != want {
+		return nil, fmt.Errorf("hierarchy: sums length %d != (m+1)^2 = %d", len(f.Sums), want)
+	}
+	if err := checkFiniteSums(f.Sums); err != nil {
+		return nil, err
+	}
+	prefix, err := grid.PrefixFromSums(dom, f.GridSize, f.GridSize, f.Sums)
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: %w", err)
+	}
+	return &Hierarchy{
+		dom:    dom,
+		eps:    f.Epsilon,
+		opts:   Options{GridSize: f.GridSize, Branching: f.Branching, Depth: f.Depth},
+		prefix: prefix,
+		levels: levels,
+	}, nil
+}
+
+// checkFiniteSums rejects NaN/Inf entries so a decoded synopsis can
+// never answer queries with garbage.
+func checkFiniteSums(vals []float64) error {
+	for i, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("hierarchy: non-finite prefix sum %g at index %d", v, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package hierarchy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+func buildTestHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := uniformPoints(7, 500, dom)
+	h, err := BuildHierarchy(pts, dom, 1, Options{GridSize: 8, Branching: 2, Depth: 3}, noise.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyBinaryRoundTrip(t *testing.T) {
+	h := buildTestHierarchy(t)
+	data, err := h.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHierarchyBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := got.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, re) {
+		t.Fatal("binary round trip not bit-identical")
+	}
+	if got.Domain() != h.Domain() || got.Epsilon() != h.Epsilon() {
+		t.Fatal("metadata changed across round trip")
+	}
+	want := h.LevelSizes()
+	for i, s := range got.LevelSizes() {
+		if s != want[i] {
+			t.Fatalf("level sizes %v, want %v", got.LevelSizes(), want)
+		}
+	}
+	r := geom.Rect{MinX: 1, MinY: 2, MaxX: 7, MaxY: 9}
+	if got.Query(r) != h.Query(r) {
+		t.Fatal("answers changed across round trip")
+	}
+
+	info, err := ValidateHierarchyBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Dom != h.Domain() || info.Eps != h.Epsilon() {
+		t.Fatalf("Validate info = %+v", info)
+	}
+}
+
+func TestHierarchyJSONRoundTrip(t *testing.T) {
+	h := buildTestHierarchy(t)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHierarchy(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re bytes.Buffer
+	if _, err := got.WriteTo(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), re.Bytes()) {
+		t.Fatal("JSON round trip not byte-identical")
+	}
+}
+
+func TestHierarchyBinaryRejectsCorruption(t *testing.T) {
+	h := buildTestHierarchy(t)
+	data, err := h.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 8, 12, len(data) / 2, len(data) - 1} {
+			if _, err := ParseHierarchyBinary(data[:n]); err == nil {
+				t.Errorf("accepted %d-byte prefix", n)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		if _, err := ParseHierarchyBinary(append(append([]byte(nil), data...), 0)); err == nil {
+			t.Error("accepted trailing byte")
+		}
+	})
+	t.Run("indivisible shape", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		// grid size field follows magic+version+kind (12) + domain (32) +
+		// epsilon (8).
+		bad[52] = 9
+		if _, err := ParseHierarchyBinary(bad); err == nil || !strings.Contains(err.Error(), "divisible") {
+			t.Errorf("indivisible grid size: err = %v", err)
+		}
+	})
+	t.Run("border violation", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		// First prefix-sum entry (a border cell) lives at the end of the
+		// fixed header: 12+32+8+3*4 + 8-byte section length.
+		bad[64+8] = 1
+		if _, err := ParseHierarchyBinary(bad); err == nil || !strings.Contains(err.Error(), "border") {
+			t.Errorf("border violation: err = %v", err)
+		}
+	})
+	t.Run("wrong kind", func(t *testing.T) {
+		other := codec.NewEnc(nil, codec.KindUniform).Bytes()
+		if _, err := ParseHierarchyBinary(other); err == nil {
+			t.Error("accepted a non-hierarchy container")
+		}
+	})
+}
+
+func TestHierarchyJSONRejectsBadShape(t *testing.T) {
+	h := buildTestHierarchy(t)
+	var buf bytes.Buffer
+	if _, err := h.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for name, mangle := range map[string]func(string) string{
+		"wrong format":  func(s string) string { return strings.Replace(s, FormatHierarchy, "dpgrid/nope", 1) },
+		"bad branching": func(s string) string { return strings.Replace(s, `"branching":2`, `"branching":3`, 1) },
+		"zero depth":    func(s string) string { return strings.Replace(s, `"depth":3`, `"depth":0`, 1) },
+		"bad epsilon":   func(s string) string { return strings.Replace(s, `"epsilon":1`, `"epsilon":-1`, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			mangled := mangle(buf.String())
+			if mangled == buf.String() {
+				t.Fatal("mangle had no effect; field spelling changed?")
+			}
+			if _, err := ParseHierarchy([]byte(mangled)); err == nil {
+				t.Error("accepted, want error")
+			}
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package kdtree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+func buildTestTree(t *testing.T, method Method) *Tree {
+	t.Helper()
+	dom := geom.MustDomain(0, 0, 10, 10)
+	pts := uniformPoints(13, 2000, dom)
+	tree, err := BuildTree(pts, dom, 1, Options{Method: method, Depth: 5}, noise.NewSource(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestTreeBinaryRoundTrip(t *testing.T) {
+	for _, method := range []Method{Standard, Hybrid} {
+		t.Run(method.String(), func(t *testing.T) {
+			tree := buildTestTree(t, method)
+			data, err := tree.AppendBinary(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ParseTreeBinary(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := got.AppendBinary(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, re) {
+				t.Fatal("binary round trip not bit-identical")
+			}
+			if got.Method() != tree.Method() || got.Depth() != tree.Depth() ||
+				got.Leaves() != tree.Leaves() || got.Nodes() != tree.Nodes() ||
+				got.UsedConstrainedInference() != tree.UsedConstrainedInference() {
+				t.Fatal("tree shape changed across round trip")
+			}
+			r := geom.Rect{MinX: 1, MinY: 2, MaxX: 7, MaxY: 9}
+			if got.Query(r) != tree.Query(r) {
+				t.Fatal("answers changed across round trip")
+			}
+
+			info, err := ValidateTreeBinary(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Dom != tree.Domain() || info.Eps != tree.Epsilon() {
+				t.Fatalf("Validate info = %+v", info)
+			}
+		})
+	}
+}
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	tree := buildTestTree(t, Hybrid)
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTree(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re bytes.Buffer
+	if _, err := got.WriteTo(&re); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), re.Bytes()) {
+		t.Fatal("JSON round trip not byte-identical")
+	}
+	if got.Leaves() != tree.Leaves() {
+		t.Fatalf("derived leaves = %d, want %d", got.Leaves(), tree.Leaves())
+	}
+}
+
+func TestTreeBinaryRejectsCorruption(t *testing.T) {
+	tree := buildTestTree(t, Hybrid)
+	data, err := tree.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 8, 12, 60, len(data) / 2, len(data) - 1} {
+			if _, err := ParseTreeBinary(data[:n]); err == nil {
+				t.Errorf("accepted %d-byte prefix", n)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		if _, err := ParseTreeBinary(append(append([]byte(nil), data...), 7)); err == nil {
+			t.Error("accepted trailing byte")
+		}
+	})
+	t.Run("bad method", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		// method u16 follows header (12) + domain (32) + epsilon (8).
+		bad[52] = 9
+		if _, err := ParseTreeBinary(bad); err == nil || !strings.Contains(err.Error(), "method") {
+			t.Errorf("bad method: err = %v", err)
+		}
+	})
+	t.Run("bad leaf count", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		// leaves u32 follows header + domain + eps + method + CI + depth.
+		bad[60]++
+		if _, err := ParseTreeBinary(bad); err == nil || !strings.Contains(err.Error(), "leaf count") {
+			t.Errorf("bad leaf count: err = %v", err)
+		}
+	})
+	t.Run("cyclic child index", func(t *testing.T) {
+		// First node starts after header+domain+eps+method+CI+depth+leaves
+		// (64) + node count u64 (8). Its child-count field sits after the
+		// 48-byte node payload; the first child index follows. Pointing it
+		// at node 0 breaks the child-after-parent order invariant.
+		bad := append([]byte(nil), data...)
+		childIdx := 64 + 8 + 48 + 4
+		bad[childIdx], bad[childIdx+1], bad[childIdx+2], bad[childIdx+3] = 0, 0, 0, 0
+		if _, err := ParseTreeBinary(bad); err == nil || !strings.Contains(err.Error(), "out-of-order") {
+			t.Errorf("cyclic child: err = %v", err)
+		}
+	})
+	t.Run("wrong kind", func(t *testing.T) {
+		other := codec.NewEnc(nil, codec.KindUniform).Bytes()
+		if _, err := ParseTreeBinary(other); err == nil {
+			t.Error("accepted a non-kd-tree container")
+		}
+	})
+}
+
+func TestTreeJSONRejectsBadTopology(t *testing.T) {
+	tree := buildTestTree(t, Standard)
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for name, mangle := range map[string]func(string) string{
+		"wrong format": func(s string) string { return strings.Replace(s, FormatKDTree, "dpgrid/nope", 1) },
+		"bad depth":    func(s string) string { return strings.Replace(s, `"depth":5`, `"depth":99`, 1) },
+		"shared child": func(s string) string { return strings.Replace(s, `"children":[1,`, `"children":[2,`, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			mangled := mangle(buf.String())
+			if mangled == buf.String() {
+				t.Fatal("mangle had no effect; field spelling changed?")
+			}
+			if _, err := ParseTree([]byte(mangled)); err == nil {
+				t.Error("accepted, want error")
+			}
+		})
+	}
+}
+
+func TestTreeQueryBatchMatchesQuery(t *testing.T) {
+	tree := buildTestTree(t, Hybrid)
+	rng := rand.New(rand.NewSource(4))
+	rs := make([]geom.Rect, 64)
+	for i := range rs {
+		x, y := rng.Float64()*9, rng.Float64()*9
+		rs[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + rng.Float64(), MaxY: y + rng.Float64()}
+	}
+	got := tree.QueryBatch(rs)
+	if len(got) != len(rs) {
+		t.Fatalf("got %d answers for %d queries", len(got), len(rs))
+	}
+	for i, r := range rs {
+		if got[i] != tree.Query(r) {
+			t.Fatalf("batch answer %d = %g, want %g", i, got[i], tree.Query(r))
+		}
+	}
+}

@@ -4,7 +4,8 @@
 // exposition format (the de-facto scrape format, version 0.0.4).
 //
 // The package is deliberately minimal — a fraction of a real Prometheus
-// client: one optional label per metric family, no exemplars, no
+// client: one optional label per metric family (InfoVec adds a second,
+// descriptive label following the info pattern), no exemplars, no
 // protobuf. That buys an implementation with zero dependencies whose
 // record operations are a single atomic add (counters) or one atomic
 // add plus a CAS loop (histogram sums), so instrumenting a query that
@@ -90,17 +91,19 @@ const (
 // family is one named metric family: its metadata plus either a single
 // unlabeled series or a label -> series map.
 type family struct {
-	name   string
-	help   string
-	kind   metricKind
-	label  string // label name for vector families, "" for scalars
-	bounds []float64
+	name      string
+	help      string
+	kind      metricKind
+	label     string // label name for vector families, "" for scalars
+	infoLabel string // secondary label name for info families
+	bounds    []float64
 
 	mu         sync.RWMutex
 	counters   map[string]*Counter
 	histograms map[string]*Histogram
-	counter    *Counter       // unlabeled counter family
-	gauge      func() float64 // unlabeled gauge family, sampled at render
+	infos      map[string]string // info families: label value -> info label value
+	counter    *Counter          // unlabeled counter family
+	gauge      func() float64    // unlabeled gauge family, sampled at render
 }
 
 // Registry collects metric families and renders them in registration
@@ -186,6 +189,43 @@ func (v *CounterVec) Forget(value string) {
 	v.f.mu.Unlock()
 }
 
+// InfoVec is a gauge family following the Prometheus "info" pattern:
+// each series carries a constant value 1 and encodes a descriptive
+// attribute in a secondary label, e.g.
+//
+//	dpserve_synopsis_kind{synopsis="roads",kind="adaptive-grid"} 1
+//
+// Joining on the primary label attaches the attribute to the numeric
+// families without multiplying their cardinality.
+type InfoVec struct{ f *family }
+
+// InfoVec registers an info-pattern gauge family keyed by label whose
+// descriptive attribute is exposed under infoLabel.
+func (r *Registry) InfoVec(name, help, label, infoLabel string) *InfoVec {
+	f := r.register(&family{
+		name: name, help: help, kind: kindGauge,
+		label: label, infoLabel: infoLabel, infos: make(map[string]string),
+	})
+	return &InfoVec{f: f}
+}
+
+// Set records the info value for the given label value, replacing any
+// previous one (the old series disappears from the exposition — the
+// info pattern exposes current state, not history).
+func (v *InfoVec) Set(value, info string) {
+	v.f.mu.Lock()
+	v.f.infos[value] = info
+	v.f.mu.Unlock()
+}
+
+// Forget drops the series for the given label value (see
+// CounterVec.Forget).
+func (v *InfoVec) Forget(value string) {
+	v.f.mu.Lock()
+	delete(v.f.infos, value)
+	v.f.mu.Unlock()
+}
+
 // HistogramVec is a histogram family partitioned by one label.
 type HistogramVec struct{ f *family }
 
@@ -259,6 +299,13 @@ func (f *family) render(b *strings.Builder) {
 		fmt.Fprintf(b, "%s %s\n", f.name, formatValue(f.gauge()))
 	case f.counter != nil:
 		fmt.Fprintf(b, "%s %d\n", f.name, f.counter.Value())
+	case f.infos != nil:
+		f.mu.RLock()
+		for _, lv := range sortedKeys(f.infos) {
+			fmt.Fprintf(b, "%s{%s=\"%s\",%s=\"%s\"} 1\n",
+				f.name, f.label, escapeLabel(lv), f.infoLabel, escapeLabel(f.infos[lv]))
+		}
+		f.mu.RUnlock()
 	case f.counters != nil:
 		f.mu.RLock()
 		values := sortedKeys(f.counters)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"github.com/dpgrid/dpgrid/internal/codec"
-	"github.com/dpgrid/dpgrid/internal/core"
 )
 
 // Binary (dpgridv2) serialization of sharded releases. The manifest
@@ -14,7 +13,8 @@ import (
 //	shard count (u64) | offset table: count x (offset u64, length u64) |
 //	blob length (u64) | blob (concatenated per-shard containers)
 //
-// Each blob entry is a complete UG/AG dpgridv2 container, so — exactly
+// Each blob entry is a complete dpgridv2 container of any embeddable
+// registered kind (see codec.Registration.Embeddable), so — exactly
 // like the JSON manifest — a shard can be cut out of a release and
 // served standalone. The offset table is what the JSON format cannot
 // offer: a reader locates any shard's bytes in O(1) without decoding
@@ -24,41 +24,37 @@ import (
 // zero, so re-encoding a decoded release reproduces the bytes exactly.
 
 // binaryAppender is implemented by every synopsis with a dpgridv2
-// encoding (*core.UniformGrid, *core.AdaptiveGrid).
+// encoding.
 type binaryAppender interface {
 	AppendBinary(dst []byte) ([]byte, error)
 }
 
-// shardKindFor maps a per-shard JSON format tag to its container kind.
-func shardKindFor(format string) (codec.Kind, bool) {
-	switch format {
-	case core.FormatUG:
-		return codec.KindUniform, true
-	case core.FormatAG:
-		return codec.KindAdaptive, true
-	default:
-		return codec.KindInvalid, false
+// embeddableByFormat resolves a per-shard JSON format tag to its kind
+// registration, requiring the kind to be embeddable as a manifest tile
+// (which the manifest kind itself is not — no nested sharding).
+func embeddableByFormat(format string) (codec.Registration, error) {
+	reg, ok := codec.LookupJSONFormat(format)
+	if !ok || !reg.Embeddable() {
+		return codec.Registration{}, fmt.Errorf("shard: shard format %q is not an embeddable synopsis kind", format)
 	}
+	return reg, nil
 }
 
-// shardFormatFor is the inverse of shardKindFor.
-func shardFormatFor(kind codec.Kind) (string, bool) {
-	switch kind {
-	case codec.KindUniform:
-		return core.FormatUG, true
-	case codec.KindAdaptive:
-		return core.FormatAG, true
-	default:
-		return "", false
+// embeddableByKind is embeddableByFormat keyed by container kind.
+func embeddableByKind(kind codec.Kind) (codec.Registration, error) {
+	reg, ok := codec.Lookup(kind)
+	if !ok || !reg.Embeddable() {
+		return codec.Registration{}, fmt.Errorf("shard: shard kind %v is not an embeddable synopsis kind", kind)
 	}
+	return reg, nil
 }
 
 // AppendBinary appends the release's dpgridv2 manifest to dst and
 // returns the extended slice.
 func (s *Sharded) AppendBinary(dst []byte) ([]byte, error) {
-	kind, ok := shardKindFor(s.format)
-	if !ok {
-		return nil, fmt.Errorf("shard: cannot binary-encode shard format %q", s.format)
+	reg, err := embeddableByFormat(s.format)
+	if err != nil {
+		return nil, err
 	}
 	// Encode every shard first so the offset table can be written
 	// before the blob.
@@ -79,11 +75,11 @@ func (s *Sharded) AppendBinary(dst []byte) ([]byte, error) {
 	}
 
 	e := codec.NewEnc(dst, codec.KindSharded)
-	core.EncodeDomain(e, s.plan.dom)
+	e.Domain(s.plan.dom)
 	e.F64(s.eps)
 	e.U32(uint32(s.plan.kx))
 	e.U32(uint32(s.plan.ky))
-	e.U16(uint16(kind))
+	e.U16(uint16(reg.Kind))
 	e.U64(uint64(len(s.tiles)))
 	for _, off := range offsets {
 		e.U64(off[0])
@@ -118,7 +114,7 @@ func decodeShardedBinary(data []byte, validatePayloads bool) (*shardedBinary, er
 	if kind != codec.KindSharded {
 		return nil, fmt.Errorf("shard: container kind %v is not %v", kind, codec.KindSharded)
 	}
-	dom, err := core.DecodeDomain(d)
+	dom, err := d.Domain()
 	if err != nil {
 		return nil, fmt.Errorf("shard: parse manifest: %w", err)
 	}
@@ -135,9 +131,9 @@ func decodeShardedBinary(data []byte, validatePayloads bool) (*shardedBinary, er
 	if !(eps > 0) {
 		return nil, fmt.Errorf("shard: invalid epsilon %g", eps)
 	}
-	format, ok := shardFormatFor(shardKind)
-	if !ok {
-		return nil, fmt.Errorf("shard: unsupported shard kind %v", shardKind)
+	shardReg, err := embeddableByKind(shardKind)
+	if err != nil {
+		return nil, err
 	}
 	n := d.Len(16)
 	if err := d.Err(); err != nil {
@@ -186,7 +182,7 @@ func decodeShardedBinary(data []byte, validatePayloads bool) (*shardedBinary, er
 		raw:      data,
 		plan:     plan,
 		eps:      eps,
-		format:   format,
+		format:   shardReg.JSONFormat,
 		kind:     shardKind,
 		payloads: make([][]byte, n),
 	}
@@ -210,26 +206,28 @@ func decodeShardedBinary(data []byte, validatePayloads bool) (*shardedBinary, er
 	return sb, nil
 }
 
-func validateShardPayload(kind codec.Kind, data []byte) (core.BinaryInfo, error) {
-	switch kind {
-	case codec.KindUniform:
-		return core.ValidateUniformGridBinary(data)
-	case codec.KindAdaptive:
-		return core.ValidateAdaptiveGridBinary(data)
-	default:
-		return core.BinaryInfo{}, fmt.Errorf("shard: unsupported shard kind %v", kind)
+func validateShardPayload(kind codec.Kind, data []byte) (codec.Info, error) {
+	reg, err := embeddableByKind(kind)
+	if err != nil {
+		return codec.Info{}, err
 	}
+	return reg.Validate(data)
 }
 
 func parseShardPayload(kind codec.Kind, data []byte) (Synopsis, error) {
-	switch kind {
-	case codec.KindUniform:
-		return core.ParseUniformGridBinary(data)
-	case codec.KindAdaptive:
-		return core.ParseAdaptiveGridBinary(data)
-	default:
-		return nil, fmt.Errorf("shard: unsupported shard kind %v", kind)
+	reg, err := embeddableByKind(kind)
+	if err != nil {
+		return nil, err
 	}
+	syn, err := reg.DecodeBinary(data)
+	if err != nil {
+		return nil, err
+	}
+	tile, ok := syn.(Synopsis)
+	if !ok {
+		return nil, fmt.Errorf("shard: %s decoder returned %T, which lacks the per-tile synopsis interface", reg.Name, syn)
+	}
+	return tile, nil
 }
 
 // ParseShardedBinary deserializes a dpgridv2 sharded manifest eagerly,

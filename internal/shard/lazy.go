@@ -141,7 +141,7 @@ func (l *Lazy) NumShards() int { return len(l.tiles) }
 func (l *Lazy) Shard(i int) Synopsis { return l.shard(i) }
 
 // ShardFormat returns the serialization format tag of the per-shard
-// payloads (core.FormatUG or core.FormatAG).
+// payloads (the embedded kind's JSON format, e.g. core.FormatUG).
 func (l *Lazy) ShardFormat() string { return l.format }
 
 // Epsilon returns the privacy budget of the release.

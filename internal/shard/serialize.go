@@ -6,16 +6,19 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/dpgrid/dpgrid/internal/codec"
 	"github.com/dpgrid/dpgrid/internal/core"
 	"github.com/dpgrid/dpgrid/internal/geom"
 )
 
 // Serialization of sharded releases: a manifest envelope carrying the
 // plan and the release epsilon, plus one embedded per-shard payload per
-// tile in the existing UG/AG file formats. Reusing the per-shard
+// tile in the payload kind's own file format. Reusing the per-shard
 // formats verbatim means a shard can be extracted from a manifest and
 // served standalone, and the per-shard parsers' structural validation
-// runs unchanged on every payload.
+// runs unchanged on every payload. Any registered kind that is
+// embeddable (codec.Registration.Embeddable) can serve as the tile
+// format; the manifest kind itself is not, so releases never nest.
 
 const (
 	// FormatSharded tags serialized Sharded releases.
@@ -23,6 +26,31 @@ const (
 	// serializeVersion is bumped on breaking manifest changes.
 	serializeVersion = 1
 )
+
+func init() {
+	codec.Register(codec.Registration{
+		Kind:       codec.KindSharded,
+		Name:       "sharded",
+		JSONFormat: FormatSharded,
+		DecodeBinary: func(data []byte) (codec.Synopsis, error) {
+			return ParseShardedBinary(data)
+		},
+		DecodeBinaryLazy: func(data []byte) (codec.Synopsis, error) {
+			return ParseShardedLazy(data)
+		},
+		DecodeJSON: func(data []byte) (codec.Synopsis, error) {
+			return ParseSharded(data)
+		},
+		// No Validate: the manifest kind is deliberately not embeddable
+		// as a tile of another manifest.
+	})
+}
+
+// ContainerKind reports the release's container kind.
+func (s *Sharded) ContainerKind() codec.Kind { return codec.KindSharded }
+
+// ContainerKind reports the release's container kind.
+func (l *Lazy) ContainerKind() codec.Kind { return codec.KindSharded }
 
 // manifestFile is the on-disk sharded release.
 type manifestFile struct {
@@ -95,8 +123,9 @@ func ParseSharded(data []byte) (*Sharded, error) {
 	if !(f.Epsilon > 0) {
 		return nil, fmt.Errorf("shard: invalid epsilon %g", f.Epsilon)
 	}
-	if f.ShardFormat != core.FormatUG && f.ShardFormat != core.FormatAG {
-		return nil, fmt.Errorf("shard: unsupported shard format %q", f.ShardFormat)
+	shardReg, err := embeddableByFormat(f.ShardFormat)
+	if err != nil {
+		return nil, err
 	}
 	if len(f.Shards) != plan.NumTiles() {
 		return nil, fmt.Errorf("shard: %d shard payloads != kx*ky = %d", len(f.Shards), plan.NumTiles())
@@ -111,15 +140,13 @@ func ParseSharded(data []byte) (*Sharded, error) {
 		if env.Format != f.ShardFormat {
 			return nil, fmt.Errorf("shard: tile %d: format %q != manifest shard format %q", i, env.Format, f.ShardFormat)
 		}
-		var tile Synopsis
-		switch env.Format {
-		case core.FormatUG:
-			tile, err = core.ParseUniformGrid(raw)
-		case core.FormatAG:
-			tile, err = core.ParseAdaptiveGrid(raw)
-		}
+		syn, err := shardReg.DecodeJSON(raw)
 		if err != nil {
 			return nil, fmt.Errorf("shard: tile %d: %w", i, err)
+		}
+		tile, ok := syn.(Synopsis)
+		if !ok {
+			return nil, fmt.Errorf("shard: tile %d: %s decoder returned %T, which lacks the per-tile synopsis interface", i, shardReg.Name, syn)
 		}
 		if got, want := tile.Domain(), plan.Tile(i); got != want {
 			return nil, fmt.Errorf("shard: tile %d: domain %v does not cover its plan tile %v", i, got.Rect, want.Rect)

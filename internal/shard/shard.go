@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/dpgrid/dpgrid/internal/codec"
 	"github.com/dpgrid/dpgrid/internal/core"
 	"github.com/dpgrid/dpgrid/internal/geom"
 	"github.com/dpgrid/dpgrid/internal/noise"
@@ -188,8 +189,9 @@ type Options struct {
 
 // Synopsis is the per-tile synopsis contract the sharded release
 // composes: range queries plus the noisy dataset-size estimate that
-// lets fully-covered tiles short-circuit. *core.UniformGrid and
-// *core.AdaptiveGrid implement it.
+// lets fully-covered tiles short-circuit. Every released synopsis type
+// (*core.UniformGrid, *core.AdaptiveGrid, *hierarchy.Hierarchy,
+// *kdtree.Tree, *wavelet.Privlet) implements it.
 type Synopsis interface {
 	Query(r geom.Rect) float64
 	TotalEstimate() float64
@@ -204,8 +206,53 @@ type Synopsis interface {
 type Sharded struct {
 	plan   Plan
 	eps    float64
-	format string // per-shard payload format tag (core.FormatUG or core.FormatAG)
+	format string // per-shard payload format tag (an embeddable kind's JSONFormat)
 	tiles  []Synopsis
+}
+
+// Assemble constructs a sharded release from pre-built per-tile
+// synopses — the path builders outside this package (any embeddable
+// kind) use to produce a release without going through the UG/AG build
+// fan-out. Every tile must report an embeddable container kind via
+// codec.Kinder, all tiles must share one kind, and each tile's domain
+// and epsilon must match its plan tile and the release epsilon — the
+// same invariants the manifest decoders enforce, checked at assembly so
+// a bad release cannot be serialized in the first place. The tiles
+// slice is copied.
+func Assemble(plan Plan, eps float64, tiles []Synopsis) (*Sharded, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	if _, err := noise.NewBudget(eps); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if len(tiles) != plan.NumTiles() {
+		return nil, fmt.Errorf("shard: %d tiles != kx*ky = %d", len(tiles), plan.NumTiles())
+	}
+	var reg codec.Registration
+	for i, tile := range tiles {
+		kinder, ok := tile.(codec.Kinder)
+		if !ok {
+			return nil, fmt.Errorf("shard: tile %d of type %T does not report a container kind", i, tile)
+		}
+		r, err := embeddableByKind(kinder.ContainerKind())
+		if err != nil {
+			return nil, fmt.Errorf("shard: tile %d: %w", i, err)
+		}
+		switch {
+		case i == 0:
+			reg = r
+		case r.Kind != reg.Kind:
+			return nil, fmt.Errorf("shard: tile %d kind %q != tile 0 kind %q", i, r.Name, reg.Name)
+		}
+		if got, want := tile.Domain(), plan.Tile(i); got != want {
+			return nil, fmt.Errorf("shard: tile %d: domain %v does not cover its plan tile %v", i, got.Rect, want.Rect)
+		}
+		if tile.Epsilon() != eps {
+			return nil, fmt.Errorf("shard: tile %d: epsilon %g != release epsilon %g", i, tile.Epsilon(), eps)
+		}
+	}
+	return &Sharded{plan: plan, eps: eps, format: reg.JSONFormat, tiles: append([]Synopsis(nil), tiles...)}, nil
 }
 
 // BuildUniform builds one UG synopsis per tile of plan, each under the
@@ -474,7 +521,7 @@ func (s *Sharded) NumShards() int { return len(s.tiles) }
 func (s *Sharded) Shard(i int) Synopsis { return s.tiles[i] }
 
 // ShardFormat returns the serialization format tag of the per-shard
-// payloads (core.FormatUG or core.FormatAG).
+// payloads (the embedded kind's JSON format, e.g. core.FormatUG).
 func (s *Sharded) ShardFormat() string { return s.format }
 
 // Epsilon returns the privacy budget of the release. By parallel

@@ -7,7 +7,6 @@ import (
 
 	"github.com/dpgrid/dpgrid/internal/codec"
 	"github.com/dpgrid/dpgrid/internal/core"
-	"github.com/dpgrid/dpgrid/internal/shard"
 )
 
 // Synopsis files come in two on-disk encodings carrying the same
@@ -27,27 +26,18 @@ const (
 	FormatBinary = "binary"
 )
 
-// WriteSynopsis serializes a released synopsis (UniformGrid,
-// AdaptiveGrid, Sharded, or LazySharded) as versioned JSON. A Sharded
-// release serializes as a manifest embedding one per-shard payload per
-// tile. For the compact binary encoding use WriteSynopsisBinary.
+// WriteSynopsis serializes a released synopsis (any kind in the
+// registry: UniformGrid, AdaptiveGrid, Hierarchy, KDTree, Privlet,
+// Sharded, or LazySharded) as versioned JSON. A Sharded release
+// serializes as a manifest embedding one per-shard payload per tile.
+// For the compact binary encoding use WriteSynopsisBinary.
 func WriteSynopsis(w io.Writer, s Synopsis) error {
-	switch v := s.(type) {
-	case *UniformGrid:
-		_, err := v.WriteTo(w)
-		return err
-	case *AdaptiveGrid:
-		_, err := v.WriteTo(w)
-		return err
-	case *Sharded:
-		_, err := v.WriteTo(w)
-		return err
-	case *LazySharded:
-		_, err := v.WriteTo(w)
-		return err
-	default:
-		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid, AdaptiveGrid, Sharded, and LazySharded)", s)
+	wt, ok := s.(io.WriterTo)
+	if !ok {
+		return fmt.Errorf("dpgrid: cannot serialize %T (no JSON encoding; every released synopsis type has one)", s)
 	}
+	_, err := wt.WriteTo(w)
+	return err
 }
 
 // WriteSynopsisBinary serializes a released synopsis as a dpgridv2
@@ -59,7 +49,7 @@ func WriteSynopsisBinary(w io.Writer, s Synopsis) error {
 		AppendBinary(dst []byte) ([]byte, error)
 	})
 	if !ok {
-		return fmt.Errorf("dpgrid: cannot serialize %T (only UniformGrid, AdaptiveGrid, Sharded, and LazySharded)", s)
+		return fmt.Errorf("dpgrid: cannot serialize %T (no binary encoding; every released synopsis type has one)", s)
 	}
 	data, err := ba.AppendBinary(nil)
 	if err != nil {
@@ -67,6 +57,25 @@ func WriteSynopsisBinary(w io.Writer, s Synopsis) error {
 	}
 	_, err = w.Write(data)
 	return err
+}
+
+// SynopsisKind reports the short registered kind name of a released or
+// loaded synopsis (e.g. "adaptive-grid"); sharded releases append the
+// embedded tile kind, as in "sharded(adaptive-grid)". It returns "" for
+// values that do not report a container kind — serving layers can treat
+// that as "unknown" rather than an error.
+func SynopsisKind(s Synopsis) string {
+	k, ok := s.(codec.Kinder)
+	if !ok {
+		return ""
+	}
+	name := k.ContainerKind().String()
+	if sf, ok := s.(interface{ ShardFormat() string }); ok {
+		if reg, ok := codec.LookupJSONFormat(sf.ShardFormat()); ok {
+			name += "(" + reg.Name + ")"
+		}
+	}
+	return name
 }
 
 // WriteSynopsisFormat serializes s in the named format (FormatJSON or
@@ -119,19 +128,16 @@ func readSynopsisBinary(data []byte, lazy bool) (Synopsis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dpgrid: %w", err)
 	}
-	switch kind {
-	case codec.KindUniform:
-		return core.ParseUniformGridBinary(data)
-	case codec.KindAdaptive:
-		return core.ParseAdaptiveGridBinary(data)
-	case codec.KindSharded:
-		if lazy {
-			return shard.ParseShardedLazy(data)
-		}
-		return shard.ParseShardedBinary(data)
-	default:
+	// NewDec already rejected unregistered kinds (with the corrupt-vs-
+	// newer-writer distinction), so the lookup cannot miss here.
+	reg, ok := codec.Lookup(kind)
+	if !ok {
 		return nil, fmt.Errorf("dpgrid: unknown synopsis kind %v", kind)
 	}
+	if lazy && reg.DecodeBinaryLazy != nil {
+		return reg.DecodeBinaryLazy(data)
+	}
+	return reg.DecodeBinary(data)
 }
 
 func readSynopsisJSON(data []byte) (Synopsis, error) {
@@ -139,16 +145,11 @@ func readSynopsisJSON(data []byte) (Synopsis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dpgrid: %w", err)
 	}
-	switch env.Format {
-	case core.FormatUG:
-		return core.ParseUniformGrid(data)
-	case core.FormatAG:
-		return core.ParseAdaptiveGrid(data)
-	case shard.FormatSharded:
-		return shard.ParseSharded(data)
-	default:
+	reg, ok := codec.LookupJSONFormat(env.Format)
+	if !ok {
 		return nil, fmt.Errorf("dpgrid: unknown synopsis format %q", env.Format)
 	}
+	return reg.DecodeJSON(data)
 }
 
 // WriteSynopsisFile writes s to path with WriteSynopsis (JSON). The

@@ -59,15 +59,23 @@ func TestWriteReadSynopsisAG(t *testing.T) {
 	}
 }
 
+// stubSynopsis implements Synopsis but none of the serialization
+// interfaces — the shape of a caller-provided synopsis from outside the
+// kind registry.
+type stubSynopsis struct{}
+
+func (stubSynopsis) Query(Rect) float64 { return 0 }
+
 func TestWriteSynopsisUnsupportedType(t *testing.T) {
-	dom, _ := NewDomain(0, 0, 10, 10)
-	kd, err := BuildKDTree(nil, dom, 1, KDTreeOptions{Method: KDHybrid}, NewNoiseSource(1))
-	if err != nil {
-		t.Fatal(err)
-	}
 	var buf bytes.Buffer
-	if err := WriteSynopsis(&buf, kd); err == nil {
-		t.Error("kd-tree serialization should be unsupported")
+	if err := WriteSynopsis(&buf, stubSynopsis{}); err == nil {
+		t.Error("JSON serialization of an unregistered synopsis should fail")
+	}
+	if err := WriteSynopsisBinary(&buf, stubSynopsis{}); err == nil {
+		t.Error("binary serialization of an unregistered synopsis should fail")
+	}
+	if k := SynopsisKind(stubSynopsis{}); k != "" {
+		t.Errorf("SynopsisKind of an unregistered synopsis = %q, want \"\"", k)
 	}
 }
 
@@ -161,7 +169,23 @@ func validSynopses(t interface{ Fatal(...any) }) map[string]Synopsis {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]Synopsis{"ug": ug, "ag": ag, "sharded": sh}
+	pts := examplePoints(4, 500, dom)
+	hier, err := BuildHierarchy(pts, dom, 1, HierarchyOptions{GridSize: 4, Branching: 2, Depth: 2}, NewNoiseSource(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, err := BuildKDTree(pts, dom, 1, KDTreeOptions{Method: KDHybrid, Depth: 5}, NewNoiseSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := BuildPrivlet(pts, dom, 1, PrivletOptions{GridSize: 3}, NewNoiseSource(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Synopsis{
+		"ug": ug, "ag": ag, "sharded": sh,
+		"hierarchy": hier, "kdtree": kd, "privlet": pl,
+	}
 }
 
 // validSynopsisFiles serializes one release of each kind as JSON.
@@ -206,6 +230,12 @@ func TestReadSynopsisRejectsCorrupt(t *testing.T) {
 		{"ug truncated", valid["ug"][:len(valid["ug"])/2]},
 		{"ag truncated", valid["ag"][:len(valid["ag"])*2/3]},
 		{"sharded truncated", valid["sharded"][:len(valid["sharded"])/2]},
+		{"hierarchy truncated", valid["hierarchy"][:len(valid["hierarchy"])/2]},
+		{"kdtree truncated", valid["kdtree"][:len(valid["kdtree"])/2]},
+		{"privlet truncated", valid["privlet"][:len(valid["privlet"])/2]},
+		{"hierarchy indivisible shape", []byte(`{"format":"dpgrid/hierarchy","version":1,"domain":[0,0,1,1],"epsilon":1,"grid_size":3,"branching":2,"depth":2,"sums":[0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]}`)},
+		{"privlet oversized grid", []byte(`{"format":"dpgrid/privlet","version":1,"domain":[0,0,1,1],"epsilon":1,"grid_size":99999,"sums":[0]}`)},
+		{"kdtree no nodes", []byte(`{"format":"dpgrid/kdtree","version":1,"domain":[0,0,1,1],"epsilon":1,"method":0,"depth":1,"nodes":[],"estimates":[]}`)},
 		{"ug bad version", []byte(`{"format":"dpgrid/uniform-grid","version":99,"domain":[0,0,1,1],"epsilon":1,"m":1,"counts":[0]}`)},
 		{"ug counts mismatch", []byte(`{"format":"dpgrid/uniform-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"m":2,"counts":[0,0,0]}`)},
 		{"ug non-finite count", []byte(`{"format":"dpgrid/uniform-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"m":1,"counts":[1e999]}`)},
@@ -433,7 +463,7 @@ func TestGoldenFiles(t *testing.T) {
 		NewRect(1.5, 2.5, 18, 19),
 		NewRect(9, 9, 11, 11),
 	}
-	for _, name := range []string{"ug", "ag", "sharded"} {
+	for _, name := range []string{"ug", "ag", "sharded", "hierarchy", "kdtree", "privlet"} {
 		binPath := filepath.Join("testdata", "golden."+name+".dpgrid")
 		fromJSON, err := ReadSynopsisFile(filepath.Join("testdata", "golden."+name+".json"))
 		if err != nil {
@@ -459,6 +489,201 @@ func TestGoldenFiles(t *testing.T) {
 		}
 		if !bytes.Equal(golden, again.Bytes()) {
 			t.Errorf("%s: re-encoding the golden binary file changed bytes", name)
+		}
+	}
+}
+
+// TestRegistryKindsRoundTrip asserts the kind-registry contract for
+// every registered kind at once: the binary container round-trips
+// bit-identically, SynopsisKind survives the trip, and the JSON
+// document round-trips byte-identically for every kind whose encoder
+// persists exactly what its decoder reads. AG (and AG-backed sharded
+// releases) are the exception by design: their JSON stores per-cell
+// leaves and recomputes block sums on load, so floating-point
+// cancellation leaves the re-encoded document answer-identical but not
+// byte-identical.
+func TestRegistryKindsRoundTrip(t *testing.T) {
+	byteIdenticalJSON := map[string]bool{
+		"ug": true, "hierarchy": true, "kdtree": true, "privlet": true,
+	}
+	for name, s := range validSynopses(t) {
+		t.Run(name, func(t *testing.T) {
+			kind := SynopsisKind(s)
+			if kind == "" {
+				t.Fatalf("SynopsisKind(%T) = \"\": kind not registered", s)
+			}
+			var bin bytes.Buffer
+			if err := WriteSynopsisBinary(&bin, s); err != nil {
+				t.Fatal(err)
+			}
+			data := bytes.Clone(bin.Bytes())
+			loaded, err := ReadSynopsis(&bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := SynopsisKind(loaded); got != kind {
+				t.Errorf("kind changed across binary round trip: %q -> %q", kind, got)
+			}
+			var again bytes.Buffer
+			if err := WriteSynopsisBinary(&again, loaded); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, again.Bytes()) {
+				t.Errorf("binary round trip not bit-identical (%d -> %d bytes)", len(data), again.Len())
+			}
+
+			var js bytes.Buffer
+			if err := WriteSynopsis(&js, s); err != nil {
+				t.Fatal(err)
+			}
+			jdata := bytes.Clone(js.Bytes())
+			jloaded, err := ReadSynopsis(&js)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var jagain bytes.Buffer
+			if err := WriteSynopsis(&jagain, jloaded); err != nil {
+				t.Fatal(err)
+			}
+			if byteIdenticalJSON[name] {
+				if !bytes.Equal(jdata, jagain.Bytes()) {
+					t.Error("JSON round trip not byte-identical")
+				}
+			} else {
+				r := NewRect(2, 3, 15, 14)
+				a, b := s.Query(r), jloaded.Query(r)
+				if diff := a - b; diff > 1e-9 || diff < -1e-9 {
+					t.Errorf("JSON round trip changed answer: %g vs %g", a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestAssembleShardedNewKinds: every embeddable kind composes into a
+// sharded release through AssembleSharded and survives both encodings,
+// including the lazy binary path dpserve uses.
+func TestAssembleShardedNewKinds(t *testing.T) {
+	dom, err := NewDomain(0, 0, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewShardPlan(dom, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builders := map[string]func(tile Domain, src NoiseSource) (Synopsis, error){
+		"hierarchy": func(tile Domain, src NoiseSource) (Synopsis, error) {
+			return BuildHierarchy(nil, tile, 1, HierarchyOptions{GridSize: 4, Branching: 2, Depth: 2}, src)
+		},
+		"kd-tree": func(tile Domain, src NoiseSource) (Synopsis, error) {
+			return BuildKDTree(nil, tile, 1, KDTreeOptions{Method: KDHybrid}, src)
+		},
+		"privlet": func(tile Domain, src NoiseSource) (Synopsis, error) {
+			return BuildPrivlet(nil, tile, 1, PrivletOptions{GridSize: 3}, src)
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			tiles := make([]Synopsis, plan.NumTiles())
+			for i := range tiles {
+				var err error
+				tiles[i], err = build(plan.Tile(i), NewNoiseSource(int64(100+i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			sh, err := AssembleSharded(plan, 1, tiles)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := SynopsisKind(sh), "sharded("+name+")"; got != want {
+				t.Errorf("SynopsisKind = %q, want %q", got, want)
+			}
+			r := NewRect(1, 1, 18, 9)
+			want := sh.Query(r)
+
+			var bin bytes.Buffer
+			if err := WriteSynopsisBinary(&bin, sh); err != nil {
+				t.Fatal(err)
+			}
+			data := bytes.Clone(bin.Bytes())
+			loaded, err := ReadSynopsis(&bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := loaded.Query(r); got != want {
+				t.Errorf("binary round trip changed answer: %g vs %g", got, want)
+			}
+			var again bytes.Buffer
+			if err := WriteSynopsisBinary(&again, loaded); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, again.Bytes()) {
+				t.Error("binary round trip not bit-identical")
+			}
+
+			lazyLoaded, err := ReadSynopsisLazy(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy, ok := lazyLoaded.(*LazySharded)
+			if !ok {
+				t.Fatalf("lazy read returned %T, want *LazySharded", lazyLoaded)
+			}
+			if got := lazy.Query(r); got != want {
+				t.Errorf("lazy answer %g != eager %g", got, want)
+			}
+
+			var js bytes.Buffer
+			if err := WriteSynopsis(&js, sh); err != nil {
+				t.Fatal(err)
+			}
+			jloaded, err := ReadSynopsis(&js)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := jloaded.Query(r); got != want {
+				t.Errorf("JSON round trip changed answer: %g vs %g", got, want)
+			}
+		})
+	}
+}
+
+// TestAssembleShardedRejectsBadTiles: Assemble validates composition
+// invariants — mixed kinds, wrong tile domains, and mismatched epsilon
+// must all fail rather than produce a release that misreports its
+// privacy budget.
+func TestAssembleShardedRejectsBadTiles(t *testing.T) {
+	dom, _ := NewDomain(0, 0, 20, 20)
+	plan, err := NewShardPlan(dom, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := func(tile Domain, eps float64) Synopsis {
+		h, err := BuildHierarchy(nil, tile, eps, HierarchyOptions{GridSize: 4, Branching: 2, Depth: 2}, NewNoiseSource(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	ugTile := func(tile Domain) Synopsis {
+		u, err := BuildUniformGrid(nil, tile, 1, UGOptions{GridSize: 2}, NewNoiseSource(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	cases := map[string][]Synopsis{
+		"too few tiles": {hier(plan.Tile(0), 1)},
+		"mixed kinds":   {hier(plan.Tile(0), 1), ugTile(plan.Tile(1))},
+		"wrong domain":  {hier(plan.Tile(0), 1), hier(plan.Tile(0), 1)},
+		"wrong epsilon": {hier(plan.Tile(0), 1), hier(plan.Tile(1), 2)},
+		"unregistered":  {stubSynopsis{}, stubSynopsis{}},
+	}
+	for name, tiles := range cases {
+		if _, err := AssembleSharded(plan, 1, tiles); err == nil {
+			t.Errorf("%s: accepted", name)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package dpgrid
 
 import (
+	"fmt"
+
 	"github.com/dpgrid/dpgrid/internal/shard"
 )
 
@@ -90,4 +92,25 @@ func BuildShardedAdaptiveGrid(points []Point, plan ShardPlan, eps float64, grid 
 // streaming point source.
 func BuildShardedAdaptiveGridSeq(seq PointSeq, plan ShardPlan, eps float64, grid AGOptions, opts ShardOptions, src NoiseSource) (*Sharded, error) {
 	return shard.BuildAdaptiveSeq(seq, plan, eps, grid, opts, src)
+}
+
+// AssembleSharded constructs a sharded release from pre-built per-tile
+// synopses — the path for mosaics whose tiles are built by any
+// embeddable synopsis kind (hierarchies, kd-trees, privlets, or grids
+// built elsewhere). Every tile must be one released synopsis covering
+// exactly its plan tile under the release epsilon, and all tiles must
+// share one kind; parallel composition over the disjoint tiles then
+// makes the assembled release eps-differentially private as a whole.
+// The result serializes like any built release (WriteSynopsis,
+// WriteSynopsisBinary) and its manifests load lazily like any other.
+func AssembleSharded(plan ShardPlan, eps float64, tiles []Synopsis) (*Sharded, error) {
+	st := make([]shard.Synopsis, len(tiles))
+	for i, t := range tiles {
+		s, ok := t.(shard.Synopsis)
+		if !ok {
+			return nil, fmt.Errorf("dpgrid: tile %d of type %T lacks the per-tile synopsis interface (Query/TotalEstimate/Epsilon/Domain)", i, t)
+		}
+		st[i] = s
+	}
+	return shard.Assemble(plan, eps, st)
 }
