@@ -1,0 +1,351 @@
+// Command dploadgen drives open-loop query load against a dpserve
+// endpoint (single node or cluster router) and reports latency
+// quantiles, error counts, and partial-answer counts as JSON.
+//
+// Usage:
+//
+//	dploadgen -target http://localhost:8080 -synopsis checkins \
+//	    -qps 200 -duration 30s -hot 16 -hot-frac 0.8
+//
+// The generator is open-loop: request launch times follow a Poisson
+// process at -qps regardless of how fast responses come back, which is
+// what exposes queueing collapse — a closed-loop driver slows down
+// with the server and hides it. The workload is skewed the way real
+// map traffic is: a small set of hot rectangles (popular viewports)
+// absorbs -hot-frac of the requests, the rest scatter uniformly over
+// the domain. Hot-rect skew is also the best case for dpserve's answer
+// cache and the worst case for a cluster's load balance, so the same
+// knob stresses both.
+//
+// If the open-loop arrival rate outruns the server badly enough that
+// -max-inflight requests are pending, further arrivals are counted as
+// dropped rather than launched — the report then says how far the
+// server fell behind instead of the generator eating the backlog.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dploadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed flag set.
+type config struct {
+	target      string
+	synopsis    string
+	qps         float64
+	duration    time.Duration
+	timeout     time.Duration
+	batch       int
+	hot         int
+	hotFrac     float64
+	rectFrac    float64
+	maxInflight int
+	seed        int64
+	domain      [4]float64
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dploadgen", flag.ContinueOnError)
+	target := fs.String("target", "http://localhost:8080", "dpserve base URL (node or cluster router)")
+	synopsis := fs.String("synopsis", "", "synopsis name to query (required)")
+	qps := fs.Float64("qps", 100, "open-loop Poisson arrival rate, requests/second")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	batch := fs.Int("batch", 1, "rectangles per query request")
+	hot := fs.Int("hot", 16, "size of the hot rectangle set")
+	hotFrac := fs.Float64("hot-frac", 0.8, "fraction of requests drawn from the hot set")
+	rectFrac := fs.Float64("rect-frac", 0.1, "rectangle edge length as a fraction of the domain edge")
+	maxInflight := fs.Int("max-inflight", 1024, "pending requests beyond this are counted dropped, not launched")
+	seed := fs.Int64("seed", 1, "workload RNG seed")
+	domainFlag := fs.String("domain", "", "query domain as minX,minY,maxX,maxY (default: fetched from the target)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *synopsis == "" {
+		return fmt.Errorf("-synopsis is required")
+	}
+	if *qps <= 0 || *duration <= 0 || *batch < 1 {
+		return fmt.Errorf("-qps, -duration, and -batch must be positive")
+	}
+	if *hotFrac < 0 || *hotFrac > 1 {
+		return fmt.Errorf("-hot-frac must be in [0,1]")
+	}
+	cfg := config{
+		target:      *target,
+		synopsis:    *synopsis,
+		qps:         *qps,
+		duration:    *duration,
+		timeout:     *timeout,
+		batch:       *batch,
+		hot:         *hot,
+		hotFrac:     *hotFrac,
+		rectFrac:    *rectFrac,
+		maxInflight: *maxInflight,
+		seed:        *seed,
+	}
+	if *domainFlag != "" {
+		if _, err := fmt.Sscanf(*domainFlag, "%f,%f,%f,%f",
+			&cfg.domain[0], &cfg.domain[1], &cfg.domain[2], &cfg.domain[3]); err != nil {
+			return fmt.Errorf("-domain: want minX,minY,maxX,maxY: %w", err)
+		}
+	} else {
+		dom, err := fetchDomain(cfg.target, cfg.synopsis, cfg.timeout)
+		if err != nil {
+			return fmt.Errorf("fetching domain (pass -domain to skip): %w", err)
+		}
+		cfg.domain = dom
+	}
+	if !(cfg.domain[2] > cfg.domain[0] && cfg.domain[3] > cfg.domain[1]) {
+		return fmt.Errorf("degenerate domain %v", cfg.domain)
+	}
+
+	rep, err := generate(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// fetchDomain reads the synopsis's domain from GET /v1/synopses/<name>
+// — works against single nodes; cluster routers don't serve synopsis
+// metadata, so drive those with an explicit -domain.
+func fetchDomain(target, synopsis string, timeout time.Duration) ([4]float64, error) {
+	var zero [4]float64
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(target + "/v1/synopses/" + synopsis)
+	if err != nil {
+		return zero, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return zero, fmt.Errorf("GET /v1/synopses/%s: %s", synopsis, resp.Status)
+	}
+	var info struct {
+		Domain *[4]float64 `json:"domain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return zero, err
+	}
+	if info.Domain == nil {
+		return zero, fmt.Errorf("synopsis %q reports no domain", synopsis)
+	}
+	return *info.Domain, nil
+}
+
+// queryBody mirrors dpserve's POST /v1/query request.
+type queryBody struct {
+	Synopsis string       `json:"synopsis"`
+	Rects    [][4]float64 `json:"rects"`
+}
+
+// queryReply mirrors the response fields the generator cares about.
+type queryReply struct {
+	Partial bool `json:"partial"`
+}
+
+// report is the JSON result document.
+type report struct {
+	Target      string  `json:"target"`
+	Synopsis    string  `json:"synopsis"`
+	DurationS   float64 `json:"duration_seconds"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Errors   int64 `json:"errors"`
+	Partials int64 `json:"partials"`
+	Dropped  int64 `json:"dropped"`
+
+	StatusCounts map[string]int64 `json:"status_counts"`
+
+	LatencyMsP50 float64 `json:"latency_ms_p50"`
+	LatencyMsP90 float64 `json:"latency_ms_p90"`
+	LatencyMsP99 float64 `json:"latency_ms_p99"`
+	LatencyMsMax float64 `json:"latency_ms_max"`
+}
+
+// workload precomputes the hot set; calls are not concurrent (the
+// arrival loop draws every request body before launching it).
+type workload struct {
+	rng     *rand.Rand
+	cfg     config
+	hotSet  [][4]float64
+	w, h    float64
+	synName string
+}
+
+func newWorkload(cfg config) *workload {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	w := (cfg.domain[2] - cfg.domain[0]) * cfg.rectFrac
+	h := (cfg.domain[3] - cfg.domain[1]) * cfg.rectFrac
+	wl := &workload{rng: rng, cfg: cfg, w: w, h: h, synName: cfg.synopsis}
+	for i := 0; i < cfg.hot; i++ {
+		wl.hotSet = append(wl.hotSet, wl.randomRect())
+	}
+	return wl
+}
+
+func (wl *workload) randomRect() [4]float64 {
+	x := wl.cfg.domain[0] + wl.rng.Float64()*(wl.cfg.domain[2]-wl.cfg.domain[0]-wl.w)
+	y := wl.cfg.domain[1] + wl.rng.Float64()*(wl.cfg.domain[3]-wl.cfg.domain[1]-wl.h)
+	return [4]float64{x, y, x + wl.w, y + wl.h}
+}
+
+// next draws one request body: hot with probability hotFrac, cold
+// otherwise.
+func (wl *workload) next() queryBody {
+	rects := make([][4]float64, wl.cfg.batch)
+	for i := range rects {
+		if len(wl.hotSet) > 0 && wl.rng.Float64() < wl.cfg.hotFrac {
+			rects[i] = wl.hotSet[wl.rng.Intn(len(wl.hotSet))]
+		} else {
+			rects[i] = wl.randomRect()
+		}
+	}
+	return queryBody{Synopsis: wl.synName, Rects: rects}
+}
+
+// collector accumulates per-request outcomes concurrently.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	statuses  map[int]int64
+	ok        int64
+	errors    int64
+	partials  int64
+}
+
+func (c *collector) record(lat time.Duration, status int, partial bool, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latencies = append(c.latencies, lat)
+	if c.statuses == nil {
+		c.statuses = make(map[int]int64)
+	}
+	if failed {
+		c.errors++
+		c.statuses[0]++
+		return
+	}
+	c.statuses[status]++
+	if status == http.StatusOK {
+		c.ok++
+		if partial {
+			c.partials++
+		}
+	} else {
+		c.errors++
+	}
+}
+
+// generate runs the open-loop arrival process and assembles the report.
+func generate(cfg config) (*report, error) {
+	wl := newWorkload(cfg)
+	client := &http.Client{Timeout: cfg.timeout}
+	col := &collector{}
+	var wg sync.WaitGroup
+	var inflight atomic.Int64
+	var launched, dropped int64
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+	start := time.Now()
+
+arrivals:
+	for {
+		// Poisson arrivals: exponential inter-arrival gaps at rate qps.
+		gap := time.Duration(wl.rng.ExpFloat64() / cfg.qps * float64(time.Second))
+		select {
+		case <-ctx.Done():
+			break arrivals
+		case <-time.After(gap):
+		}
+		if inflight.Load() >= int64(cfg.maxInflight) {
+			dropped++
+			continue
+		}
+		body, err := json.Marshal(wl.next())
+		if err != nil {
+			return nil, err
+		}
+		launched++
+		inflight.Add(1)
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			t0 := time.Now()
+			resp, err := client.Post(cfg.target+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				col.record(time.Since(t0), 0, false, true)
+				return
+			}
+			var reply queryReply
+			decErr := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&reply)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && decErr != nil {
+				col.record(time.Since(t0), 0, false, true)
+				return
+			}
+			col.record(time.Since(t0), resp.StatusCode, reply.Partial, false)
+		}(body)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{
+		Target:       cfg.target,
+		Synopsis:     cfg.synopsis,
+		DurationS:    elapsed.Seconds(),
+		OfferedQPS:   cfg.qps,
+		AchievedQPS:  float64(launched) / elapsed.Seconds(),
+		Requests:     launched,
+		OK:           col.ok,
+		Errors:       col.errors,
+		Partials:     col.partials,
+		Dropped:      dropped,
+		StatusCounts: make(map[string]int64, len(col.statuses)),
+	}
+	for status, n := range col.statuses {
+		key := fmt.Sprint(status)
+		if status == 0 {
+			key = "transport_error"
+		}
+		rep.StatusCounts[key] = n
+	}
+	sort.Slice(col.latencies, func(i, j int) bool { return col.latencies[i] < col.latencies[j] })
+	q := func(p float64) float64 {
+		if len(col.latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(col.latencies)-1))
+		return float64(col.latencies[i]) / float64(time.Millisecond)
+	}
+	rep.LatencyMsP50 = q(0.50)
+	rep.LatencyMsP90 = q(0.90)
+	rep.LatencyMsP99 = q(0.99)
+	rep.LatencyMsMax = q(1)
+	return rep, nil
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer fakes the two dpserve endpoints the generator touches:
+// synopsis metadata and the query endpoint. Every Nth query answers
+// partial, and the handler counts distinct rectangles to verify the
+// hot-set skew.
+func stubServer(t *testing.T, partialEvery int64) (*httptest.Server, *atomic.Int64, *rectCounter) {
+	t.Helper()
+	var queries atomic.Int64
+	rects := &rectCounter{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/synopses/checkins", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"name":   "checkins",
+			"domain": [4]float64{0, 0, 100, 100},
+		})
+	})
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var q queryBody
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, rc := range q.Rects {
+			rects.inc(rc)
+		}
+		n := queries.Add(1)
+		partial := partialEvery > 0 && n%partialEvery == 0
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"synopsis": q.Synopsis,
+			"counts":   make([]float64, len(q.Rects)),
+			"partial":  partial,
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &queries, rects
+}
+
+// rectCounter counts occurrences per rectangle (a tiny typed wrapper so
+// the test can measure skew).
+type rectCounter struct {
+	mu sync.Mutex
+	m  map[[4]float64]int64
+}
+
+func (s *rectCounter) inc(k [4]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[[4]float64]int64)
+	}
+	s.m[k]++
+}
+
+func (s *rectCounter) topShare() (distinct int, share float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total, max int64
+	for _, n := range s.m {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return len(s.m), 0
+	}
+	return len(s.m), float64(max) / float64(total)
+}
+
+func TestGenerateOpenLoopReport(t *testing.T) {
+	srv, queries, rects := stubServer(t, 5)
+
+	cfg := config{
+		target:      srv.URL,
+		synopsis:    "checkins",
+		qps:         400,
+		duration:    500 * time.Millisecond,
+		timeout:     5 * time.Second,
+		batch:       2,
+		hot:         4,
+		hotFrac:     0.9,
+		rectFrac:    0.1,
+		maxInflight: 1024,
+		seed:        3,
+		domain:      [4]float64{0, 0, 100, 100},
+	}
+	rep, err := generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests < 50 {
+		t.Fatalf("only %d requests in %v at %g qps — arrival loop is not open-loop",
+			rep.Requests, cfg.duration, cfg.qps)
+	}
+	if rep.OK+rep.Errors != rep.Requests {
+		t.Errorf("ok %d + errors %d != requests %d", rep.OK, rep.Errors, rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors against a healthy stub", rep.Errors)
+	}
+	if got := queries.Load(); got != rep.Requests {
+		t.Errorf("server saw %d queries, report says %d", got, rep.Requests)
+	}
+	if rep.Partials == 0 {
+		t.Error("stub answers every 5th query partial; report counted none")
+	}
+	if rep.LatencyMsP50 <= 0 || rep.LatencyMsP99 < rep.LatencyMsP50 {
+		t.Errorf("implausible latency quantiles: p50=%g p99=%g", rep.LatencyMsP50, rep.LatencyMsP99)
+	}
+	if rep.StatusCounts["200"] != rep.OK {
+		t.Errorf("status_counts[200] = %d, want %d", rep.StatusCounts["200"], rep.OK)
+	}
+
+	// Skew: with hot-frac 0.9 over 4 hot rects, the hottest single rect
+	// should absorb far more than a uniform share of the traffic.
+	distinct, share := rects.topShare()
+	if distinct <= 4 {
+		t.Errorf("only %d distinct rects; cold traffic missing", distinct)
+	}
+	if share < 0.1 {
+		t.Errorf("hottest rect got %.0f%% of rects; skew missing", share*100)
+	}
+}
+
+func TestGenerateCountsErrorsAndDrops(t *testing.T) {
+	// A server that always 500s: every request is an error, none OK.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+
+	cfg := config{
+		target: srv.URL, synopsis: "checkins",
+		qps: 200, duration: 300 * time.Millisecond, timeout: time.Second,
+		batch: 1, hot: 2, hotFrac: 0.5, rectFrac: 0.1,
+		maxInflight: 64, seed: 1, domain: [4]float64{0, 0, 10, 10},
+	}
+	rep, err := generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 0 || rep.Errors != rep.Requests || rep.Requests == 0 {
+		t.Fatalf("against a 500-only server: %+v", rep)
+	}
+	if rep.StatusCounts["500"] != rep.Errors {
+		t.Errorf("status_counts[500] = %d, want %d", rep.StatusCounts["500"], rep.Errors)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	srv, _, _ := stubServer(t, 0)
+	var out bytes.Buffer
+	err := run([]string{
+		"-target", srv.URL,
+		"-synopsis", "checkins",
+		"-qps", "200",
+		"-duration", "200ms",
+		"-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not a JSON report: %v\n%s", err, out.String())
+	}
+	if rep.Synopsis != "checkins" || rep.Requests == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-qps", "10"}, &out); err == nil {
+		t.Error("missing -synopsis accepted")
+	}
+	if err := run([]string{"-synopsis", "a", "-qps", "0"}, &out); err == nil {
+		t.Error("zero qps accepted")
+	}
+	if err := run([]string{"-synopsis", "a", "-hot-frac", "1.5"}, &out); err == nil {
+		t.Error("hot-frac > 1 accepted")
+	}
+	if err := run([]string{"-synopsis", "a", "-domain", "garbage"}, &out); err == nil {
+		t.Error("bad -domain accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -47,7 +48,7 @@ func BenchmarkAnswerRepeatedRects(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					s.answer("bench", gen, syn, rects)
+					s.answer(context.Background(), "bench", gen, syn, rects)
 				}
 			})
 		}

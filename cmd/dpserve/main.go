@@ -11,6 +11,10 @@
 // Endpoints:
 //
 //	GET    /healthz              liveness + registered synopsis count
+//	GET    /readyz               readiness: 503 until every -synopsis file
+//	                             has loaded and validated, 200 after —
+//	                             point rollout gates here, liveness probes
+//	                             at /healthz
 //	GET    /metrics              Prometheus text exposition: per-synopsis
 //	                             query counts, latency histograms, shard
 //	                             fan-out, lazy materializations, cache
@@ -22,6 +26,16 @@
 //	                             disabled by -readonly; there is no auth,
 //	                             so keep writable registries on trusted nets)
 //	POST   /v1/query             answer a batch of rectangle count queries
+//	POST   /v1/cluster/query     per-tile partial answers for a sharded
+//	                             release (the backend half of cluster mode)
+//
+// With -cluster -placement placement.json the process is instead a
+// scatter-gather router over a fleet of backend dpserve nodes: it
+// serves the same /v1/query surface, fanning each rectangle out to
+// only the backends whose tiles overlap it and merging the partials
+// into an answer bit-identical to single-node serving. Node loss
+// degrades gracefully (partial answers with the missing tile list)
+// rather than failing the query; see the README's "Cluster mode".
 //
 // Monolithic (UG/AG) and geo-sharded releases are served through the
 // same registry: a sharded manifest loads as one named synopsis whose
@@ -63,6 +77,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"github.com/dpgrid/dpgrid/internal/cluster"
 )
 
 // synopsisFlags collects repeated -synopsis name=path flags.
@@ -96,16 +112,52 @@ func run(args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "reject API requests beyond this many in flight with 429; 0 means unlimited")
 	requestTimeout := fs.Duration("request-timeout", time.Minute, "per-request deadline for /v1 endpoints; 0 disables")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
+	clusterMode := fs.Bool("cluster", false, "run as a scatter-gather router over backend dpserve nodes (-placement required)")
+	placementPath := fs.String("placement", "", "cluster mode: placement file mapping tiles of sharded releases to backend nodes")
+	backendTimeout := fs.Duration("backend-timeout", 2*time.Second, "cluster mode: per-backend attempt timeout")
+	backendRetries := fs.Int("backend-retries", 1, "cluster mode: extra attempts after a failed backend exchange")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "cluster mode: consecutive failures that open a backend's breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "cluster mode: how long an open breaker sheds a backend")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "cluster mode: background health probe spacing; negative disables")
 	var syns synopsisFlags
 	fs.Var(&syns, "synopsis", "synopsis to serve as name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	reg := newRegistry()
-	if err := loadSynopses(reg, syns); err != nil {
-		return err
+	if *clusterMode {
+		if len(syns) > 0 {
+			return fmt.Errorf("-cluster routers own no synopses; drop the -synopsis flags")
+		}
+		if *placementPath == "" {
+			return fmt.Errorf("-cluster requires -placement")
+		}
+		rs, err := newRouterServer(routerOptions{
+			placementPath:  *placementPath,
+			requestTimeout: *requestTimeout,
+			backend: cluster.Options{
+				Timeout:          *backendTimeout,
+				Retries:          *backendRetries,
+				FailureThreshold: *breakerThreshold,
+				Cooldown:         *breakerCooldown,
+				ProbeInterval:    *probeInterval,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		rs.router.Start()
+		defer rs.router.Close()
+		p := rs.router.Placement()
+		log.Printf("dpserve routing %d releases across %d backends (placement %s)",
+			len(p.ReleaseNames()), len(p.Nodes), *placementPath)
+		return serveUntilSignal(newHTTPServer(*listen, rs.handler()), *drainTimeout, nil)
 	}
+	if *placementPath != "" {
+		return fmt.Errorf("-placement is only meaningful with -cluster")
+	}
+
+	reg := newRegistry()
 	srv := newDPServer(reg, serverOptions{
 		readonly:       *readonly,
 		cacheEntries:   *cacheEntries,
@@ -113,10 +165,25 @@ func run(args []string) error {
 		requestTimeout: *requestTimeout,
 	})
 
+	// Load asynchronously: the listener binds (and /healthz answers)
+	// immediately, while /readyz holds 503 until every -synopsis file is
+	// decoded and validated. A load failure is fatal, exactly as it was
+	// when loading blocked startup — it just surfaces through the serve
+	// loop now.
+	fatal := make(chan error, 1)
+	go func() {
+		if err := loadSynopses(reg, syns); err != nil {
+			fatal <- err
+			return
+		}
+		srv.markReady()
+		log.Printf("dpserve ready with %d synopses (cache %d entries, max-inflight %s)",
+			reg.count(), *cacheEntries, orUnlimited(*maxInflight))
+	}()
+
 	httpSrv := newHTTPServer(*listen, srv.handler())
-	log.Printf("dpserve listening on %s with %d synopses (cache %d entries, max-inflight %s)",
-		*listen, reg.count(), *cacheEntries, orUnlimited(*maxInflight))
-	return serveUntilSignal(httpSrv, *drainTimeout)
+	log.Printf("dpserve listening on %s; loading %d synopses", *listen, len(syns))
+	return serveUntilSignal(httpSrv, *drainTimeout, fatal)
 }
 
 func orUnlimited(n int) string {
@@ -126,12 +193,13 @@ func orUnlimited(n int) string {
 	return fmt.Sprint(n)
 }
 
-// serveUntilSignal runs the server until it fails or the process
-// receives SIGINT/SIGTERM, then shuts down gracefully: the listener
-// closes immediately (a rolling deploy's replacement can bind), idle
+// serveUntilSignal runs the server until it fails, the process
+// receives SIGINT/SIGTERM, or fatal delivers a startup error (nil
+// disables that arm), then shuts down gracefully: the listener closes
+// immediately (a rolling deploy's replacement can bind), idle
 // connections drop, and in-flight requests get up to drain to finish
 // before the process exits. A second signal during the drain aborts it.
-func serveUntilSignal(httpSrv *http.Server, drain time.Duration) error {
+func serveUntilSignal(httpSrv *http.Server, drain time.Duration, fatal <-chan error) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -140,6 +208,13 @@ func serveUntilSignal(httpSrv *http.Server, drain time.Duration) error {
 
 	select {
 	case err := <-errCh:
+		return err
+	case err := <-fatal:
+		// Startup loading failed while the listener was already up; tear
+		// the server down and report the load error, not the shutdown.
+		closeCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(closeCtx)
 		return err
 	case <-ctx.Done():
 	}

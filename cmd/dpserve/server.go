@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 
 	"github.com/dpgrid/dpgrid"
 	"github.com/dpgrid/dpgrid/internal/cache"
+	"github.com/dpgrid/dpgrid/internal/cluster"
 	"github.com/dpgrid/dpgrid/internal/pool"
 )
 
@@ -34,6 +36,12 @@ type server struct {
 	maxInflight    int           // 0 = unlimited
 	requestTimeout time.Duration // 0 = none
 	inflightSem    chan struct{} // nil when unlimited
+
+	// ready flips once every startup synopsis is loaded and validated;
+	// until then /readyz answers 503 while /healthz already answers 200.
+	// The split is what lets a rolling deploy keep traffic off a replica
+	// that is alive but still decoding manifests.
+	ready atomic.Bool
 }
 
 // serverOptions carries the operational knobs from flags to newDPServer.
@@ -71,6 +79,18 @@ func newDPServer(reg *registry, opts serverOptions) *server {
 	return s
 }
 
+// markReady flips /readyz to 200 and (re-)seeds the per-synopsis kind
+// series: with asynchronous startup loading, the registry fills after
+// newDPServer ran its seeding pass.
+func (s *server) markReady() {
+	for _, name := range s.reg.names() {
+		if syn, _, ok := s.reg.get(name); ok {
+			s.met.setSynopsisKind(name, syn)
+		}
+	}
+	s.ready.Store(true)
+}
+
 // queryRequest is the body of POST /v1/query. Rects are
 // [minX, minY, maxX, maxY] quadruples.
 type queryRequest struct {
@@ -79,10 +99,14 @@ type queryRequest struct {
 }
 
 // queryResponse is the body of a successful POST /v1/query: one
-// estimate per request rectangle, in order.
+// estimate per request rectangle, in order. Partial and MissingTiles
+// appear only in cluster mode, when backend loss degraded the answer
+// to the surviving tiles' sum.
 type queryResponse struct {
-	Synopsis string    `json:"synopsis"`
-	Counts   []float64 `json:"counts"`
+	Synopsis     string    `json:"synopsis"`
+	Counts       []float64 `json:"counts"`
+	Partial      bool      `json:"partial,omitempty"`
+	MissingTiles []int     `json:"missing_tiles,omitempty"`
 }
 
 // synopsisInfo is one entry of GET /v1/synopses and the body of
@@ -139,6 +163,7 @@ func (s *server) handler() http.Handler {
 	api.HandleFunc("/v1/synopses", s.handleList)
 	api.HandleFunc("/v1/synopses/", s.handleSynopsis)
 	api.HandleFunc("/v1/query", s.handleQuery)
+	api.HandleFunc(cluster.ShardQueryPath, s.handleClusterQuery)
 
 	// The limiter sits INSIDE the timeout handler: an admission slot is
 	// released only when the handler's work actually finishes, not when
@@ -168,6 +193,7 @@ func (s *server) handler() http.Handler {
 
 	root := http.NewServeMux()
 	root.HandleFunc("/healthz", s.handleHealthz)
+	root.HandleFunc("/readyz", s.handleReadyz)
 	root.HandleFunc("/metrics", s.met.handleMetrics)
 	root.Handle("/v1/", apiHandler)
 	return root
@@ -205,6 +231,24 @@ func (s *server) limit(next http.Handler) http.Handler {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
+		"synopses": s.reg.count(),
+	})
+}
+
+// handleReadyz answers 200 only once markReady ran — i.e. every
+// -synopsis file loaded and validated. Like /healthz it sits outside
+// the admission limiter and request timeout, so orchestrator probes
+// get an honest answer even while the API sheds load.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":    false,
+			"synopses": s.reg.count(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready":    true,
 		"synopses": s.reg.count(),
 	})
 }
@@ -297,7 +341,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	counts, st := s.answer(req.Synopsis, gen, syn, req.Rects)
+	counts, st, err := s.answer(r.Context(), req.Synopsis, gen, syn, req.Rects)
+	if err != nil {
+		// The client abandoned the request (or TimeoutHandler hit the
+		// deadline) while the fan-out was still walking shards; nothing
+		// useful can be written, but answer the goroutine's writer anyway
+		// for programmatic callers.
+		writeError(w, http.StatusServiceUnavailable, "request cancelled: "+err.Error())
+		return
+	}
 	// Record per-synopsis series only if the name still serves the same
 	// generation: a DELETE that raced this query already forgot the
 	// name's series, and recording would resurrect them for a retired
@@ -341,8 +393,11 @@ type answerStats struct {
 // fan-out QueryBatch uses — so answers are bit-identical whether they
 // come from the cache, the cached path's miss computation, or a
 // cache-disabled server. Sharded synopses additionally report per-rect
-// routing stats.
-func (s *server) answer(name string, gen uint64, syn dpgrid.Synopsis, rects [][4]float64) ([]float64, answerStats) {
+// routing stats, and honor ctx between shards: a request whose client
+// has gone away stops burning CPU (and, for lazy releases, stops
+// materializing tiles) mid-mosaic. A non-nil error means the batch was
+// abandoned; no partial results are cached.
+func (s *server) answer(ctx context.Context, name string, gen uint64, syn dpgrid.Synopsis, rects [][4]float64) ([]float64, answerStats, error) {
 	counts := make([]float64, len(rects))
 	grects := make([]dpgrid.Rect, len(rects))
 	miss := make([]int, 0, len(rects))
@@ -376,7 +431,26 @@ func (s *server) answer(name string, gen uint64, syn dpgrid.Synopsis, rects [][4
 		misses: len(miss),
 	}
 
-	if obsSyn, isSharded := syn.(dpgrid.ShardObserver); isSharded {
+	if ctxSyn, ok := syn.(dpgrid.ShardContextObserver); ok {
+		var mats atomic.Int64
+		var cancelled atomic.Bool
+		st.fanouts = make([]int, len(miss))
+		pool.For(len(miss), 0, func(j int) {
+			i := miss[j]
+			est, qs, err := ctxSyn.QueryStatsCtx(ctx, grects[i])
+			if err != nil {
+				cancelled.Store(true)
+				return
+			}
+			counts[i] = est
+			st.fanouts[j] = qs.Shards
+			mats.Add(int64(qs.Materialized))
+		})
+		if cancelled.Load() {
+			return nil, st, context.Cause(ctx)
+		}
+		st.materialized = mats.Load()
+	} else if obsSyn, isSharded := syn.(dpgrid.ShardObserver); isSharded {
 		var mats atomic.Int64
 		st.fanouts = make([]int, len(miss))
 		pool.For(len(miss), 0, func(j int) {
@@ -405,7 +479,7 @@ func (s *server) answer(name string, gen uint64, syn dpgrid.Synopsis, rects [][4
 			s.cache.Put(keys[i], counts[i])
 		}
 	}
-	return counts, st
+	return counts, st, nil
 }
 
 // badRectIndex returns the index of the first rect quadruple containing

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a breaker's position in its closed -> open ->
+// half-open cycle, exported for health reporting and metrics.
+type BreakerState string
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: the node failed Threshold consecutive times and is
+	// shed until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown elapsed; trial requests are allowed
+	// through, and the first success closes the breaker while the first
+	// failure re-opens it for another cooldown.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// breaker is a consecutive-failure circuit breaker. Both query
+// attempts and background health probes feed it, so a node that dies
+// between queries is discovered (and later rediscovered) without
+// client traffic paying for the timeout. It is safe for concurrent
+// use.
+type breaker struct {
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // how long an open breaker sheds traffic
+	now       func() time.Time
+
+	mu          sync.Mutex
+	consecutive int
+	open        bool
+	openUntil   time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may be sent: true when closed, and
+// true once per caller when open and the cooldown has elapsed
+// (half-open trial).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	return !b.now().Before(b.openUntil)
+}
+
+// success records a successful exchange and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.open = false
+}
+
+// failure records a failed exchange. The breaker opens when the
+// consecutive count reaches the threshold, and every further failure
+// (including a failed half-open trial) pushes the cooldown out again.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.open = true
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// state returns the breaker's current position in its cycle.
+func (b *breaker) state() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case !b.open:
+		return BreakerClosed
+	case b.now().Before(b.openUntil):
+		return BreakerOpen
+	default:
+		return BreakerHalfOpen
+	}
+}

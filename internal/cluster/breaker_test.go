@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerCycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	b := newBreaker(3, 5*time.Second, clock)
+
+	if !b.allow() || b.state() != BreakerClosed {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+	b.failure()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.failure()
+	if b.allow() || b.state() != BreakerOpen {
+		t.Fatalf("breaker should be open after 3 consecutive failures (state %s)", b.state())
+	}
+
+	// Cooldown elapses: half-open, trials flow again.
+	now = now.Add(5 * time.Second)
+	if !b.allow() || b.state() != BreakerHalfOpen {
+		t.Fatalf("breaker should be half-open after cooldown (state %s)", b.state())
+	}
+
+	// A failed trial re-opens for another full cooldown.
+	b.failure()
+	if b.allow() || b.state() != BreakerOpen {
+		t.Fatal("failed half-open trial should re-open the breaker")
+	}
+	now = now.Add(4 * time.Second)
+	if b.allow() {
+		t.Fatal("re-opened breaker allowed before the new cooldown elapsed")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker should admit a trial after the second cooldown")
+	}
+
+	// A successful trial closes it and resets the consecutive count.
+	b.success()
+	if b.state() != BreakerClosed {
+		t.Fatal("success should close the breaker")
+	}
+	b.failure()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("consecutive count should have reset on success")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := newBreaker(2, time.Minute, nil)
+	for i := 0; i < 10; i++ {
+		b.failure()
+		b.success()
+	}
+	if b.state() != BreakerClosed {
+		t.Fatal("alternating failure/success should never open a threshold-2 breaker")
+	}
+}

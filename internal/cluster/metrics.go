@@ -1,0 +1,113 @@
+package cluster
+
+import "github.com/dpgrid/dpgrid/internal/obs"
+
+// Metrics are the router's observability families, registered on a
+// caller-supplied obs.Registry so cluster-mode dpserve exposes them on
+// the same /metrics page as its process-level families. Nil Metrics is
+// valid and records nothing, which keeps unit tests quiet.
+type Metrics struct {
+	// backendRequests counts request attempts per backend (retries are
+	// separate attempts).
+	backendRequests *obs.CounterVec
+	// backendErrors counts failed attempts per backend.
+	backendErrors *obs.CounterVec
+	// backendSeconds observes per-attempt exchange latency per backend.
+	backendSeconds *obs.HistogramVec
+	// backendShed counts requests not sent because the backend's
+	// breaker was open.
+	backendShed *obs.CounterVec
+	// backendState mirrors each backend breaker's position.
+	backendState *obs.InfoVec
+	// fanoutBackends observes how many backends each router query
+	// scattered to.
+	fanoutBackends *obs.Histogram
+	// fanoutTiles observes how many tiles each rectangle fanned out to.
+	fanoutTiles *obs.Histogram
+	// partialAnswers counts queries answered with missing tiles.
+	partialAnswers *obs.Counter
+	// probeFailures counts failed background health probes per backend.
+	probeFailures *obs.CounterVec
+}
+
+// backendLatencyBounds bracket an in-rack HTTP exchange: 1ms to ~8s.
+var backendLatencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 4, 8,
+}
+
+// clusterFanoutBounds cover scatter widths from a point lookup to a
+// full-mosaic scan.
+var clusterFanoutBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// NewMetrics registers the router families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		backendRequests: reg.CounterVec("dpserve_cluster_backend_requests_total",
+			"Shard-query attempts sent per backend (retries count separately).", "backend"),
+		backendErrors: reg.CounterVec("dpserve_cluster_backend_errors_total",
+			"Failed shard-query attempts per backend.", "backend"),
+		backendSeconds: reg.HistogramVec("dpserve_cluster_backend_seconds",
+			"Per-attempt shard-query exchange latency per backend.", "backend", backendLatencyBounds),
+		backendShed: reg.CounterVec("dpserve_cluster_backend_shed_total",
+			"Shard queries not attempted because the backend breaker was open.", "backend"),
+		backendState: reg.InfoVec("dpserve_cluster_backend_state",
+			"Breaker state per backend (closed, open, half-open).", "backend", "state"),
+		fanoutBackends: reg.Histogram("dpserve_cluster_fanout_backends",
+			"Backends scattered to per router query.", clusterFanoutBounds),
+		fanoutTiles: reg.Histogram("dpserve_cluster_fanout_tiles",
+			"Tiles overlapped per query rectangle.", clusterFanoutBounds),
+		partialAnswers: reg.Counter("dpserve_cluster_partial_answers_total",
+			"Router queries answered with one or more tiles missing."),
+		probeFailures: reg.CounterVec("dpserve_cluster_probe_failures_total",
+			"Failed background health probes per backend.", "backend"),
+	}
+}
+
+func (m *Metrics) attempt(backend string, seconds float64, failed bool) {
+	if m == nil {
+		return
+	}
+	m.backendRequests.With(backend).Inc()
+	m.backendSeconds.With(backend).Observe(seconds)
+	if failed {
+		m.backendErrors.With(backend).Inc()
+	}
+}
+
+func (m *Metrics) shed(backend string) {
+	if m == nil {
+		return
+	}
+	m.backendShed.With(backend).Inc()
+}
+
+func (m *Metrics) setState(backend string, st BreakerState) {
+	if m == nil {
+		return
+	}
+	m.backendState.Set(backend, string(st))
+}
+
+func (m *Metrics) observeFanout(backends int, tilesPerRect []int) {
+	if m == nil {
+		return
+	}
+	m.fanoutBackends.Observe(float64(backends))
+	for _, n := range tilesPerRect {
+		m.fanoutTiles.Observe(float64(n))
+	}
+}
+
+func (m *Metrics) partial() {
+	if m == nil {
+		return
+	}
+	m.partialAnswers.Inc()
+}
+
+func (m *Metrics) probeFailed(backend string) {
+	if m == nil {
+		return
+	}
+	m.probeFailures.With(backend).Inc()
+}

@@ -1,0 +1,206 @@
+// Package cluster scales dpserve past one machine: a static placement
+// file assigns the tiles of geo-sharded releases to N backend nodes,
+// and a scatter-gather router fans each rectangle query out to only
+// the nodes whose tiles overlap it, merging the per-tile partial
+// answers into the same estimate a single process would produce — bit
+// for bit, because parallel composition (full epsilon per disjoint
+// tile, see internal/shard) makes per-tile answers independent and the
+// merge is a sum in ascending tile order, exactly the order the
+// in-process fan-out uses.
+//
+// Synopses are immutable once released, so placement needs no
+// consensus, no rebalancing protocol, and no coordination beyond a
+// file every router replica can read: to change the layout, write a
+// new placement file and restart (or run a second router and flip the
+// load balancer). The router is robust the way a production gateway
+// is robust — per-backend timeouts with bounded retry, a
+// consecutive-failure breaker fed by health probes, and graceful
+// degradation on node loss: the partial sum is served, marked partial
+// with the missing tile list, and counted on /metrics.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/shard"
+)
+
+// placementVersion is the accepted placement file version.
+const placementVersion = 1
+
+// Node is one backend dpserve process.
+type Node struct {
+	// Name is the stable identifier metrics and logs use.
+	Name string `json:"name"`
+	// URL is the backend's base URL, e.g. "http://10.0.0.7:8080".
+	URL string `json:"url"`
+}
+
+// Assignment maps a set of tiles of one release to a node.
+type Assignment struct {
+	Node  string `json:"node"`
+	Tiles []int  `json:"tiles"`
+}
+
+// ReleaseSpec describes one sharded release's mosaic and its tile
+// placement, as written in the placement file. Domain and Tiles must
+// match the served manifest (the backends cross-check at query time:
+// a tile the backend's own plan does not overlap simply returns no
+// partial, which the router surfaces as a missing tile rather than a
+// wrong answer).
+type ReleaseSpec struct {
+	// Synopsis is the name the release is registered under on every
+	// backend, and the name router clients query.
+	Synopsis string `json:"synopsis"`
+	// Domain is the mosaic domain as [minX, minY, maxX, maxY].
+	Domain [4]float64 `json:"domain"`
+	// Tiles is the mosaic spec, e.g. "4x4" (KxL, row-major indices).
+	Tiles string `json:"tiles"`
+	// Assignments partition the tile indices across nodes: every tile
+	// exactly once.
+	Assignments []Assignment `json:"assignments"`
+}
+
+// placementFile is the on-disk JSON form.
+type placementFile struct {
+	Version  int           `json:"version"`
+	Nodes    []Node        `json:"nodes"`
+	Releases []ReleaseSpec `json:"releases"`
+}
+
+// Release is one resolved release: its plan plus the tile -> node
+// ownership table.
+type Release struct {
+	Name  string
+	Plan  shard.Plan
+	owner []int // tile index -> index into Placement.Nodes
+}
+
+// OwnerOf returns the index (into Placement.Nodes) of the node owning
+// tile i.
+func (r *Release) OwnerOf(i int) int { return r.owner[i] }
+
+// Placement is a validated placement: the node set plus every
+// release's resolved plan and ownership table. It is immutable after
+// parsing, so one Placement may back any number of concurrent queries.
+type Placement struct {
+	Nodes    []Node
+	releases map[string]*Release
+}
+
+// Release returns the resolved release registered under name.
+func (p *Placement) Release(name string) (*Release, bool) {
+	r, ok := p.releases[name]
+	return r, ok
+}
+
+// ReleaseNames returns the placed release names in sorted order.
+func (p *Placement) ReleaseNames() []string {
+	out := make([]string, 0, len(p.releases))
+	for name := range p.releases {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParsePlacement parses and validates a placement file: version 1, at
+// least one node with unique names and well-formed http(s) base URLs,
+// and at least one release whose assignments cover every tile of its
+// mosaic exactly once using only declared nodes. Validation is
+// exhaustive here so a bad file fails at startup, not as wrong answers
+// under traffic.
+func ParsePlacement(data []byte) (*Placement, error) {
+	var f placementFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("cluster: parse placement: %w", err)
+	}
+	if f.Version != placementVersion {
+		return nil, fmt.Errorf("cluster: placement version %d (want %d)", f.Version, placementVersion)
+	}
+	if len(f.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: placement declares no nodes")
+	}
+	nodeIdx := make(map[string]int, len(f.Nodes))
+	for i, n := range f.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: node %d has no name", i)
+		}
+		if _, dup := nodeIdx[n.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		u, err := url.Parse(n.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("cluster: node %q: invalid base URL %q (want http(s)://host[:port])", n.Name, n.URL)
+		}
+		// Normalize away a trailing slash so endpoint paths join cleanly.
+		f.Nodes[i].URL = strings.TrimRight(n.URL, "/")
+		nodeIdx[n.Name] = i
+	}
+	if len(f.Releases) == 0 {
+		return nil, fmt.Errorf("cluster: placement declares no releases")
+	}
+	p := &Placement{Nodes: f.Nodes, releases: make(map[string]*Release, len(f.Releases))}
+	for _, spec := range f.Releases {
+		if spec.Synopsis == "" {
+			return nil, fmt.Errorf("cluster: release with no synopsis name")
+		}
+		if _, dup := p.releases[spec.Synopsis]; dup {
+			return nil, fmt.Errorf("cluster: duplicate release %q", spec.Synopsis)
+		}
+		dom, err := geom.NewDomain(spec.Domain[0], spec.Domain[1], spec.Domain[2], spec.Domain[3])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: release %q: %w", spec.Synopsis, err)
+		}
+		kx, ky, err := shard.ParseDims(spec.Tiles)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: release %q: %w", spec.Synopsis, err)
+		}
+		plan, err := shard.NewPlan(dom, kx, ky)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: release %q: %w", spec.Synopsis, err)
+		}
+		owner := make([]int, plan.NumTiles())
+		for i := range owner {
+			owner[i] = -1
+		}
+		for _, a := range spec.Assignments {
+			ni, ok := nodeIdx[a.Node]
+			if !ok {
+				return nil, fmt.Errorf("cluster: release %q assigns tiles to undeclared node %q", spec.Synopsis, a.Node)
+			}
+			for _, ti := range a.Tiles {
+				if ti < 0 || ti >= len(owner) {
+					return nil, fmt.Errorf("cluster: release %q: tile %d out of range [0,%d)", spec.Synopsis, ti, len(owner))
+				}
+				if owner[ti] != -1 {
+					return nil, fmt.Errorf("cluster: release %q: tile %d assigned twice (%s and %s)",
+						spec.Synopsis, ti, f.Nodes[owner[ti]].Name, a.Node)
+				}
+				owner[ti] = ni
+			}
+		}
+		for ti, ni := range owner {
+			if ni == -1 {
+				return nil, fmt.Errorf("cluster: release %q: tile %d unassigned", spec.Synopsis, ti)
+			}
+		}
+		p.releases[spec.Synopsis] = &Release{Name: spec.Synopsis, Plan: plan, owner: owner}
+	}
+	return p, nil
+}
+
+// LoadPlacement reads and validates the placement file at path.
+func LoadPlacement(path string) (*Placement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return ParsePlacement(data)
+}

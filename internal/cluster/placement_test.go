@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+const validPlacement = `{
+  "version": 1,
+  "nodes": [
+    {"name": "a", "url": "http://127.0.0.1:9001/"},
+    {"name": "b", "url": "http://127.0.0.1:9002"}
+  ],
+  "releases": [
+    {
+      "synopsis": "checkins",
+      "domain": [0, 0, 100, 100],
+      "tiles": "2x2",
+      "assignments": [
+        {"node": "a", "tiles": [0, 1]},
+        {"node": "b", "tiles": [2, 3]}
+      ]
+    }
+  ]
+}`
+
+func TestParsePlacementValid(t *testing.T) {
+	p, err := ParsePlacement([]byte(validPlacement))
+	if err != nil {
+		t.Fatalf("ParsePlacement: %v", err)
+	}
+	if got := p.ReleaseNames(); len(got) != 1 || got[0] != "checkins" {
+		t.Fatalf("ReleaseNames = %v", got)
+	}
+	if p.Nodes[0].URL != "http://127.0.0.1:9001" {
+		t.Errorf("trailing slash not normalized: %q", p.Nodes[0].URL)
+	}
+	rel, ok := p.Release("checkins")
+	if !ok {
+		t.Fatal("Release(checkins) missing")
+	}
+	if n := rel.Plan.NumTiles(); n != 4 {
+		t.Fatalf("NumTiles = %d, want 4", n)
+	}
+	wantOwner := []int{0, 0, 1, 1}
+	for ti, want := range wantOwner {
+		if got := rel.OwnerOf(ti); got != want {
+			t.Errorf("OwnerOf(%d) = %d, want %d", ti, got, want)
+		}
+	}
+	if _, ok := p.Release("nope"); ok {
+		t.Error("Release(nope) unexpectedly present")
+	}
+}
+
+func TestParsePlacementRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(string) string
+		want string
+	}{
+		{"bad json", func(s string) string { return s[:20] }, "parse placement"},
+		{"wrong version", func(s string) string { return strings.Replace(s, `"version": 1`, `"version": 2`, 1) }, "version"},
+		{"no nodes", func(s string) string {
+			return strings.Replace(s, `{"name": "a", "url": "http://127.0.0.1:9001/"},
+    {"name": "b", "url": "http://127.0.0.1:9002"}`, "", 1)
+		}, "no nodes"},
+		{"dup node", func(s string) string { return strings.Replace(s, `"name": "b"`, `"name": "a"`, 1) }, "duplicate node"},
+		{"bad url", func(s string) string { return strings.Replace(s, "http://127.0.0.1:9002", "9002", 1) }, "invalid base URL"},
+		{"unnamed node", func(s string) string { return strings.Replace(s, `"name": "a", `, `"name": "", `, 1) }, "no name"},
+		{"no releases", func(s string) string { return s[:strings.Index(s, `"releases"`)] + `"releases": []}` }, "no releases"},
+		{"unnamed release", func(s string) string { return strings.Replace(s, `"synopsis": "checkins"`, `"synopsis": ""`, 1) }, "no synopsis"},
+		{"bad domain", func(s string) string { return strings.Replace(s, "[0, 0, 100, 100]", "[100, 0, 0, 100]", 1) }, "checkins"},
+		{"bad tiles spec", func(s string) string { return strings.Replace(s, `"2x2"`, `"2by2"`, 1) }, "checkins"},
+		{"undeclared node", func(s string) string { return strings.Replace(s, `{"node": "b",`, `{"node": "c",`, 1) }, "undeclared node"},
+		{"tile out of range", func(s string) string { return strings.Replace(s, "[2, 3]", "[2, 4]", 1) }, "out of range"},
+		{"tile assigned twice", func(s string) string { return strings.Replace(s, "[2, 3]", "[2, 1]", 1) }, "assigned twice"},
+		{"tile unassigned", func(s string) string { return strings.Replace(s, "[2, 3]", "[2]", 1) }, "unassigned"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mut(validPlacement)
+			if mutated == validPlacement {
+				t.Fatal("mutation did not change the input")
+			}
+			_, err := ParsePlacement([]byte(mutated))
+			if err == nil {
+				t.Fatal("ParsePlacement accepted a bad file")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadPlacementMissingFile(t *testing.T) {
+	if _, err := LoadPlacement(t.TempDir() + "/nope.json"); err == nil {
+		t.Fatal("LoadPlacement on a missing file succeeded")
+	}
+}
+
+func TestParsePlacementMultiRelease(t *testing.T) {
+	two := strings.Replace(validPlacement, `"releases": [
+    {`, `"releases": [
+    {
+      "synopsis": "roads",
+      "domain": [-10, -10, 10, 10],
+      "tiles": "1x1",
+      "assignments": [{"node": "b", "tiles": [0]}]
+    },
+    {`, 1)
+	p, err := ParsePlacement([]byte(two))
+	if err != nil {
+		t.Fatalf("ParsePlacement: %v", err)
+	}
+	if got := p.ReleaseNames(); len(got) != 2 || got[0] != "checkins" || got[1] != "roads" {
+		t.Fatalf("ReleaseNames = %v", got)
+	}
+	rel, _ := p.Release("roads")
+	if rel.OwnerOf(0) != 1 {
+		t.Errorf("roads tile 0 owner = %d, want 1", rel.OwnerOf(0))
+	}
+}

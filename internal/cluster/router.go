@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// Options tune the router's robustness knobs; the zero value gets
+// production defaults.
+type Options struct {
+	// Timeout bounds each backend attempt (default 2s).
+	Timeout time.Duration
+	// Retries is how many extra attempts follow a failed one
+	// (default 1; negative means none).
+	Retries int
+	// Backoff is the pause before the first retry, doubling per attempt
+	// (default 50ms).
+	Backoff time.Duration
+	// FailureThreshold consecutive failures open a backend's breaker
+	// (default 3).
+	FailureThreshold int
+	// Cooldown is how long an open breaker sheds traffic before
+	// admitting a half-open trial (default 5s).
+	Cooldown time.Duration
+	// ProbeInterval spaces background health probes; 0 gets the 2s
+	// default, negative disables probing.
+	ProbeInterval time.Duration
+	// HealthPath is the backend endpoint probes GET (default /readyz).
+	HealthPath string
+	// Client overrides the HTTP client (default: http.Client with
+	// per-request timeouts supplied via context).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.HealthPath == "" {
+		o.HealthPath = "/readyz"
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// ErrUnknownSynopsis is returned for a query naming a release the
+// placement does not place.
+var ErrUnknownSynopsis = errors.New("cluster: unknown synopsis")
+
+// ErrAllBackendsDown is returned when a query needed at least one tile
+// and no backend produced an answer — nothing useful can be served, as
+// opposed to partial degradation where the surviving nodes' sum is.
+var ErrAllBackendsDown = errors.New("cluster: all backends down")
+
+// Result is one router query's merged answer.
+type Result struct {
+	// Counts are the merged estimates, one per request rectangle. For a
+	// complete answer each is bit-identical to the estimate a single
+	// process serving the whole release would return.
+	Counts []float64
+	// Partial reports that one or more needed tiles were unanswered;
+	// Counts then hold the sum over the tiles that did answer — a lower
+	// bound the caller can serve while the cluster degrades.
+	Partial bool
+	// MissingTiles are the unanswered global tile indices, ascending.
+	MissingTiles []int
+	// Backends is how many backends the query scattered to.
+	Backends int
+}
+
+// backendRef is a node plus its breaker.
+type backendRef struct {
+	name string
+	url  string
+	br   *breaker
+}
+
+// Router scatters rectangle queries across the backends of a
+// Placement and gathers the per-tile partials into merged answers. It
+// is safe for concurrent use. Start launches the background health
+// prober; Close stops it.
+type Router struct {
+	placement *Placement
+	opts      Options
+	met       *Metrics
+	backends  []*backendRef
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewRouter builds a router over p. met may be nil.
+func NewRouter(p *Placement, opts Options, met *Metrics) *Router {
+	opts = opts.withDefaults()
+	r := &Router{
+		placement: p,
+		opts:      opts,
+		met:       met,
+		backends:  make([]*backendRef, len(p.Nodes)),
+		stop:      make(chan struct{}),
+	}
+	for i, n := range p.Nodes {
+		r.backends[i] = &backendRef{
+			name: n.Name,
+			url:  n.URL,
+			br:   newBreaker(opts.FailureThreshold, opts.Cooldown, nil),
+		}
+		met.setState(n.Name, BreakerClosed)
+	}
+	return r
+}
+
+// Placement returns the router's placement.
+func (r *Router) Placement() *Placement { return r.placement }
+
+// Start launches the background health prober (a no-op when probing is
+// disabled). Call Close to stop it.
+func (r *Router) Start() {
+	if r.opts.ProbeInterval < 0 {
+		return
+	}
+	r.wg.Add(1)
+	go r.probeLoop()
+}
+
+// Close stops the prober and waits for it to exit.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// probeLoop GETs every backend's health endpoint each interval,
+// feeding the breakers so dead nodes are shed (and recovered nodes
+// readmitted) without query traffic paying for the discovery.
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		r.probeAll()
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (r *Router) probeAll() {
+	for _, be := range r.backends {
+		ctx, cancel := context.WithTimeout(context.Background(), r.opts.Timeout)
+		ok := r.probeOne(ctx, be)
+		cancel()
+		if ok {
+			be.br.success()
+		} else {
+			be.br.failure()
+			r.met.probeFailed(be.name)
+		}
+		r.met.setState(be.name, be.br.state())
+	}
+}
+
+func (r *Router) probeOne(ctx context.Context, be *backendRef) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, be.url+r.opts.HealthPath, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// BackendStatus is one backend's health as the router sees it.
+type BackendStatus struct {
+	Name  string       `json:"name"`
+	URL   string       `json:"url"`
+	State BreakerState `json:"state"`
+}
+
+// BackendStatuses reports every backend's breaker state, for health
+// endpoints and operator visibility.
+func (r *Router) BackendStatuses() []BackendStatus {
+	out := make([]BackendStatus, len(r.backends))
+	for i, be := range r.backends {
+		out[i] = BackendStatus{Name: be.name, URL: be.url, State: be.br.state()}
+	}
+	return out
+}
+
+// gather is one backend's outcome: the per-(rect, tile) counts it
+// returned, or ok=false when every attempt failed.
+type gather struct {
+	ok     bool
+	counts map[int64]float64 // rectIdx<<32 | tileIdx -> count
+}
+
+func gatherKey(rect, tile int) int64 { return int64(rect)<<32 | int64(tile) }
+
+// Query scatters rects across the backends owning their overlapping
+// tiles and merges the partials. The merge visits each rectangle's
+// tiles in ascending global index order — the same order the
+// in-process fan-out sums in — so a complete answer is bit-identical
+// to a single node serving the whole release. Unanswered tiles
+// (breaker open, attempts exhausted, or a backend whose manifest lacks
+// the tile) degrade the answer to a partial sum rather than an error;
+// only a query that needed tiles and got none back fails, with
+// ErrAllBackendsDown.
+func (r *Router) Query(ctx context.Context, synopsis string, rects []geom.Rect) (*Result, error) {
+	rel, ok := r.placement.Release(synopsis)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSynopsis, synopsis)
+	}
+
+	// Route: which tiles does each rectangle need, and which backend
+	// owns each needed tile?
+	perRect := make([][]int, len(rects))
+	tilesPerRect := make([]int, len(rects))
+	needed := make(map[int]map[int]struct{}) // backend index -> tile set
+	for i, rect := range rects {
+		perRect[i] = rel.Plan.OverlappingTiles(rect)
+		tilesPerRect[i] = len(perRect[i])
+		for _, ti := range perRect[i] {
+			ni := rel.OwnerOf(ti)
+			set, ok := needed[ni]
+			if !ok {
+				set = make(map[int]struct{})
+				needed[ni] = set
+			}
+			set[ti] = struct{}{}
+		}
+	}
+	r.met.observeFanout(len(needed), tilesPerRect)
+
+	counts := make([]float64, len(rects))
+	if len(needed) == 0 {
+		// No rectangle overlaps the domain: a complete all-zero answer.
+		return &Result{Counts: counts}, nil
+	}
+
+	// Scatter: one request per involved backend, in parallel. Backends
+	// with an open breaker are shed up front — their tiles go missing
+	// without waiting out a timeout.
+	results := make(map[int]*gather, len(needed))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wireRects := rectsToWire(rects)
+	for ni, set := range needed {
+		be := r.backends[ni]
+		if !be.br.allow() {
+			r.met.shed(be.name)
+			continue
+		}
+		tiles := sortedTiles(set)
+		wg.Add(1)
+		go func(ni int, be *backendRef, tiles []int) {
+			defer wg.Done()
+			g := r.queryBackend(ctx, be, synopsis, tiles, wireRects, len(rects))
+			mu.Lock()
+			results[ni] = g
+			mu.Unlock()
+		}(ni, be, tiles)
+	}
+	wg.Wait()
+
+	// Gather: merge in ascending tile order per rectangle; tiles whose
+	// backend failed (or answered without them) go on the missing list.
+	missingSet := make(map[int]struct{})
+	anySuccess := false
+	for _, g := range results {
+		if g.ok {
+			anySuccess = true
+		}
+	}
+	for i := range rects {
+		for _, ti := range perRect[i] {
+			g := results[rel.OwnerOf(ti)]
+			if g == nil || !g.ok {
+				missingSet[ti] = struct{}{}
+				continue
+			}
+			v, got := g.counts[gatherKey(i, ti)]
+			if !got {
+				missingSet[ti] = struct{}{}
+				continue
+			}
+			counts[i] += v
+		}
+	}
+	if !anySuccess {
+		return nil, fmt.Errorf("%w: %d backend(s) unavailable for %q", ErrAllBackendsDown, len(needed), synopsis)
+	}
+	res := &Result{Counts: counts, Backends: len(needed)}
+	if len(missingSet) > 0 {
+		res.Partial = true
+		res.MissingTiles = sortedTiles(missingSet)
+		r.met.partial()
+	}
+	return res, nil
+}
+
+// queryBackend runs the bounded retry loop for one backend: each
+// attempt gets its own timeout, transport errors and 5xx responses
+// back off and retry, and 4xx responses fail fast (the node is
+// healthy; the request will not get better). Breaker and metrics see
+// every attempt.
+func (r *Router) queryBackend(ctx context.Context, be *backendRef, synopsis string, tiles []int, wireRects [][4]float64, numRects int) *gather {
+	body, err := json.Marshal(ShardQueryRequest{Synopsis: synopsis, Tiles: tiles, Rects: wireRects})
+	if err != nil {
+		return &gather{}
+	}
+	backoff := r.opts.Backoff
+	for attempt := 0; ; attempt++ {
+		g, retryable := r.attempt(ctx, be, body, numRects)
+		r.met.setState(be.name, be.br.state())
+		if g != nil {
+			return g
+		}
+		if !retryable || attempt >= r.opts.Retries {
+			return &gather{}
+		}
+		select {
+		case <-ctx.Done():
+			return &gather{}
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// attempt performs one exchange. It returns a non-nil gather on
+// success (and on fail-fast 4xx: an empty, ok=false gather); nil with
+// retryable reporting whether another attempt could help.
+func (r *Router) attempt(ctx context.Context, be *backendRef, body []byte, numRects int) (*gather, bool) {
+	actx, cancel := context.WithTimeout(ctx, r.opts.Timeout)
+	defer cancel()
+	start := time.Now()
+	fail := func() (*gather, bool) {
+		r.met.attempt(be.name, time.Since(start).Seconds(), true)
+		be.br.failure()
+		return nil, true
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, be.url+ShardQueryPath, bytes.NewReader(body))
+	if err != nil {
+		return fail()
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		return fail()
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		// The node answered decisively: it cannot serve this request
+		// (unknown synopsis, malformed body). Retrying or opening the
+		// breaker would punish a healthy node for a routing problem.
+		r.met.attempt(be.name, time.Since(start).Seconds(), true)
+		be.br.success()
+		return &gather{}, false
+	default:
+		return fail()
+	}
+	var sqr ShardQueryResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 256<<20)).Decode(&sqr); err != nil {
+		return fail()
+	}
+	if len(sqr.Partials) != numRects {
+		return fail()
+	}
+	r.met.attempt(be.name, time.Since(start).Seconds(), false)
+	be.br.success()
+	g := &gather{ok: true, counts: make(map[int64]float64)}
+	for i, parts := range sqr.Partials {
+		for _, tp := range parts {
+			g.counts[gatherKey(i, tp.Tile)] = tp.Count
+		}
+	}
+	return g, false
+}
+
+func rectsToWire(rects []geom.Rect) [][4]float64 {
+	out := make([][4]float64, len(rects))
+	for i, rc := range rects {
+		out[i] = [4]float64{rc.MinX, rc.MinY, rc.MaxX, rc.MaxY}
+	}
+	return out
+}
+
+func sortedTiles(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for ti := range set {
+		out = append(out, ti)
+	}
+	sort.Ints(out)
+	return out
+}

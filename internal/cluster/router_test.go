@@ -1,0 +1,422 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/obs"
+	"github.com/dpgrid/dpgrid/internal/shard"
+)
+
+// testSharded builds a deterministic 3x3 UG mosaic over [0,100]^2.
+func testSharded(t *testing.T) *shard.Sharded {
+	t.Helper()
+	dom := geom.MustDomain(0, 0, 100, 100)
+	plan, err := shard.NewPlan(dom, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]geom.Point, 5000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	s, err := shard.BuildUniform(pts, plan, 1, core.UGOptions{GridSize: 4}, shard.Options{}, noise.NewSource(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// answerShardQuery implements the backend side of the wire protocol
+// over an in-process release — the same logic dpserve's
+// /v1/cluster/query endpoint runs.
+func answerShardQuery(s *shard.Sharded, q ShardQueryRequest) ShardQueryResponse {
+	want := make(map[int]bool, len(q.Tiles))
+	for _, ti := range q.Tiles {
+		if ti >= 0 && ti < s.NumShards() {
+			want[ti] = true
+		}
+	}
+	parts := make([][]TilePartial, len(q.Rects))
+	for i, rr := range q.Rects {
+		rect := geom.NewRect(rr[0], rr[1], rr[2], rr[3])
+		parts[i] = []TilePartial{}
+		for _, ti := range s.Plan().OverlappingTiles(rect) {
+			if want[ti] {
+				parts[i] = append(parts[i], TilePartial{Tile: ti, Count: s.ShardAnswer(ti, rect)})
+			}
+		}
+	}
+	return ShardQueryResponse{Synopsis: q.Synopsis, Partials: parts}
+}
+
+func newBackendServer(t *testing.T, s *shard.Sharded) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) { w.WriteHeader(http.StatusOK) })
+	mux.HandleFunc(ShardQueryPath, func(w http.ResponseWriter, req *http.Request) {
+		var q ShardQueryRequest
+		if err := json.NewDecoder(req.Body).Decode(&q); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(answerShardQuery(s, q))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// threeNodePlacement places the 3x3 mosaic row by row across three
+// backend URLs.
+func threeNodePlacement(t *testing.T, urls [3]string) *Placement {
+	t.Helper()
+	f := placementFile{
+		Version: 1,
+		Nodes: []Node{
+			{Name: "n0", URL: urls[0]},
+			{Name: "n1", URL: urls[1]},
+			{Name: "n2", URL: urls[2]},
+		},
+		Releases: []ReleaseSpec{{
+			Synopsis: "checkins",
+			Domain:   [4]float64{0, 0, 100, 100},
+			Tiles:    "3x3",
+			Assignments: []Assignment{
+				{Node: "n0", Tiles: []int{0, 1, 2}},
+				{Node: "n1", Tiles: []int{3, 4, 5}},
+				{Node: "n2", Tiles: []int{6, 7, 8}},
+			},
+		}},
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePlacement(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// fastOpts keeps test queries snappy; probing is disabled because the
+// tests drive the breakers directly.
+func fastOpts() Options {
+	return Options{
+		Timeout:          time.Second,
+		Backoff:          5 * time.Millisecond,
+		FailureThreshold: 3,
+		Cooldown:         time.Minute,
+		ProbeInterval:    -1,
+	}
+}
+
+func TestRouterMergeBitIdenticalToSingleNode(t *testing.T) {
+	s := testSharded(t)
+	var urls [3]string
+	for i := range urls {
+		urls[i] = newBackendServer(t, s).URL
+	}
+	r := NewRouter(threeNodePlacement(t, urls), fastOpts(), nil)
+
+	rng := rand.New(rand.NewSource(11))
+	rects := []geom.Rect{
+		geom.NewRect(0, 0, 100, 100),  // full domain: all 9 tiles, 3 backends
+		geom.NewRect(10, 10, 20, 20),  // single tile
+		geom.NewRect(30, 30, 70, 70),  // center block straddling all rows
+		geom.NewRect(-50, -50, 5, 99), // clipped strip
+	}
+	for i := 0; i < 40; i++ {
+		x0, y0 := rng.Float64()*100, rng.Float64()*100
+		rects = append(rects, geom.NewRect(x0, y0, x0+rng.Float64()*60, y0+rng.Float64()*60))
+	}
+
+	res, err := r.Query(context.Background(), "checkins", rects)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Partial || len(res.MissingTiles) != 0 {
+		t.Fatalf("healthy cluster answered partial (missing %v)", res.MissingTiles)
+	}
+	if res.Backends != 3 {
+		t.Errorf("Backends = %d, want 3 (full-domain rect in batch)", res.Backends)
+	}
+	for i, rect := range rects {
+		if want := s.Query(rect); res.Counts[i] != want {
+			t.Errorf("rect %d: merged %v != single-node %v", i, res.Counts[i], want)
+		}
+	}
+}
+
+func TestRouterZeroTileRect(t *testing.T) {
+	s := testSharded(t)
+	var urls [3]string
+	for i := range urls {
+		urls[i] = newBackendServer(t, s).URL
+	}
+	r := NewRouter(threeNodePlacement(t, urls), fastOpts(), nil)
+
+	res, err := r.Query(context.Background(), "checkins",
+		[]geom.Rect{geom.NewRect(200, 200, 210, 210)})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Partial || res.Backends != 0 || res.Counts[0] != 0 {
+		t.Fatalf("out-of-domain rect: got %+v, want complete zero answer with no fan-out", res)
+	}
+}
+
+func TestRouterUnknownSynopsis(t *testing.T) {
+	s := testSharded(t)
+	var urls [3]string
+	for i := range urls {
+		urls[i] = newBackendServer(t, s).URL
+	}
+	r := NewRouter(threeNodePlacement(t, urls), fastOpts(), nil)
+	if _, err := r.Query(context.Background(), "nope", []geom.Rect{geom.NewRect(0, 0, 1, 1)}); !errors.Is(err, ErrUnknownSynopsis) {
+		t.Fatalf("err = %v, want ErrUnknownSynopsis", err)
+	}
+}
+
+func TestRouterAllBackendsDown(t *testing.T) {
+	s := testSharded(t)
+	var urls [3]string
+	for i := range urls {
+		srv := newBackendServer(t, s)
+		urls[i] = srv.URL
+		srv.Close()
+	}
+	opts := fastOpts()
+	opts.Timeout = 200 * time.Millisecond
+	opts.Retries = 0
+	r := NewRouter(threeNodePlacement(t, urls), opts, nil)
+
+	_, err := r.Query(context.Background(), "checkins", []geom.Rect{geom.NewRect(0, 0, 100, 100)})
+	if !errors.Is(err, ErrAllBackendsDown) {
+		t.Fatalf("err = %v, want ErrAllBackendsDown", err)
+	}
+}
+
+func TestRouterPartialOnNodeLoss(t *testing.T) {
+	s := testSharded(t)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+
+	var urls [3]string
+	urls[0] = newBackendServer(t, s).URL
+	dead := newBackendServer(t, s)
+	urls[1] = dead.URL
+	urls[2] = newBackendServer(t, s).URL
+	dead.Close() // n1 (tiles 3,4,5) is lost
+
+	opts := fastOpts()
+	opts.Timeout = 200 * time.Millisecond
+	opts.Retries = 1
+	r := NewRouter(threeNodePlacement(t, urls), opts, met)
+
+	full := geom.NewRect(0, 0, 100, 100)
+	res, err := r.Query(context.Background(), "checkins", []geom.Rect{full})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("node loss did not mark the answer partial")
+	}
+	wantMissing := []int{3, 4, 5}
+	if len(res.MissingTiles) != 3 {
+		t.Fatalf("MissingTiles = %v, want %v", res.MissingTiles, wantMissing)
+	}
+	for i, ti := range wantMissing {
+		if res.MissingTiles[i] != ti {
+			t.Fatalf("MissingTiles = %v, want %v", res.MissingTiles, wantMissing)
+		}
+	}
+	// The partial sum is exactly the surviving tiles' contributions,
+	// summed in ascending tile order.
+	var want float64
+	for _, ti := range []int{0, 1, 2, 6, 7, 8} {
+		want += s.ShardAnswer(ti, full)
+	}
+	if res.Counts[0] != want {
+		t.Errorf("partial sum %v != surviving-tile sum %v", res.Counts[0], want)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"dpserve_cluster_partial_answers_total 1",
+		`dpserve_cluster_backend_errors_total{backend="n1"} 2`, // initial attempt + 1 retry
+		`dpserve_cluster_backend_requests_total{backend="n0"} 1`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+}
+
+func TestRouterSlowBackendHitsTimeout(t *testing.T) {
+	s := testSharded(t)
+	var urls [3]string
+	urls[0] = newBackendServer(t, s).URL
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		select { // park until the router gives up
+		case <-req.Context().Done():
+		case <-time.After(5 * time.Second):
+		}
+	}))
+	t.Cleanup(slow.Close)
+	urls[1] = slow.URL
+	urls[2] = newBackendServer(t, s).URL
+
+	opts := fastOpts()
+	opts.Timeout = 100 * time.Millisecond
+	opts.Retries = 0
+	r := NewRouter(threeNodePlacement(t, urls), opts, nil)
+
+	start := time.Now()
+	res, err := r.Query(context.Background(), "checkins", []geom.Rect{geom.NewRect(0, 0, 100, 100)})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("slow backend stalled the query for %v; per-backend timeout did not bound it", elapsed)
+	}
+	if !res.Partial || len(res.MissingTiles) != 3 || res.MissingTiles[0] != 3 {
+		t.Fatalf("slow backend should degrade to partial missing tiles 3-5; got %+v", res)
+	}
+}
+
+func TestRouterBreakerShedsThenRecovers(t *testing.T) {
+	s := testSharded(t)
+	var failing atomic.Bool
+	failing.Store(true)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if failing.Load() {
+			http.Error(w, "injected", http.StatusInternalServerError)
+			return
+		}
+		var q ShardQueryRequest
+		if err := json.NewDecoder(req.Body).Decode(&q); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(answerShardQuery(s, q))
+	}))
+	t.Cleanup(flaky.Close)
+
+	var urls [3]string
+	urls[0] = newBackendServer(t, s).URL
+	urls[1] = flaky.URL
+	urls[2] = newBackendServer(t, s).URL
+
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	opts := fastOpts()
+	opts.Retries = 0
+	opts.FailureThreshold = 2
+	opts.Cooldown = 50 * time.Millisecond
+	r := NewRouter(threeNodePlacement(t, urls), opts, met)
+
+	full := []geom.Rect{geom.NewRect(0, 0, 100, 100)}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		res, err := r.Query(ctx, "checkins", full)
+		if err != nil || !res.Partial {
+			t.Fatalf("query %d against failing backend: res=%+v err=%v", i, res, err)
+		}
+	}
+	if st := r.BackendStatuses()[1]; st.State != BreakerOpen {
+		t.Fatalf("n1 breaker = %s after %d failures, want open", st.State, 2)
+	}
+
+	// While open, the backend is shed without an attempt.
+	res, err := r.Query(ctx, "checkins", full)
+	if err != nil || !res.Partial {
+		t.Fatalf("shed query: res=%+v err=%v", res, err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `dpserve_cluster_backend_shed_total{backend="n1"} 1`) {
+		t.Error("shed counter not recorded while breaker open")
+	}
+
+	// Node recovers; after the cooldown the half-open trial succeeds and
+	// full answers resume.
+	failing.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	res, err = r.Query(ctx, "checkins", full)
+	if err != nil {
+		t.Fatalf("post-recovery query: %v", err)
+	}
+	if res.Partial {
+		t.Fatalf("post-recovery query still partial: %+v", res)
+	}
+	if want := s.Query(full[0]); res.Counts[0] != want {
+		t.Errorf("post-recovery merge %v != single-node %v", res.Counts[0], want)
+	}
+	if st := r.BackendStatuses()[1]; st.State != BreakerClosed {
+		t.Errorf("n1 breaker = %s after successful trial, want closed", st.State)
+	}
+}
+
+func TestRouterProbeRecoversNodeWithoutTraffic(t *testing.T) {
+	s := testSharded(t)
+	var failing atomic.Bool
+	failing.Store(true)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if failing.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(flaky.Close)
+
+	var urls [3]string
+	urls[0] = newBackendServer(t, s).URL
+	urls[1] = flaky.URL
+	urls[2] = newBackendServer(t, s).URL
+
+	opts := fastOpts()
+	opts.FailureThreshold = 2
+	opts.Cooldown = 10 * time.Millisecond
+	opts.ProbeInterval = 10 * time.Millisecond
+	r := NewRouter(threeNodePlacement(t, urls), opts, nil)
+	r.Start()
+	defer r.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.BackendStatuses()[1].State == BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatal("probes never opened the failing backend's breaker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	failing.Store(false)
+	for r.BackendStatuses()[1].State != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatal("probes never closed the recovered backend's breaker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,41 @@
+package cluster
+
+// Wire types for the router <-> backend shard-query exchange. The
+// backend endpoint (dpserve's /v1/cluster/query) answers with per-tile
+// partial counts rather than per-rect sums so the router can merge in
+// global ascending tile order — the property that makes the merged
+// answer bit-identical to a single-node query, and that lets the
+// router name exactly which tiles are missing when a node is down.
+
+// ShardQueryPath is the backend endpoint the router scatters to.
+const ShardQueryPath = "/v1/cluster/query"
+
+// ShardQueryRequest asks a backend for the partial answers of a set of
+// tiles it owns, for a batch of rectangles.
+type ShardQueryRequest struct {
+	// Synopsis is the sharded release name on the backend's registry.
+	Synopsis string `json:"synopsis"`
+	// Tiles are the global tile indices this backend is being asked to
+	// answer for (ascending). The backend answers a tile only for the
+	// rectangles that overlap it.
+	Tiles []int `json:"tiles"`
+	// Rects are the query rectangles as [minX, minY, maxX, maxY].
+	Rects [][4]float64 `json:"rects"`
+}
+
+// TilePartial is one tile's partial answer to one rectangle: exactly
+// the term a single-node query adds for that tile.
+type TilePartial struct {
+	Tile  int     `json:"tile"`
+	Count float64 `json:"count"`
+}
+
+// ShardQueryResponse carries, per request rectangle, the partial
+// answers of the requested tiles that overlap it (ascending tile
+// order). A requested tile absent from a rectangle's list either does
+// not overlap that rectangle or is not part of the backend's manifest;
+// the router treats the latter as a missing tile.
+type ShardQueryResponse struct {
+	Synopsis string          `json:"synopsis"`
+	Partials [][]TilePartial `json:"partials"`
+}

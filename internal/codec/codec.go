@@ -50,6 +50,8 @@ const (
 	KindKDTree Kind = 5
 	// KindPrivlet tags a Privlet wavelet payload.
 	KindPrivlet Kind = 6
+	// KindHist1D tags a 1D histogram payload.
+	KindHist1D Kind = 7
 )
 
 // String implements fmt.Stringer, rendering the registered kind name

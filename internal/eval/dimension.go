@@ -175,9 +175,9 @@ func gain1D(eps float64, n, trials, queries int, seed int64) (HierarchyGainRow, 
 		for q := 0; q < queries; q++ {
 			w := (0.1 + qrng.Float64()*0.5) * 100
 			a := qrng.Float64() * (100 - w)
-			want := truth.Query(a, a+w)
-			flatErr += math.Abs(flat.Query(a, a+w) - want)
-			hierErr += math.Abs(hier.Query(a, a+w) - want)
+			want := truth.Range(a, a+w)
+			flatErr += math.Abs(flat.Range(a, a+w) - want)
+			hierErr += math.Abs(hier.Range(a, a+w) - want)
 			count++
 		}
 	}

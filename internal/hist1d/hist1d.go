@@ -11,14 +11,18 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/dpgrid/dpgrid/internal/geom"
 	"github.com/dpgrid/dpgrid/internal/infer"
 	"github.com/dpgrid/dpgrid/internal/noise"
 )
 
 // Hist is a 1D histogram over [lo, hi] with uniformity-estimate range
-// queries (the 1D analogue of grid.Prefix).
+// queries (the 1D analogue of grid.Prefix). eps is the privacy budget
+// the release spent; it is zero for exact histograms, which is also
+// what marks them unserializable (see serialize.go).
 type Hist struct {
 	lo, hi float64
+	eps    float64
 	prefix []float64 // prefix[i] = sum of bins < i
 }
 
@@ -61,8 +65,18 @@ func (h *Hist) Bins() int { return len(h.prefix) - 1 }
 // Total returns the sum of all bins.
 func (h *Hist) Total() float64 { return h.prefix[len(h.prefix)-1] }
 
-// Query estimates the count in [a, b] with fractional bin coverage.
-func (h *Hist) Query(a, b float64) float64 {
+// Epsilon returns the privacy budget spent on the release, zero for
+// exact (non-private) histograms.
+func (h *Hist) Epsilon() float64 { return h.eps }
+
+// Query estimates the count in the rectangle's x-extent: the histogram
+// is an axis synopsis, so a 2D query projects onto it and the y-extent
+// is ignored. This is what lets a Hist flow through every rect-query
+// surface (the codec registry, dpserve) alongside the 2D kinds.
+func (h *Hist) Query(r geom.Rect) float64 { return h.Range(r.MinX, r.MaxX) }
+
+// Range estimates the count in [a, b] with fractional bin coverage.
+func (h *Hist) Range(a, b float64) float64 {
 	if b < a {
 		a, b = b, a
 	}
@@ -138,7 +152,9 @@ func BuildFlat(xs []float64, lo, hi float64, bins int, eps float64, src noise.So
 		return nil, fmt.Errorf("hist1d: %w", err)
 	}
 	mech.PerturbAll(vals)
-	return newHist(lo, hi, vals), nil
+	h := newHist(lo, hi, vals)
+	h.eps = eps
+	return h, nil
 }
 
 // BuildHierarchical releases an eps-DP histogram through a b-ary
@@ -222,5 +238,7 @@ func BuildHierarchical(xs []float64, lo, hi float64, bins, branching, depth int,
 	if err != nil {
 		return nil, fmt.Errorf("hist1d: %w", err)
 	}
-	return newHist(lo, hi, est[:bins]), nil
+	h := newHist(lo, hi, est[:bins])
+	h.eps = eps
+	return h, nil
 }

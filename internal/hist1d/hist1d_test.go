@@ -68,7 +68,7 @@ func TestFlatZeroNoiseExact(t *testing.T) {
 			want++
 		}
 	}
-	got := h.Query(20, 40)
+	got := h.Range(20, 40)
 	// Boundary effects: points exactly at 40 belong to the bin starting
 	// at 40; allow a tiny slack relative to the count.
 	if math.Abs(got-want) > want*0.01+5 {
@@ -100,12 +100,12 @@ func TestQuerySemantics(t *testing.T) {
 		{20, 30, 0},   // outside
 	}
 	for _, tc := range cases {
-		if got := h.Query(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
+		if got := h.Range(tc.a, tc.b); math.Abs(got-tc.want) > 1e-9 {
 			t.Errorf("Query(%g,%g) = %g, want %g", tc.a, tc.b, got, tc.want)
 		}
 	}
 	// Reversed arguments normalize.
-	if got := h.Query(3, 1); math.Abs(got-15) > 1e-9 {
+	if got := h.Range(3, 1); math.Abs(got-15) > 1e-9 {
 		t.Errorf("reversed Query = %g, want 15", got)
 	}
 }
@@ -144,9 +144,9 @@ func TestHierarchyBeatsFlatIn1D(t *testing.T) {
 			// Mid-to-large ranges, where hierarchy helps most.
 			w := 20 + rng.Float64()*70
 			a := rng.Float64() * (100 - w)
-			want := truth.Query(a, a+w)
-			flatErr += math.Abs(flat.Query(a, a+w) - want)
-			hierErr += math.Abs(hier.Query(a, a+w) - want)
+			want := truth.Range(a, a+w)
+			flatErr += math.Abs(flat.Range(a, a+w) - want)
+			hierErr += math.Abs(hier.Range(a, a+w) - want)
 		}
 	}
 	gain := flatErr / hierErr
@@ -164,7 +164,7 @@ func TestHierarchicalDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return h.Query(13, 77)
+		return h.Range(13, 77)
 	}
 	if a, b := build(), build(); a != b {
 		t.Errorf("same seed, different results: %g vs %g", a, b)
@@ -181,7 +181,7 @@ func TestDepthOneEqualsFlat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a, b := flat.Query(10, 90), hier.Query(10, 90); a != b {
+	if a, b := flat.Range(10, 90), hier.Range(10, 90); a != b {
 		t.Errorf("depth-1 hierarchy differs from flat: %g vs %g", a, b)
 	}
 }

@@ -1,0 +1,187 @@
+package hist1d
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
+	"github.com/dpgrid/dpgrid/internal/core"
+)
+
+// Serialization of 1D histograms. Both encodings persist the prefix-sum
+// table — the in-memory query structure — for bit-identical round trips
+// (the same copy-only decode pattern the 2D kinds use). Prefix sums of
+// noisy bins are not monotonic (Laplace noise goes negative), so the
+// structural checks are first-element-zero and finiteness, nothing
+// stronger.
+//
+// Exact histograms (Exact, FromValues) carry epsilon zero and refuse to
+// serialize: a release file is a privacy artifact, and writing raw
+// counts through the same door would make them indistinguishable from
+// private ones on disk.
+//
+// Binary layout (after the codec container header; little endian):
+//
+//	lo (f64) | hi (f64) | epsilon (f64) | bins (u32) |
+//	prefix sums (length-prefixed f64 section, bins+1 entries)
+
+const (
+	// FormatHist1D tags serialized 1D histograms.
+	FormatHist1D = "dpgrid/hist1d"
+	// serializeVersion is bumped on breaking format changes.
+	serializeVersion = 1
+
+	// maxBins caps the bin count a file may demand, mirroring the grid
+	// packages' cell cap: decode allocation is bounded by the file's own
+	// size either way, but no sane release is finer than this.
+	maxBins = 1 << 28
+)
+
+func init() {
+	// No Validate hook: a 1D histogram has no 2D domain to cross-check
+	// against a mosaic tile, so hist1d payloads are deliberately not
+	// embeddable in sharded manifests.
+	codec.Register(codec.Registration{
+		Kind:       codec.KindHist1D,
+		Name:       "hist1d",
+		JSONFormat: FormatHist1D,
+		DecodeBinary: func(data []byte) (codec.Synopsis, error) {
+			return ParseHistBinary(data)
+		},
+		DecodeJSON: func(data []byte) (codec.Synopsis, error) {
+			return ParseHist(data)
+		},
+	})
+}
+
+// ContainerKind reports the synopsis's container kind.
+func (h *Hist) ContainerKind() codec.Kind { return codec.KindHist1D }
+
+// checkSerializable rejects exact (epsilon-zero) histograms.
+func (h *Hist) checkSerializable() error {
+	if !(h.eps > 0) {
+		return fmt.Errorf("hist1d: refusing to serialize a non-private histogram (epsilon %g)", h.eps)
+	}
+	return nil
+}
+
+// AppendBinary appends the histogram's dpgridv2 container to dst and
+// returns the extended slice.
+func (h *Hist) AppendBinary(dst []byte) ([]byte, error) {
+	if err := h.checkSerializable(); err != nil {
+		return nil, err
+	}
+	e := codec.NewEnc(dst, codec.KindHist1D)
+	e.F64(h.lo)
+	e.F64(h.hi)
+	e.F64(h.eps)
+	e.U32(uint32(h.Bins()))
+	e.F64s(h.prefix)
+	return e.Bytes(), nil
+}
+
+// histFile is the on-disk JSON form.
+type histFile struct {
+	core.Envelope
+	Range   [2]float64 `json:"range"` // lo, hi
+	Epsilon float64    `json:"epsilon"`
+	Bins    int        `json:"bins"`
+	Prefix  []float64  `json:"prefix"` // bins+1 prefix sums, prefix[0] == 0
+}
+
+// WriteTo serializes the histogram as JSON.
+func (h *Hist) WriteTo(dst io.Writer) (int64, error) {
+	if err := h.checkSerializable(); err != nil {
+		return 0, err
+	}
+	f := histFile{
+		Envelope: core.Envelope{Format: FormatHist1D, Version: serializeVersion},
+		Range:    [2]float64{h.lo, h.hi},
+		Epsilon:  h.eps,
+		Bins:     h.Bins(),
+		Prefix:   h.prefix,
+	}
+	data, err := json.Marshal(&f)
+	if err != nil {
+		return 0, fmt.Errorf("hist1d: marshal synopsis: %w", err)
+	}
+	data = append(data, '\n')
+	n, err := dst.Write(data)
+	return int64(n), err
+}
+
+// checkDecoded validates the shared invariants of both encodings.
+func checkDecoded(lo, hi, eps float64, bins int, prefix []float64) error {
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) || !(hi > lo) {
+		return fmt.Errorf("hist1d: invalid range [%g, %g]", lo, hi)
+	}
+	if !(eps > 0) {
+		return fmt.Errorf("hist1d: invalid epsilon %g", eps)
+	}
+	if bins < 1 || bins > maxBins {
+		return fmt.Errorf("hist1d: invalid bin count %d", bins)
+	}
+	if len(prefix) != bins+1 {
+		return fmt.Errorf("hist1d: prefix length %d != bins+1 = %d", len(prefix), bins+1)
+	}
+	if prefix[0] != 0 {
+		return fmt.Errorf("hist1d: prefix table must start at 0, got %g", prefix[0])
+	}
+	for i, v := range prefix {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("hist1d: non-finite prefix sum %g at index %d", v, i)
+		}
+	}
+	return nil
+}
+
+// ParseHistBinary deserializes a hist1d dpgridv2 container, validating
+// all structural invariants.
+func ParseHistBinary(data []byte) (*Hist, error) {
+	d, kind, err := codec.NewDec(data)
+	if err != nil {
+		return nil, fmt.Errorf("hist1d: parse synopsis: %w", err)
+	}
+	if kind != codec.KindHist1D {
+		return nil, fmt.Errorf("hist1d: container kind %v is not %v", kind, codec.KindHist1D)
+	}
+	lo := d.F64()
+	hi := d.F64()
+	eps := d.F64()
+	bins := d.Int32()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("hist1d: parse synopsis: %w", err)
+	}
+	if bins < 0 || bins > maxBins {
+		return nil, fmt.Errorf("hist1d: invalid bin count %d", bins)
+	}
+	prefix := d.F64s(bins + 1)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("hist1d: parse synopsis: %w", err)
+	}
+	if err := checkDecoded(lo, hi, eps, bins, prefix); err != nil {
+		return nil, err
+	}
+	return &Hist{lo: lo, hi: hi, eps: eps, prefix: prefix}, nil
+}
+
+// ParseHist deserializes a JSON hist1d synopsis, validating all
+// structural invariants.
+func ParseHist(data []byte) (*Hist, error) {
+	var f histFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("hist1d: parse synopsis: %w", err)
+	}
+	if f.Format != FormatHist1D {
+		return nil, fmt.Errorf("hist1d: format %q is not %q", f.Format, FormatHist1D)
+	}
+	if f.Version != serializeVersion {
+		return nil, fmt.Errorf("hist1d: unsupported version %d (have %d)", f.Version, serializeVersion)
+	}
+	if err := checkDecoded(f.Range[0], f.Range[1], f.Epsilon, f.Bins, f.Prefix); err != nil {
+		return nil, err
+	}
+	return &Hist{lo: f.Range[0], hi: f.Range[1], eps: f.Epsilon, prefix: f.Prefix}, nil
+}

@@ -103,6 +103,7 @@ type family struct {
 	histograms map[string]*Histogram
 	infos      map[string]string // info families: label value -> info label value
 	counter    *Counter          // unlabeled counter family
+	histogram  *Histogram        // unlabeled histogram family
 	gauge      func() float64    // unlabeled gauge family, sampled at render
 }
 
@@ -226,17 +227,25 @@ func (v *InfoVec) Forget(value string) {
 	v.f.mu.Unlock()
 }
 
+// Histogram registers and returns an unlabeled histogram with the
+// given strictly increasing upper bucket bounds (the +Inf bucket is
+// implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	checkBounds(name, bounds)
+	f := r.register(&family{
+		name: name, help: help, kind: kindHistogram,
+		bounds: bounds, histogram: newHistogram(bounds),
+	})
+	return f.histogram
+}
+
 // HistogramVec is a histogram family partitioned by one label.
 type HistogramVec struct{ f *family }
 
 // HistogramVec registers a labeled histogram family with the given
 // strictly increasing upper bucket bounds (the +Inf bucket is implicit).
 func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
-	for i := 1; i < len(bounds); i++ {
-		if !(bounds[i] > bounds[i-1]) {
-			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %d", name, i))
-		}
-	}
+	checkBounds(name, bounds)
 	f := r.register(&family{
 		name: name, help: help, kind: kindHistogram,
 		label: label, bounds: bounds, histograms: make(map[string]*Histogram),
@@ -299,6 +308,17 @@ func (f *family) render(b *strings.Builder) {
 		fmt.Fprintf(b, "%s %s\n", f.name, formatValue(f.gauge()))
 	case f.counter != nil:
 		fmt.Fprintf(b, "%s %d\n", f.name, f.counter.Value())
+	case f.histogram != nil:
+		h := f.histogram
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", f.name, formatValue(bound), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum)
+		fmt.Fprintf(b, "%s_sum %s\n", f.name, formatValue(h.Sum()))
+		fmt.Fprintf(b, "%s_count %d\n", f.name, h.Count())
 	case f.infos != nil:
 		f.mu.RLock()
 		for _, lv := range sortedKeys(f.infos) {
@@ -331,6 +351,16 @@ func (f *family) render(b *strings.Builder) {
 			fmt.Fprintf(b, "%s_count{%s=\"%s\"} %d\n", f.name, f.label, lab, h.Count())
 		}
 		f.mu.RUnlock()
+	}
+}
+
+// checkBounds panics unless bounds are strictly increasing — a
+// histogram's bucket layout is a compile-time decision.
+func checkBounds(name string, bounds []float64) {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %d", name, i))
+		}
 	}
 }
 

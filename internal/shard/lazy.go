@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -110,6 +111,15 @@ func (l *Lazy) QueryStats(r geom.Rect) (float64, QueryStats) {
 	var fresh int
 	est, n := routeQueryN(l.plan, r, func(i int) Synopsis { return l.shardTrack(i, &fresh) })
 	return est, QueryStats{Shards: n, Materialized: fresh}
+}
+
+// QueryStatsCtx is QueryStats with cancellation (see
+// Sharded.QueryStatsCtx): an abandoned request stops both the fan-out
+// and the lazy materialization of tiles nobody will read.
+func (l *Lazy) QueryStatsCtx(ctx context.Context, r geom.Rect) (float64, QueryStats, error) {
+	var fresh int
+	est, n, err := routeQueryCtx(ctx, l.plan, r, func(i int) Synopsis { return l.shardTrack(i, &fresh) })
+	return est, QueryStats{Shards: n, Materialized: fresh}, err
 }
 
 // ShardAnswer returns shard i's partial answer to r (see

@@ -19,6 +19,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -147,6 +148,32 @@ func ParseDims(s string) (kx, ky int, err error) {
 // Equal reports whether two plans describe the same mosaic.
 func (p Plan) Equal(q Plan) bool {
 	return p.dom == q.dom && p.kx == q.kx && p.ky == q.ky
+}
+
+// OverlappingTiles returns the row-major indices of every tile the
+// query rectangle overlaps, in ascending order — exactly the tiles
+// routeQuery visits, in the order it visits them. A rectangle outside
+// the domain overlaps nothing and returns nil. This is the routing
+// primitive a multi-node placement layer shares with the in-process
+// fan-out: a router that partitions these indices across backends and
+// sums the per-tile partial answers in this order reproduces the
+// single-process Query bit for bit.
+func (p Plan) OverlappingTiles(r geom.Rect) []int {
+	if p.validate() != nil {
+		return nil
+	}
+	clipped, ok := p.dom.Clip(r)
+	if !ok {
+		return nil
+	}
+	bx0, by0, bx1, by1 := p.tileRange(clipped)
+	out := make([]int, 0, (bx1-bx0+1)*(by1-by0+1))
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			out = append(out, by*p.kx+bx)
+		}
+	}
+	return out
 }
 
 // tileRange returns the inclusive tile-coordinate range overlapped by r,
@@ -452,18 +479,35 @@ func routeQuery(plan Plan, r geom.Rect, tileAt func(int) Synopsis) float64 {
 
 // routeQueryN is routeQuery, also reporting how many shards it visited.
 func routeQueryN(plan Plan, r geom.Rect, tileAt func(int) Synopsis) (float64, int) {
+	est, n, _ := routeQueryCtx(context.Background(), plan, r, tileAt)
+	return est, n
+}
+
+// routeQueryCtx is the cancellable fan-out: between shards it checks
+// ctx and abandons the walk on cancellation, so a wide fan-out whose
+// client has already gone away (request timeout, dropped connection)
+// stops burning CPU — and, for lazy releases, stops materializing
+// tiles nobody will read. The per-shard check is one atomic load
+// (ctx.Err on the standard contexts), negligible next to a tile
+// answer. On cancellation the partial sum is discarded and err is the
+// context's error; a completed walk returns err == nil and the same
+// estimate as routeQuery, bit for bit.
+func routeQueryCtx(ctx context.Context, plan Plan, r geom.Rect, tileAt func(int) Synopsis) (float64, int, error) {
 	clipped, ok := plan.dom.Clip(r)
 	if !ok {
-		return 0, 0
+		return 0, 0, nil
 	}
 	bx0, by0, bx1, by1 := plan.tileRange(clipped)
 	var total float64
 	for by := by0; by <= by1; by++ {
 		for bx := bx0; bx <= bx1; bx++ {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
 			total += tileAnswer(tileAt(by*plan.kx+bx), clipped)
 		}
 	}
-	return total, (bx1 - bx0 + 1) * (by1 - by0 + 1)
+	return total, (bx1 - bx0 + 1) * (by1 - by0 + 1), nil
 }
 
 // tileAnswer answers one shard for a rectangle already clipped to the
@@ -489,6 +533,16 @@ func (s *Sharded) Query(r geom.Rect) float64 {
 func (s *Sharded) QueryStats(r geom.Rect) (float64, QueryStats) {
 	est, n := routeQueryN(s.plan, r, s.tileAt)
 	return est, QueryStats{Shards: n}
+}
+
+// QueryStatsCtx is QueryStats with cancellation: the fan-out checks ctx
+// between shards and abandons the walk with the context's error, so a
+// request whose client has gone away stops burning CPU on a wide
+// mosaic. A completed walk returns the same estimate as Query, bit for
+// bit.
+func (s *Sharded) QueryStatsCtx(ctx context.Context, r geom.Rect) (float64, QueryStats, error) {
+	est, n, err := routeQueryCtx(ctx, s.plan, r, s.tileAt)
+	return est, QueryStats{Shards: n}, err
 }
 
 // ShardAnswer returns shard i's partial answer to r — exactly the term

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -474,5 +475,130 @@ func TestParseShardedRejectsCorrupt(t *testing.T) {
 	}
 	if _, err := ParseSharded(mismatched); err == nil {
 		t.Error("manifest/shard epsilon mismatch accepted")
+	}
+}
+
+// TestOverlappingTiles: the exported routing primitive names exactly
+// the tiles routeQuery visits, in the order it visits them — so a
+// placement layer that partitions these indices across nodes and sums
+// per-tile answers in this order reproduces Query bit for bit.
+func TestOverlappingTiles(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 100, 100)
+	plan, err := NewPlan(dom, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		r    geom.Rect
+		want []int
+	}{
+		{"full domain", geom.NewRect(0, 0, 100, 100),
+			[]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}},
+		{"single tile", geom.NewRect(10, 10, 15, 15), []int{0}},
+		{"center straddle", geom.NewRect(45, 45, 55, 55), []int{5, 6, 9, 10}},
+		{"bottom strip clipped", geom.NewRect(-50, -50, 200, 20), []int{0, 1, 2, 3}},
+		{"outside domain", geom.NewRect(200, 200, 300, 300), nil},
+		{"zero plan", geom.NewRect(0, 0, 1, 1), nil},
+	}
+	for _, tc := range cases {
+		p := plan
+		if tc.name == "zero plan" {
+			p = Plan{}
+		}
+		got := p.OverlappingTiles(tc.r)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: OverlappingTiles = %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: OverlappingTiles = %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+
+	// Cross-check against the fan-out count QueryStats reports, and
+	// against the sum of per-tile answers in returned order.
+	pts := testPoints(7, 20000, dom)
+	s, err := BuildUniform(pts, plan, 1, core.UGOptions{}, Options{}, noise.NewSource(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		x0, y0 := rng.Float64()*110-5, rng.Float64()*110-5
+		r := geom.NewRect(x0, y0, x0+rng.Float64()*70, y0+rng.Float64()*70)
+		tiles := plan.OverlappingTiles(r)
+		est, qs := s.QueryStats(r)
+		if len(tiles) != qs.Shards {
+			t.Fatalf("rect %v: %d overlapping tiles, QueryStats visited %d", r, len(tiles), qs.Shards)
+		}
+		var sum float64
+		for _, ti := range tiles {
+			sum += s.ShardAnswer(ti, r)
+		}
+		if sum != est {
+			t.Errorf("rect %v: ordered per-tile sum %v != Query %v", r, sum, est)
+		}
+	}
+}
+
+// TestQueryStatsCtx: an un-cancelled context answers bit-identically
+// to Query; a cancelled one abandons the fan-out with the context's
+// error on both the eager and the lazy release.
+func TestQueryStatsCtx(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 100, 100)
+	plan, err := NewPlan(dom, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := testPoints(5, 10000, dom)
+	s, err := BuildUniform(pts, plan, 1, core.UGOptions{}, Options{}, noise.NewSource(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := s.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := ParseShardedLazy(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := geom.NewRect(5, 5, 95, 95)
+	est, qs, err := s.QueryStatsCtx(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := s.Query(r); est != want || qs.Shards != 9 {
+		t.Fatalf("ctx query = %v (%d shards), want %v (9 shards)", est, qs.Shards, want)
+	}
+	lest, _, err := lazy.QueryStatsCtx(context.Background(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lest != est {
+		t.Fatalf("lazy ctx query %v != eager %v", lest, est)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.QueryStatsCtx(cancelled, r); err != context.Canceled {
+		t.Fatalf("cancelled eager query err = %v, want context.Canceled", err)
+	}
+	// A cancelled lazy query must stop materializing: fresh release,
+	// cancelled before the first tile.
+	lazy2, err := ParseShardedLazy(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lazy2.QueryStatsCtx(cancelled, r); err != context.Canceled {
+		t.Fatalf("cancelled lazy query err = %v, want context.Canceled", err)
+	}
+	if n := lazy2.MaterializedShards(); n != 0 {
+		t.Fatalf("cancelled query materialized %d shards", n)
 	}
 }

@@ -182,9 +182,17 @@ func validSynopses(t interface{ Fatal(...any) }) map[string]Synopsis {
 	if err != nil {
 		t.Fatal(err)
 	}
+	xs := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+	}
+	h1, err := BuildHist1DHierarchical(xs, 0, 20, 8, 2, 3, 1, NewNoiseSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]Synopsis{
 		"ug": ug, "ag": ag, "sharded": sh,
-		"hierarchy": hier, "kdtree": kd, "privlet": pl,
+		"hierarchy": hier, "kdtree": kd, "privlet": pl, "hist1d": h1,
 	}
 }
 
@@ -246,6 +254,12 @@ func TestReadSynopsisRejectsCorrupt(t *testing.T) {
 		{"ag bad alpha", []byte(`{"format":"dpgrid/adaptive-grid","version":1,"domain":[0,0,1,1],"epsilon":1,"alpha":1.5,"m1":1,"cells":[{"m2":1,"leaves":[0]}]}`)},
 		{"sharded payload mismatch", []byte(`{"format":"dpgrid/sharded","version":1,"domain":[0,0,1,1],"epsilon":1,"kx":2,"ky":1,"shard_format":"dpgrid/uniform-grid","shards":[]}`)},
 		{"sharded bad payload", []byte(`{"format":"dpgrid/sharded","version":1,"domain":[0,0,1,1],"epsilon":1,"kx":1,"ky":1,"shard_format":"dpgrid/uniform-grid","shards":[{"x":1}]}`)},
+		{"hist1d truncated", valid["hist1d"][:len(valid["hist1d"])/2]},
+		{"hist1d bad range", []byte(`{"format":"dpgrid/hist1d","version":1,"range":[5,5],"epsilon":1,"bins":1,"prefix":[0,1]}`)},
+		{"hist1d bad epsilon", []byte(`{"format":"dpgrid/hist1d","version":1,"range":[0,1],"epsilon":0,"bins":1,"prefix":[0,1]}`)},
+		{"hist1d prefix mismatch", []byte(`{"format":"dpgrid/hist1d","version":1,"range":[0,1],"epsilon":1,"bins":2,"prefix":[0,1]}`)},
+		{"hist1d nonzero prefix start", []byte(`{"format":"dpgrid/hist1d","version":1,"range":[0,1],"epsilon":1,"bins":1,"prefix":[2,3]}`)},
+		{"hist1d non-finite prefix", []byte(`{"format":"dpgrid/hist1d","version":1,"range":[0,1],"epsilon":1,"bins":1,"prefix":[0,1e999]}`)},
 	}
 	// Binary-container corruption goes through the same entry point.
 	validBin := validBinarySynopsisFiles(t)
@@ -463,7 +477,7 @@ func TestGoldenFiles(t *testing.T) {
 		NewRect(1.5, 2.5, 18, 19),
 		NewRect(9, 9, 11, 11),
 	}
-	for _, name := range []string{"ug", "ag", "sharded", "hierarchy", "kdtree", "privlet"} {
+	for _, name := range []string{"ug", "ag", "sharded", "hierarchy", "kdtree", "privlet", "hist1d"} {
 		binPath := filepath.Join("testdata", "golden."+name+".dpgrid")
 		fromJSON, err := ReadSynopsisFile(filepath.Join("testdata", "golden."+name+".json"))
 		if err != nil {
@@ -505,6 +519,7 @@ func TestGoldenFiles(t *testing.T) {
 func TestRegistryKindsRoundTrip(t *testing.T) {
 	byteIdenticalJSON := map[string]bool{
 		"ug": true, "hierarchy": true, "kdtree": true, "privlet": true,
+		"hist1d": true,
 	}
 	for name, s := range validSynopses(t) {
 		t.Run(name, func(t *testing.T) {

@@ -1,6 +1,7 @@
 package dpgrid
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/dpgrid/dpgrid/internal/shard"
@@ -64,6 +65,39 @@ type ShardObserver interface {
 	// QueryStats estimates the number of data points in r and reports
 	// the fan-out observations of the query.
 	QueryStats(r Rect) (float64, ShardQueryStats)
+}
+
+// ShardContextObserver is a ShardObserver whose fan-out honors context
+// cancellation: QueryStatsCtx checks ctx between shards and abandons
+// the walk with the context's error, so a serving layer whose client
+// has gone away (request timeout, dropped connection) stops burning
+// CPU — and, for lazy releases, stops materializing tiles — on wide
+// mosaics. Sharded and LazySharded implement it; a completed walk
+// returns the same estimate as Query, bit for bit.
+type ShardContextObserver interface {
+	ShardObserver
+	// QueryStatsCtx is QueryStats with between-shard cancellation.
+	QueryStatsCtx(ctx context.Context, r Rect) (float64, ShardQueryStats, error)
+}
+
+// ShardRouter is the tile-level routing surface of a sharded release —
+// what a multi-node placement layer needs to scatter a query across
+// backends and gather the partial answers. Plan exposes the mosaic
+// geometry (ShardPlan.OverlappingTiles names the tiles a rectangle
+// fans out to), and ShardAnswer returns one tile's partial answer:
+// summing ShardAnswer over a rectangle's overlapping tiles in
+// ascending index order reproduces Query bit for bit, no matter how
+// the tiles are partitioned across nodes. Sharded and LazySharded
+// implement it.
+type ShardRouter interface {
+	Synopsis
+	// Plan returns the mosaic plan.
+	Plan() ShardPlan
+	// NumShards returns the number of tiles in the release.
+	NumShards() int
+	// ShardAnswer returns tile i's partial answer to r — exactly the
+	// term Query adds for that tile.
+	ShardAnswer(i int, r Rect) float64
 }
 
 // BuildShardedUniformGrid builds one UG synopsis per tile of plan, each
