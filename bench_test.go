@@ -328,7 +328,7 @@ func BenchmarkSynthesize100k(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
+	rng := NewNoiseSource(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := syn.Synthesize(100_000, rng); err != nil {

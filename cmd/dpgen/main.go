@@ -18,10 +18,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"github.com/dpgrid/dpgrid/internal/atomicfile"
 	"github.com/dpgrid/dpgrid/internal/datasets"
 	"github.com/dpgrid/dpgrid/internal/geom"
 	"github.com/dpgrid/dpgrid/internal/pool"
@@ -63,16 +65,16 @@ func run(args []string) error {
 		return writeTiles(d, kx, ky, *out, *workers)
 	}
 
-	w := os.Stdout
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// Atomic staging: an interrupted run must not leave a partial
+		// CSV that a later ingestion would silently treat as the whole
+		// dataset.
+		if err := atomicfile.Write(*out, func(w io.Writer) error {
+			return datasets.WriteCSV(w, d.Points)
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := datasets.WriteCSV(w, d.Points); err != nil {
+	} else if err := datasets.WriteCSV(os.Stdout, d.Points); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "dpgen: wrote %d points of %s (domain [%g,%g]x[%g,%g])\n",
@@ -103,17 +105,9 @@ func writeTiles(d *datasets.Dataset, kx, ky int, out string, workers int) error 
 	}
 	errs := make([]error, len(buckets))
 	pool.For(len(buckets), workers, func(i int) {
-		f, err := os.Create(paths[i])
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		if err := datasets.WriteCSV(f, buckets[i]); err != nil {
-			f.Close()
-			errs[i] = err
-			return
-		}
-		errs[i] = f.Close()
+		errs[i] = atomicfile.Write(paths[i], func(w io.Writer) error {
+			return datasets.WriteCSV(w, buckets[i])
+		})
 	})
 	// Remove the whole mosaic on any failure: a partial set of
 	// valid-looking tile files would feed a sharded pipeline an

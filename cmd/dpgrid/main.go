@@ -32,7 +32,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -227,14 +226,14 @@ func run(args []string, w io.Writer) error {
 		if n < 0 {
 			n = 0 // the library's "use the synopsis's own estimate"
 		}
-		rng := rand.New(rand.NewSource(*seed + 1))
+		sampleSrc := dpgrid.NewNoiseSource(*seed + 1)
 		var pts []dpgrid.Point
 		var synthErr error
 		switch v := syn.(type) {
 		case *dpgrid.UniformGrid:
-			pts, synthErr = v.Synthesize(n, rng)
+			pts, synthErr = v.Synthesize(n, sampleSrc)
 		case *dpgrid.AdaptiveGrid:
-			pts, synthErr = v.Synthesize(n, rng)
+			pts, synthErr = v.Synthesize(n, sampleSrc)
 		default:
 			return fmt.Errorf("-synthesize requires a ug or ag synopsis, have %T", syn)
 		}

@@ -2,10 +2,10 @@ package dpgrid
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/noise"
 	"github.com/dpgrid/dpgrid/internal/pointindex"
 	"github.com/dpgrid/dpgrid/internal/query"
 )
@@ -72,8 +72,7 @@ func Evaluate(syn Synopsis, points []Point, dom Domain, queries []Rect) (ErrorSt
 // extent w x h placed uniformly inside dom — the paper's workload shape.
 // Use a fixed seed for reproducible evaluations.
 func RandomQueries(dom Domain, w, h float64, count int, seed int64) ([]Rect, error) {
-	rng := rand.New(rand.NewSource(seed))
-	return query.Generate(rng, dom, w, h, count)
+	return query.Generate(noise.NewSource(seed), dom, w, h, count)
 }
 
 // Method selection and comparison: the programmatic face of the CLI's

@@ -18,11 +18,13 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 
 	"github.com/dpgrid/dpgrid"
+	"github.com/dpgrid/dpgrid/internal/atomicfile"
 	"github.com/dpgrid/dpgrid/internal/datasets"
 )
 
@@ -40,14 +42,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Create(csvPath)
+	err = atomicfile.Write(csvPath, func(w io.Writer) error {
+		return datasets.WriteCSV(w, data.Points)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := datasets.WriteCSV(f, data.Points); err != nil {
-		log.Fatal(err)
-	}
-	f.Close()
 	info, _ := os.Stat(csvPath)
 	fmt.Printf("step 1: %d points on disk (%s, %.1f MB)\n", data.N(), csvPath, float64(info.Size())/1e6)
 
@@ -66,14 +66,12 @@ func main() {
 
 	// Step 3: persist the release.
 	synPath := filepath.Join(workDir, "synopsis.json")
-	sf, err := os.Create(synPath)
+	err = atomicfile.Write(synPath, func(w io.Writer) error {
+		return dpgrid.WriteSynopsis(w, syn)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := dpgrid.WriteSynopsis(sf, syn); err != nil {
-		log.Fatal(err)
-	}
-	sf.Close()
 	sInfo, _ := os.Stat(synPath)
 	fmt.Printf("step 3: saved synopsis (%.2f MB — %.0fx smaller than the data)\n",
 		float64(sInfo.Size())/1e6, float64(info.Size())/float64(sInfo.Size()))

@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"log"
 	"math"
-	"math/rand"
 
 	"github.com/dpgrid/dpgrid"
 	"github.com/dpgrid/dpgrid/internal/datasets"
@@ -37,7 +36,7 @@ func main() {
 	fmt.Printf("published AG synopsis of %d points under eps=%g\n", data.N(), eps)
 
 	// Sample a synthetic dataset the same size as the original estimate.
-	synth, err := syn.Synthesize(0, rand.New(rand.NewSource(100)))
+	synth, err := syn.Synthesize(0, dpgrid.NewNoiseSource(100))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,94 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface that dplint's checkers are
+// written against. The repo builds offline (no module proxy), so rather
+// than vendoring x/tools we provide the three concepts the checkers
+// need: an Analyzer (a named check with a stable diagnostic code), a
+// Pass (one type-checked package presented to a check), and Diagnostics
+// (findings that the driver renders and the suppression layer filters).
+//
+// Analyzers are pure functions of a Pass: they may not write files,
+// mutate globals, or depend on process state, so the same package always
+// yields the same findings — the property dplint itself enforces on the
+// rest of the repo.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the short command-line name, e.g. "noisedet".
+	Name string
+	// Code is the stable diagnostic code, e.g. "DPL001". Every
+	// diagnostic an analyzer reports carries this code; suppression
+	// comments reference it.
+	Code string
+	// Doc is the full help text: what the check enforces and why.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test Go files.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// ImportPath is the package's import path as the build system
+	// knows it (fixture paths in tests, real paths under the driver).
+	ImportPath string
+	// RelPath is the package directory relative to the module root
+	// ("" for the root package, "internal/query", "cmd/dpserve", ...).
+	// Analyzers use it for scope decisions; fixture packages loaded by
+	// analysistest present their fixture import path here so scope
+	// logic can be exercised under test.
+	RelPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos. The message should name the
+// offending construct and the invariant it violates; the driver prefixes
+// the analyzer's Code.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     pos,
+		Code:    p.Analyzer.Code,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Code    string
+	Message string
+}
+
+// Run executes a single analyzer over a package and returns the raw
+// (unsuppressed) diagnostics. Callers layer Filter on top to honor
+// lint:ignore directives.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath, relPath string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		ImportPath: importPath,
+		RelPath:    relPath,
+		report:     func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return diags, nil
+}

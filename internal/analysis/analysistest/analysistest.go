@@ -1,0 +1,337 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against expectations written in the fixtures
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := rand.Float64() // want `DPL001: .*math/rand`
+//
+// A `// want` comment carries one or more quoted regular expressions;
+// each must match a diagnostic reported on that line (rendered as
+// "CODE: message"). Diagnostics with no matching want, and wants with no
+// matching diagnostic, fail the test. Suppression directives are applied
+// before matching via the same analysis.Filter the dplint driver uses,
+// so fixtures can also pin the suppression behavior:
+//
+//	y := rand.Float64() //lint:ignore DPL001 fixture: suppressed negative
+//
+// Fixtures live in testdata/src/<importpath>/ (GOPATH-style). They may
+// import the standard library (resolved through compiled export data)
+// and each other (resolved from source).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/analysis"
+	"github.com/dpgrid/dpgrid/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// Run analyzes each fixture package under testdata/src and verifies the
+// filtered diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(testdata)
+	for _, path := range pkgPaths {
+		path := path
+		t.Run(path, func(t *testing.T) {
+			pkg, err := l.check(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := analysis.Run(a, l.fset, pkg.files, pkg.types, pkg.info, path, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags = analysis.Filter(l.fset, pkg.files, diags)
+			match(t, l.fset, pkg.files, diags)
+		})
+	}
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	parsed   map[string][]*ast.File
+	checked  map[string]*fixturePkg
+	exports  map[string]string
+	gc       types.Importer
+}
+
+func newLoader(testdata string) *loader {
+	return &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		parsed:   map[string][]*ast.File{},
+		checked:  map[string]*fixturePkg{},
+	}
+}
+
+func (l *loader) fixtureDir(path string) (string, bool) {
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	st, err := os.Stat(dir)
+	return dir, err == nil && st.IsDir()
+}
+
+func (l *loader) parse(path string) ([]*ast.File, error) {
+	if fs, ok := l.parsed[path]; ok {
+		return fs, nil
+	}
+	dir, ok := l.fixtureDir(path)
+	if !ok {
+		return nil, fmt.Errorf("analysistest: no fixture package %q under %s/src", path, l.testdata)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysistest: fixture package %q has no Go files", path)
+	}
+	l.parsed[path] = files
+	return files, nil
+}
+
+// externalImports walks the fixture import graph from roots and returns
+// every import that is not itself a fixture (i.e. must come from
+// compiled export data).
+func (l *loader) externalImports(roots []string) ([]string, error) {
+	seen := map[string]bool{}
+	external := map[string]bool{}
+	var visit func(path string) error
+	visit = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		files, err := l.parse(path)
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if _, ok := l.fixtureDir(p); ok {
+					if err := visit(p); err != nil {
+						return err
+					}
+				} else {
+					external[p] = true
+				}
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+	var out []string
+	for p := range external {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *loader) ensureImporter(root string) error {
+	if l.gc != nil {
+		// Export data was resolved for an earlier root; extend it if
+		// this root needs packages we have not seen.
+		ext, err := l.externalImports([]string{root})
+		if err != nil {
+			return err
+		}
+		var missing []string
+		for _, p := range ext {
+			if _, ok := l.exports[p]; !ok {
+				missing = append(missing, p)
+			}
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		more, err := load.StdExports(missing...)
+		if err != nil {
+			return err
+		}
+		for k, v := range more {
+			l.exports[k] = v
+		}
+		return nil
+	}
+	ext, err := l.externalImports([]string{root})
+	if err != nil {
+		return err
+	}
+	l.exports = map[string]string{}
+	if len(ext) > 0 {
+		l.exports, err = load.StdExports(ext...)
+		if err != nil {
+			return err
+		}
+	}
+	l.gc = load.NewImporter(l.fset, func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysistest: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return nil
+}
+
+// Import implements types.Importer: fixture packages from source,
+// everything else from export data.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.fixtureDir(path); ok {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return l.gc.Import(path)
+}
+
+func (l *loader) check(path string) (*fixturePkg, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	if err := l.ensureImporter(path); err != nil {
+		return nil, err
+	}
+	files, err := l.parse(path)
+	if err != nil {
+		return nil, err
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: typecheck %s: %w", path, err)
+	}
+	p := &fixturePkg{files: files, types: tpkg, info: info}
+	l.checked[path] = p
+	return p, nil
+}
+
+// want expectation matching ----------------------------------------------
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+var wantRe = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\")|(`[^`]*`)")
+
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, "want ")
+				ms := wantRe.FindAllString(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: malformed want comment (no quoted pattern): %s", pos, c.Text)
+				}
+				for _, m := range ms {
+					var pat string
+					if m[0] == '`' {
+						pat = strings.Trim(m, "`")
+					} else {
+						var err error
+						pat, err = strconv.Unquote(m)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, m, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	used := make([]bool, len(wants))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		msg := d.Code + ": " + d.Message
+		matched := false
+		for i, w := range wants {
+			if used[i] || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(msg) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, msg)
+		}
+	}
+	for i, w := range wants {
+		if !used[i] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

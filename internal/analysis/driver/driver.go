@@ -1,0 +1,73 @@
+// Package driver runs an analyzer suite over a module and renders the
+// findings. It is the engine behind cmd/dplint's standalone mode and the
+// repo-clean meta-test.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"github.com/dpgrid/dpgrid/internal/analysis"
+	"github.com/dpgrid/dpgrid/internal/analysis/load"
+)
+
+// Finding is one rendered diagnostic.
+type Finding struct {
+	Position token.Position
+	Code     string
+	Message  string
+	Package  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Code, f.Message)
+}
+
+// Run loads the packages matched by patterns in moduleDir, applies every
+// analyzer, filters suppressed diagnostics, and returns the surviving
+// findings sorted by file position.
+func Run(moduleDir string, analyzers []*analysis.Analyzer, patterns ...string) ([]Finding, error) {
+	pkgs, err := load.Load(moduleDir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.ImportPath, pkg.RelPath)
+			if err != nil {
+				return nil, err
+			}
+			diags = analysis.Filter(pkg.Fset, pkg.Files, diags)
+			for _, d := range diags {
+				findings = append(findings, Finding{
+					Position: pkg.Fset.Position(d.Pos),
+					Code:     d.Code,
+					Message:  d.Message,
+					Package:  pkg.ImportPath,
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Code < findings[j].Code
+	})
+	return findings, nil
+}
+
+// Render writes findings one per line in the conventional
+// file:line:col: CODE: message format.
+func Render(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}

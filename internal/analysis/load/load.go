@@ -1,0 +1,183 @@
+// Package load type-checks the repo's packages for dplint without
+// golang.org/x/tools. It shells out to `go list -e -export -deps -json`,
+// which compiles dependencies and reports the path of each package's gc
+// export data; target packages are then parsed from source and checked
+// with go/types using an importer that reads that export data. This
+// works fully offline — it needs only the go toolchain and the build
+// cache, never the module proxy.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	// RelPath is the package directory relative to the module root
+	// ("" for the module root package itself).
+	RelPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+type listModule struct {
+	Path string
+}
+
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *listModule
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in moduleDir and returns every matched (non-dep)
+// package, parsed with comments and fully type-checked. Test files are
+// not included: `go list`'s GoFiles excludes _test.go, which is exactly
+// dplint's scope (checks govern shipped code; tests may use math/rand,
+// write scratch files, and so on).
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []listPackage
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+		if !m.DepOnly {
+			if m.Error != nil {
+				return nil, fmt.Errorf("load: %s: %s", m.ImportPath, m.Error.Err)
+			}
+			targets = append(targets, m)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("load: typecheck %s: %w", t.ImportPath, err)
+		}
+		rel := t.ImportPath
+		if t.Module != nil && t.Module.Path != "" {
+			rel = strings.TrimPrefix(rel, t.Module.Path)
+			rel = strings.TrimPrefix(rel, "/")
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			RelPath:    rel,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// StdExports compiles (if needed) and locates gc export data for the
+// named stdlib packages and their dependencies, returning path -> export
+// file. The analysistest harness uses it to resolve fixture imports.
+func StdExports(pkgs ...string) (map[string]string, error) {
+	metas, err := goList(".", pkgs)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewImporter returns a go/types importer that reads gc export data via
+// lookup. It is the bridge that lets source-parsed packages resolve
+// compiled dependencies.
+func NewImporter(fset *token.FileSet, lookup func(path string) (io.ReadCloser, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewInfo allocates the types.Info maps the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+func goList(dir string, patterns []string) ([]listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	var metas []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m listPackage
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decode go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}

@@ -1,0 +1,57 @@
+package load_test
+
+import (
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/analysis/load"
+)
+
+func TestLoadModulePackage(t *testing.T) {
+	pkgs, err := load.Load("../../..", "./internal/geom/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.RelPath != "internal/geom" {
+		t.Errorf("RelPath = %q, want internal/geom", p.RelPath)
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Rect") == nil {
+		t.Error("type info missing: geom.Rect not found in package scope")
+	}
+	if len(p.Info.Uses) == 0 {
+		t.Error("types.Info.Uses is empty; analyzers need use information")
+	}
+	if len(p.Files) == 0 {
+		t.Error("no parsed files")
+	}
+}
+
+func TestLoadRootPackageRelPath(t *testing.T) {
+	pkgs, err := load.Load("../../..", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].RelPath != "" {
+		t.Errorf("module root RelPath = %q, want \"\"", pkgs[0].RelPath)
+	}
+}
+
+func TestStdExports(t *testing.T) {
+	exports, err := load.StdExports("math/rand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exports["math/rand"] == "" {
+		t.Error("no export data for math/rand")
+	}
+	// -deps pulls the transitive closure.
+	if exports["math"] == "" {
+		t.Error("no export data for transitive dep math")
+	}
+}

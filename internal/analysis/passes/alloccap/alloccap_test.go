@@ -1,0 +1,12 @@
+package alloccap_test
+
+import (
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/analysis/analysistest"
+	"github.com/dpgrid/dpgrid/internal/analysis/passes/alloccap"
+)
+
+func TestAlloccap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), alloccap.Analyzer, "internal/codec", "kind")
+}

@@ -1,0 +1,12 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/analysis/analysistest"
+	"github.com/dpgrid/dpgrid/internal/analysis/passes/atomicwrite"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicwrite.Analyzer, "aw", "internal/atomicfile")
+}

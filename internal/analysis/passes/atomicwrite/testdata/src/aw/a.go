@@ -1,0 +1,25 @@
+// Package aw is the atomicwrite fixture.
+package aw
+
+import "os"
+
+func dump(path string, data []byte) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `DPL004: direct os.WriteFile`
+		return err
+	}
+	f, err := os.Create(path) // want `DPL004: direct os.Create`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Reading is not publishing: os.Open and friends are fine.
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func scratch(path string) {
+	//lint:ignore DPL004 fixture: scratch file, a torn write is acceptable here
+	_ = os.WriteFile(path, nil, 0o600)
+}

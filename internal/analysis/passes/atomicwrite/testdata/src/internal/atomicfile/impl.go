@@ -1,0 +1,9 @@
+// Package atomicfile mirrors the real helper's path: the implementation
+// of the atomic writer is the one place allowed to touch os directly.
+package atomicfile
+
+import "os"
+
+func stage(path string) (*os.File, error) {
+	return os.Create(path)
+}

@@ -1,0 +1,106 @@
+// Package ctxflow implements dplint's DPL003 check, scoped to the
+// serving path (cmd/dpserve and internal/cluster): a function that
+// already receives a context.Context must not manufacture a fresh root
+// with context.Background() or context.TODO(). Doing so detaches the
+// work from the caller's deadline and cancellation, which is exactly how
+// scatter-gather fan-outs leak goroutines and ignore client timeouts
+// under partial degradation. Thread the ctx you were given; if you
+// genuinely need detachment (a background reconciler spawned from a
+// request), suppress with a reason.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/dpgrid/dpgrid/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Code: "DPL003",
+	Doc: "in cmd/dpserve and internal/cluster, forbid context.Background/TODO inside " +
+		"functions that already receive a context; thread the caller's ctx",
+	Run: run,
+}
+
+func inScope(rel string) bool {
+	return rel == "cmd/dpserve" || rel == "internal/cluster" ||
+		strings.HasPrefix(rel, "cmd/dpserve/") || strings.HasPrefix(rel, "internal/cluster/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.RelPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body, hasCtxParam(pass, fd.Type))
+		}
+	}
+	return nil
+}
+
+// checkFunc flags fresh root contexts in body. ctxAvail is true when
+// this function or any enclosing one receives a context.Context —
+// closures capture the enclosing ctx, so availability is inherited.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, ctxAvail bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, n.Body, ctxAvail || hasCtxParam(pass, n.Type))
+			return false
+		case *ast.CallExpr:
+			if name := rootCtxCall(pass, n); name != "" && ctxAvail {
+				pass.Reportf(n.Pos(), "context.%s below a function that receives a ctx: "+
+					"thread the caller's context so deadlines and cancellation propagate", name)
+			}
+		}
+		return true
+	})
+}
+
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+			return true
+		}
+	}
+	return false
+}
+
+func rootCtxCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return ""
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		return sel.Sel.Name
+	}
+	return ""
+}

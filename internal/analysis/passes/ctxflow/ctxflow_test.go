@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/analysis/analysistest"
+	"github.com/dpgrid/dpgrid/internal/analysis/passes/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer, "internal/cluster", "other")
+}

@@ -1,0 +1,35 @@
+// Package cluster is the ctxflow fixture: its path matches the
+// analyzer's serving-path scope.
+package cluster
+
+import "context"
+
+func handle(ctx context.Context) {
+	_ = ctx
+	c := context.Background() // want `DPL003: context.Background below a function that receives a ctx`
+	_ = c
+	t := context.TODO() // want `DPL003: context.TODO below a function that receives a ctx`
+	_ = t
+}
+
+// closures capture the enclosing ctx, so a fresh root inside one is
+// still a flow break.
+func fanOut(ctx context.Context, fns []func(context.Context)) {
+	for _, fn := range fns {
+		go func(f func(context.Context)) {
+			f(context.Background()) // want `DPL003: context.Background below a function that receives a ctx`
+		}(fn)
+	}
+	_ = ctx
+}
+
+// boot has no inbound ctx: creating the root here is the correct place.
+func boot() context.Context {
+	return context.Background()
+}
+
+func reconcile(ctx context.Context) context.Context {
+	_ = ctx
+	//lint:ignore DPL003 fixture: deliberately detached background reconciler
+	return context.Background()
+}

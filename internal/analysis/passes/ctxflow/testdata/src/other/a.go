@@ -1,0 +1,10 @@
+// Package other is outside ctxflow's serving-path scope: the same
+// construct draws no diagnostic here.
+package other
+
+import "context"
+
+func handle(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background()
+}

@@ -1,0 +1,159 @@
+// Package maporder implements dplint's DPL002 check: iteration over a
+// Go map is randomized per run, so a range-over-map body that
+// accumulates floating-point values, collects map values into a slice,
+// or feeds the wire codec makes the program's observable output depend
+// on that random order. Float addition is not associative, appended
+// values land in random positions, and codec sections are
+// order-sensitive by design — all three break the repo's
+// byte-reproducibility guarantee. The sanctioned idiom is to collect the
+// keys, sort them, and iterate the sorted slice.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/dpgrid/dpgrid/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Code: "DPL002",
+	Doc: "flag range-over-map bodies that accumulate floats, append map values, " +
+		"or call into internal/codec; iterate sorted keys instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkBody(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, rng *ast.RangeStmt) {
+	valueObj := identObj(pass, rng.Value)
+	mapObj := identObj(pass, rng.X)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(pass, lhs) {
+						pass.Reportf(n.Pos(), "float accumulation inside range over map: "+
+							"iteration order is random, and float addition is not associative")
+						return true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinAppend(pass, n) {
+				for _, arg := range n.Args[1:] {
+					if mentionsObj(pass, arg, valueObj) || indexesMap(pass, arg, mapObj) {
+						pass.Reportf(n.Pos(), "append of map values inside range over map: "+
+							"elements land in random order; collect and sort keys first")
+						return true
+					}
+				}
+			}
+			if callee := calleeFunc(pass, n); callee != nil &&
+				callee.Pkg() != nil && callee.Pkg().Name() == "codec" {
+				pass.Reportf(n.Pos(), "call into internal/codec inside range over map: "+
+					"wire sections are order-sensitive; encode from sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := pass.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pass.Info.Uses[id]
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) < 2 {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func mentionsObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// indexesMap reports whether e contains an index expression over the
+// ranged map itself (m[k] inside `for k := range m`), which reads map
+// values just as directly as the value variable does.
+func indexesMap(pass *analysis.Pass, e ast.Expr, mapObj types.Object) bool {
+	if mapObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ix, ok := n.(*ast.IndexExpr); ok {
+			if id, ok := ix.X.(*ast.Ident); ok && pass.Info.Uses[id] == mapObj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

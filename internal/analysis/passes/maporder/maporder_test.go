@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/analysis/analysistest"
+	"github.com/dpgrid/dpgrid/internal/analysis/passes/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer, "m")
+}

@@ -1,0 +1,12 @@
+// Package codec is a stub of internal/codec for maporder fixtures: the
+// analyzer recognizes callees by package name.
+package codec
+
+// Enc stands in for the real wire encoder.
+type Enc struct{ sum float64 }
+
+// F64 appends one value to the (order-sensitive) section.
+func (e *Enc) F64(v float64) { e.sum += v }
+
+// Put is a package-level entry point into the codec.
+func Put(v float64) { _ = v }

@@ -1,0 +1,63 @@
+// Package m is the maporder fixture: range-over-map bodies whose effect
+// depends on iteration order.
+package m
+
+import (
+	"sort"
+
+	"codec"
+)
+
+func accumulate(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `DPL002: float accumulation inside range over map`
+	}
+	return total
+}
+
+func appendValues(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) // want `DPL002: append of map values inside range over map`
+	}
+	for k := range m {
+		vals = append(vals, m[k]) // want `DPL002: append of map values inside range over map`
+	}
+	return vals
+}
+
+func encode(m map[string]float64, e *codec.Enc) {
+	for _, v := range m {
+		e.F64(v) // want `DPL002: call into internal/codec inside range over map`
+	}
+}
+
+// sortedIdiom is the sanctioned pattern: collect keys, sort, iterate the
+// slice. Appending keys is allowed; the later range is over a slice.
+func sortedIdiom(m map[string]float64, e *codec.Enc) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.F64(m[k])
+	}
+}
+
+// intCount is order-insensitive: integer addition commutes exactly.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func suppressed(m map[string]float64) {
+	for _, v := range m {
+		//lint:ignore DPL002 fixture: sink is order-insensitive by contract
+		codec.Put(v)
+	}
+}

@@ -1,0 +1,96 @@
+// Package noisedet implements dplint's DPL001 check: library packages
+// must not reach for ambient nondeterminism.
+//
+// Every random draw in the library flows through internal/noise.Source
+// so that builds are reproducible and the privacy accounting can be
+// audited against a fixed noise transcript; wall-clock and process state
+// are equally off-limits because they leak into released synopses and
+// break replay. Commands (cmd/*), examples, dev tooling
+// (internal/tools), the serving layer (internal/cluster, which needs
+// real deadlines), the synthetic dataset generators (internal/datasets)
+// and plotting are out of scope, as are all _test.go files.
+package noisedet
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/dpgrid/dpgrid/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noisedet",
+	Code: "DPL001",
+	Doc: "forbid math/rand, crypto/rand, time.Now and os.Getpid in library packages; " +
+		"randomness must flow through internal/noise sources so runs reproduce",
+	Run: run,
+}
+
+var skipPrefixes = []string{
+	"cmd/",
+	"examples/",
+	"internal/tools",
+	"internal/cluster",
+	"internal/datasets",
+	"internal/plot",
+}
+
+var forbiddenImports = map[string]string{
+	"math/rand":    "seed an internal/noise.Source instead",
+	"math/rand/v2": "seed an internal/noise.Source instead",
+	"crypto/rand":  "implement noise.Source over it in the caller, not in the library",
+}
+
+func inScope(rel string) bool {
+	for _, p := range skipPrefixes {
+		if strings.HasPrefix(rel, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.RelPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if hint, ok := forbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s in a library package: %s", path, hint)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch {
+			case pn.Imported().Path() == "time" && sel.Sel.Name == "Now":
+				pass.Reportf(call.Pos(), "call to time.Now in a library package: inject a clock or take timestamps in cmd/")
+			case pn.Imported().Path() == "os" && sel.Sel.Name == "Getpid":
+				pass.Reportf(call.Pos(), "call to os.Getpid in a library package: process identity must not influence library output")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package noisedet_test
+
+import (
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/analysis/analysistest"
+	"github.com/dpgrid/dpgrid/internal/analysis/passes/noisedet"
+)
+
+func TestNoisedet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noisedet.Analyzer, "a", "cmd/tool")
+}

@@ -1,0 +1,29 @@
+// Package a is a noisedet fixture standing in for a library package
+// (its path has no cmd/ or examples/ prefix, so it is in scope).
+package a
+
+import (
+	crand "crypto/rand" // want `DPL001: import of crypto/rand`
+	"math/rand"         // want `DPL001: import of math/rand`
+	"os"
+	"time"
+)
+
+func draw() float64 {
+	_ = os.Getpid() // want `DPL001: call to os.Getpid`
+	_ = time.Now()  // want `DPL001: call to time.Now`
+	return rand.Float64()
+}
+
+func read(b []byte) {
+	_, _ = crand.Read(b)
+}
+
+func suppressed() time.Time {
+	//lint:ignore DPL001 fixture: a documented reason keeps this call silent
+	return time.Now()
+}
+
+func trailing() time.Time {
+	return time.Now() //lint:ignore DPL001 fixture: trailing-comment form
+}

@@ -1,0 +1,8 @@
+//lint:file-ignore DPL001 fixture: this file exercises the file-wide directive
+package a
+
+import "time"
+
+func fileWideOne() time.Time { return time.Now() }
+
+func fileWideTwo() time.Time { return time.Now() }

@@ -1,0 +1,13 @@
+// Command tool is a noisedet fixture under cmd/: commands may read the
+// clock and seed from entropy, so nothing here is flagged.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	_ = time.Now()
+	_ = rand.Int()
+}

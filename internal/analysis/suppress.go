@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives let a human override a checker where the code
+// is right and the rule is wrong, with an auditable reason:
+//
+//	//lint:ignore DPL001 seeding is documented as deterministic here
+//	//lint:ignore DPL001,DPL004 one reason covering both codes
+//	//lint:file-ignore DPL002 this whole file is generated
+//
+// An ignore directive suppresses matching diagnostics on its own line
+// and on the line immediately below it (so it works both as a trailing
+// comment and as a comment line above the offending statement). A
+// file-ignore directive suppresses matching diagnostics anywhere in its
+// file. A directive with no reason text is inert: the reason is the
+// audit trail, so omitting it keeps the diagnostic alive.
+
+type suppression struct {
+	codes map[string]bool
+	file  string
+	line  int  // 0 for file-wide
+	wide  bool // file-ignore
+}
+
+func parseDirective(fset *token.FileSet, c *ast.Comment) (suppression, bool) {
+	text := strings.TrimPrefix(c.Text, "//")
+	var wide bool
+	switch {
+	case strings.HasPrefix(text, "lint:ignore "):
+		text = strings.TrimPrefix(text, "lint:ignore ")
+	case strings.HasPrefix(text, "lint:file-ignore "):
+		text = strings.TrimPrefix(text, "lint:file-ignore ")
+		wide = true
+	default:
+		return suppression{}, false
+	}
+	fields := strings.Fields(text)
+	if len(fields) < 2 {
+		// Codes but no reason, or nothing at all: inert.
+		return suppression{}, false
+	}
+	codes := map[string]bool{}
+	for _, code := range strings.Split(fields[0], ",") {
+		if code != "" {
+			codes[code] = true
+		}
+	}
+	if len(codes) == 0 {
+		return suppression{}, false
+	}
+	pos := fset.Position(c.Pos())
+	return suppression{codes: codes, file: pos.Filename, line: pos.Line, wide: wide}, true
+}
+
+// collectSuppressions walks every comment in files and returns the
+// active directives.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var sups []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if s, ok := parseDirective(fset, c); ok {
+					sups = append(sups, s)
+				}
+			}
+		}
+	}
+	return sups
+}
+
+// Filter removes diagnostics covered by lint:ignore / lint:file-ignore
+// directives found in files. It is the single suppression implementation
+// shared by the dplint driver and the analysistest harness, so fixtures
+// exercise exactly the production behavior.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	sups := collectSuppressions(fset, files)
+	if len(sups) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		suppressed := false
+		for _, s := range sups {
+			if !s.codes[d.Code] || s.file != pos.Filename {
+				continue
+			}
+			if s.wide || s.line == pos.Line || s.line+1 == pos.Line {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// PosOf is a convenience for analyzers that report on a node.
+func PosOf(n ast.Node) token.Pos { return n.Pos() }

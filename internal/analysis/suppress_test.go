@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+//lint:file-ignore DPL009 fixture: file-wide
+//lint:ignore DPL001 fixture: line above
+var a = 1
+var b = 2 //lint:ignore DPL002 fixture: trailing
+var c = 3
+//lint:ignore DPL003
+var d = 4
+//lint:ignore DPL001,DPL002 fixture: two codes
+var e = 5
+`
+
+func parseSuppressSrc(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestFilter(t *testing.T) {
+	fset, files := parseSuppressSrc(t)
+	tf := fset.File(files[0].Pos())
+	at := func(line int) token.Pos { return tf.LineStart(line) }
+
+	cases := []struct {
+		name string
+		diag Diagnostic
+		kept bool
+	}{
+		{"comment above", Diagnostic{Pos: at(5), Code: "DPL001"}, false},
+		{"wrong code above", Diagnostic{Pos: at(5), Code: "DPL002"}, true},
+		{"trailing same line", Diagnostic{Pos: at(6), Code: "DPL002"}, false},
+		{"no directive", Diagnostic{Pos: at(7), Code: "DPL001"}, true},
+		{"missing reason is inert", Diagnostic{Pos: at(9), Code: "DPL003"}, true},
+		{"multi-code first", Diagnostic{Pos: at(11), Code: "DPL001"}, false},
+		{"multi-code second", Diagnostic{Pos: at(11), Code: "DPL002"}, false},
+		{"file-wide anywhere", Diagnostic{Pos: at(7), Code: "DPL009"}, false},
+		{"file-wide late line", Diagnostic{Pos: at(11), Code: "DPL009"}, false},
+	}
+	for _, tc := range cases {
+		got := Filter(fset, files, []Diagnostic{tc.diag})
+		if kept := len(got) == 1; kept != tc.kept {
+			t.Errorf("%s: kept=%v, want %v", tc.name, kept, tc.kept)
+		}
+	}
+}
+
+func TestFilterKeepsOrder(t *testing.T) {
+	fset, files := parseSuppressSrc(t)
+	tf := fset.File(files[0].Pos())
+	diags := []Diagnostic{
+		{Pos: tf.LineStart(7), Code: "DPL001", Message: "first"},
+		{Pos: tf.LineStart(5), Code: "DPL001", Message: "suppressed"},
+		{Pos: tf.LineStart(7), Code: "DPL004", Message: "second"},
+	}
+	got := Filter(fset, files, diags)
+	if len(got) != 2 || got[0].Message != "first" || got[1].Message != "second" {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,84 @@
+// Package atomicfile is the repo's one sanctioned way to write an
+// artifact file — synopsis releases, sharded manifests, benchmark
+// trajectories — to a path another process may be reading or loading
+// from. Every write streams into a temporary file in the target's
+// directory and renames it over the path only after a successful encode
+// and fsync, so a crash, a full disk, or an interrupted run can never
+// leave a partially-written file where a valid one is expected. The
+// dplint atomicwrite analyzer (DPL004) enforces that library and cmd
+// code routes artifact writes through this package instead of calling
+// os.Create or os.WriteFile directly.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Write streams encode's output to a temporary file next to path and
+// renames it over path only after a successful encode and fsync. A
+// fresh file gets the umask-governed default mode (as os.Create would);
+// overwriting preserves the existing file's mode. On any failure the
+// temporary file is removed and path is left untouched.
+func Write(path string, encode func(io.Writer) error) error {
+	// Stage next to the target (same directory, so the rename cannot
+	// cross filesystems). O_EXCL with a retried suffix gives every
+	// caller — including concurrent goroutines in one process — its own
+	// staging file, while O_CREATE's 0666 keeps the umask-governed
+	// default mode os.Create would produce.
+	var f *os.File
+	var tmp string
+	for i := 0; ; i++ {
+		// The pid in the staging name is for uniqueness across
+		// processes writing into one directory, not entropy: it never
+		// reaches the renamed artifact's bytes or name.
+		//lint:ignore DPL001 staging-file uniqueness, not an entropy source
+		tmp = fmt.Sprintf("%s.tmp-%d-%d", path, os.Getpid(), i)
+		var err error
+		f, err = os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("atomicfile: %w", err)
+		}
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if prev, err := os.Stat(path); err == nil {
+		if err := f.Chmod(prev.Mode().Perm()); err != nil {
+			return fail(fmt.Errorf("atomicfile: %w", err))
+		}
+	}
+	if err := encode(f); err != nil {
+		return fail(err)
+	}
+	// Flush data before the rename: journaling filesystems may commit
+	// the rename before the data blocks, and a crash in that window
+	// would leave a truncated file where the old artifact used to be.
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("atomicfile: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	return nil
+}
+
+// WriteBytes writes data to path with the same staging-and-rename
+// guarantees as Write.
+func WriteBytes(path string, data []byte) error {
+	return Write(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

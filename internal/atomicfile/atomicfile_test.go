@@ -1,0 +1,109 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteBytesCreatesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteBytes(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("read back %q, want %q", got, "hello")
+	}
+}
+
+func TestFailedEncodeLeavesOriginalAndNoResidue(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteBytes(path, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Write(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("failed write clobbered the original: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("staging residue left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestOverwritePreservesMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteBytes(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(path, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBytes(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Fatalf("overwrite changed mode to %v, want 0600", fi.Mode().Perm())
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("read back %q, want %q", got, "v2")
+	}
+}
+
+func TestConcurrentWritersLeaveOneValidFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	const workers = 8
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		go func() {
+			done <- WriteBytes(path, []byte(strings.Repeat(string(rune('a'+i)), 64)))
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("final file holds %d bytes, want one writer's complete 64", len(got))
+	}
+	for _, b := range got[1:] {
+		if b != got[0] {
+			t.Fatalf("final file interleaves writers: %q", got)
+		}
+	}
+}

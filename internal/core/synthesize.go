@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
 )
 
 // The paper's framework (section II-B): "This synopsis can then be used
@@ -24,10 +24,12 @@ type weightedCell struct {
 // synthesize draws n points from the density implied by cells: a cell is
 // chosen with probability proportional to its clamped count, then a point
 // is placed uniformly inside it. n <= 0 draws round(sum of clamped
-// counts) points.
-func synthesize(cells []weightedCell, n int, rng *rand.Rand) ([]geom.Point, error) {
-	if rng == nil {
-		return nil, fmt.Errorf("core: nil rng")
+// counts) points. src supplies the sampling randomness; noise.NewSource
+// draws the exact sequence the historical *rand.Rand-based signature
+// produced for the same seed.
+func synthesize(cells []weightedCell, n int, src noise.Source) ([]geom.Point, error) {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil source")
 	}
 	cum := make([]float64, len(cells))
 	var total float64
@@ -45,12 +47,12 @@ func synthesize(cells []weightedCell, n int, rng *rand.Rand) ([]geom.Point, erro
 	}
 	pts := make([]geom.Point, n)
 	for i := range pts {
-		u := rng.Float64() * total
+		u := src.Uniform() * total
 		k := searchCum(cum, u)
 		r := cells[k].rect
 		pts[i] = geom.Point{
-			X: r.MinX + rng.Float64()*r.Width(),
-			Y: r.MinY + rng.Float64()*r.Height(),
+			X: r.MinX + src.Uniform()*r.Width(),
+			Y: r.MinY + src.Uniform()*r.Height(),
 		}
 	}
 	return pts, nil
@@ -73,7 +75,7 @@ func searchCum(cum []float64, u float64) int {
 // Synthesize draws a synthetic dataset from the UG synopsis. n <= 0 uses
 // the synopsis's own (noisy) estimate of the dataset size. The result is
 // differentially private post-processing of the released counts.
-func (u *UniformGrid) Synthesize(n int, rng *rand.Rand) ([]geom.Point, error) {
+func (u *UniformGrid) Synthesize(n int, src noise.Source) ([]geom.Point, error) {
 	mx, my := u.mx, u.my
 	cells := make([]weightedCell, 0, mx*my)
 	for iy := 0; iy < my; iy++ {
@@ -84,13 +86,13 @@ func (u *UniformGrid) Synthesize(n int, rng *rand.Rand) ([]geom.Point, error) {
 			}
 		}
 	}
-	return synthesize(cells, n, rng)
+	return synthesize(cells, n, src)
 }
 
 // Synthesize draws a synthetic dataset from the AG synopsis using its
 // post-inference leaf cells. n <= 0 uses the synopsis's own (noisy)
 // estimate of the dataset size.
-func (a *AdaptiveGrid) Synthesize(n int, rng *rand.Rand) ([]geom.Point, error) {
+func (a *AdaptiveGrid) Synthesize(n int, src noise.Source) ([]geom.Point, error) {
 	var cells []weightedCell
 	for k := range a.cells {
 		cell := &a.cells[k]
@@ -105,5 +107,5 @@ func (a *AdaptiveGrid) Synthesize(n int, rng *rand.Rand) ([]geom.Point, error) {
 			}
 		}
 	}
-	return synthesize(cells, n, rng)
+	return synthesize(cells, n, src)
 }

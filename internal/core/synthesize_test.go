@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"github.com/dpgrid/dpgrid/internal/geom"
@@ -34,7 +33,7 @@ func TestUGSynthesizePreservesDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	synth, err := ug.Synthesize(40000, rand.New(rand.NewSource(31)))
+	synth, err := ug.Synthesize(40000, noise.NewSource(31))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +71,7 @@ func TestUGSynthesizeDefaultSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	synth, err := ug.Synthesize(0, rand.New(rand.NewSource(32)))
+	synth, err := ug.Synthesize(0, noise.NewSource(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +88,7 @@ func TestAGSynthesizePreservesDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	synth, err := ag.Synthesize(30000, rand.New(rand.NewSource(33)))
+	synth, err := ag.Synthesize(30000, noise.NewSource(33))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +115,7 @@ func TestSynthesizeEdgeCases(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Empty synopsis (all counts zero): nothing to sample, no error.
-	synth, err := ug.Synthesize(100, rand.New(rand.NewSource(1)))
+	synth, err := ug.Synthesize(100, noise.NewSource(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,13 +137,45 @@ func TestSynthesizeWithNoiseClampsNegatives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	synth, err := ug.Synthesize(1000, rand.New(rand.NewSource(34)))
+	synth, err := ug.Synthesize(1000, noise.NewSource(34))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range synth {
 		if !dom.Contains(p) {
 			t.Fatalf("synthetic point %d (%v) outside domain", i, p)
+		}
+	}
+}
+
+// TestSynthesizeMigrationBitIdentical locks in that the noise.Source-based
+// Synthesize samples the exact points the historical *rand.Rand-based
+// signature produced for the same seed (captured before the migration).
+func TestSynthesizeMigrationBitIdentical(t *testing.T) {
+	dom := geom.MustDomain(0, 0, 100, 100)
+	pts := []geom.Point{{X: 10, Y: 10}, {X: 90, Y: 90}, {X: 50, Y: 40}, {X: 12, Y: 11}}
+	ug, err := BuildUniformGrid(pts, dom, 1.0, UGOptions{GridSize: 4}, noise.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	synth, err := ug.Synthesize(6, noise.NewSource(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []geom.Point{
+		{X: 15.895432598216248, Y: 16.795707525600154},
+		{X: 86.261997071431665, Y: 23.906889873444893},
+		{X: 9.7665859490462879, Y: 4.0256521882695084},
+		{X: 8.5321030406767431, Y: 0.21650559514718257},
+		{X: 17.30709650156232, Y: 27.12854746696744},
+		{X: 15.515893008774881, Y: 14.202633209332976},
+	}
+	if len(synth) != len(want) {
+		t.Fatalf("got %d points, want %d", len(synth), len(want))
+	}
+	for i := range want {
+		if synth[i] != want[i] {
+			t.Errorf("point %d = %v, want %v (pre-migration draw)", i, synth[i], want[i])
 		}
 	}
 }

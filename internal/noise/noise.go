@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	//lint:ignore DPL001 this package IS the sanctioned wrapper: NewSource seeds math/rand deterministically, and goldens pin its exact stream
 	"math/rand"
 )
 

@@ -8,10 +8,10 @@ package query
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
 )
 
 // Workload is a set of queries of one size class.
@@ -22,8 +22,11 @@ type Workload struct {
 
 // Generate produces count random queries of extent w x h placed uniformly
 // at random with the rectangle fully inside dom (the paper's workloads
-// never overhang the domain).
-func Generate(rng *rand.Rand, dom geom.Domain, w, h float64, count int) ([]geom.Rect, error) {
+// never overhang the domain). src supplies the placement randomness; a
+// noise.NewSource(seed) draws the exact sequence the historical
+// *rand.Rand-based signature produced for the same seed, so seeded
+// workloads are stable across the migration.
+func Generate(src noise.Source, dom geom.Domain, w, h float64, count int) ([]geom.Rect, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("query: extents must be positive, got %gx%g", w, h)
 	}
@@ -33,10 +36,13 @@ func Generate(rng *rand.Rand, dom geom.Domain, w, h float64, count int) ([]geom.
 	if count <= 0 {
 		return nil, fmt.Errorf("query: count must be positive, got %d", count)
 	}
+	if src == nil {
+		return nil, fmt.Errorf("query: nil source")
+	}
 	out := make([]geom.Rect, count)
 	for i := range out {
-		x0 := dom.MinX + rng.Float64()*(dom.Width()-w)
-		y0 := dom.MinY + rng.Float64()*(dom.Height()-h)
+		x0 := dom.MinX + src.Uniform()*(dom.Width()-w)
+		y0 := dom.MinY + src.Uniform()*(dom.Height()-h)
 		out[i] = geom.Rect{MinX: x0, MinY: y0, MaxX: x0 + w, MaxY: y0 + h}
 	}
 	return out, nil

@@ -26,6 +26,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/dpgrid/dpgrid/internal/atomicfile"
 )
 
 // Result is one parsed benchmark line.
@@ -105,7 +107,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		_, err = stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(*out, data, 0o644)
+	// Stage-and-rename so an interrupted CI run can never leave a
+	// truncated BENCH_*.json where the committed trajectory file is
+	// expected.
+	return atomicfile.WriteBytes(*out, data)
 }
 
 // benchLine matches "BenchmarkName-8   123   456 ns/op   789 points/sec".

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/dpgrid/dpgrid/internal/atomicfile"
 	"github.com/dpgrid/dpgrid/internal/codec"
 	"github.com/dpgrid/dpgrid/internal/core"
 )
@@ -178,54 +179,10 @@ func WriteSynopsisFileFormat(path string, s Synopsis, format string) error {
 
 // writeFileAtomic streams encode's output to a temporary file next to
 // path and renames it over path only after a successful encode and
-// fsync.
+// fsync. The mechanics live in internal/atomicfile so the CLIs and
+// internal tools share the same staging-and-rename discipline.
 func writeFileAtomic(path string, encode func(io.Writer) error) error {
-	// Stage next to the target (same directory, so the rename cannot
-	// cross filesystems). O_EXCL with a retried suffix gives every
-	// caller — including concurrent goroutines in one process — its own
-	// staging file, while O_CREATE's 0666 keeps the umask-governed
-	// default mode os.Create would produce.
-	var f *os.File
-	var tmp string
-	for i := 0; ; i++ {
-		tmp = fmt.Sprintf("%s.tmp-%d-%d", path, os.Getpid(), i)
-		var err error
-		f, err = os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
-		if err == nil {
-			break
-		}
-		if !os.IsExist(err) {
-			return fmt.Errorf("dpgrid: %w", err)
-		}
-	}
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if prev, err := os.Stat(path); err == nil {
-		if err := f.Chmod(prev.Mode().Perm()); err != nil {
-			return fail(fmt.Errorf("dpgrid: %w", err))
-		}
-	}
-	if err := encode(f); err != nil {
-		return fail(err)
-	}
-	// Flush data before the rename: journaling filesystems may commit
-	// the rename before the data blocks, and a crash in that window
-	// would leave a truncated file where the old synopsis used to be.
-	if err := f.Sync(); err != nil {
-		return fail(fmt.Errorf("dpgrid: %w", err))
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("dpgrid: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("dpgrid: %w", err)
-	}
-	return nil
+	return atomicfile.Write(path, encode)
 }
 
 // ReadSynopsisFile reads a synopsis previously written by
