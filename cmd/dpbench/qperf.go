@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"github.com/dpgrid/dpgrid/internal/core"
+	"github.com/dpgrid/dpgrid/internal/datasets"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+// queryPerf is the serving-latency experiment behind the committed
+// BENCH_query.json trajectory: per-query wall time for the stored
+// summed-area fast path (Query over the decoded prefix tables) against
+// the cell-iteration baseline (QueryIter), swept from a single-cell
+// rectangle to the full domain. The fast path's cost is four corner
+// lookups whatever the rectangle covers, so its column stays flat while
+// the baseline grows with the covered area — the property the paper's
+// prefix-table post-processing buys and the SAT trailer preserves
+// across serialization.
+func queryPerf(w io.Writer, dsName string, eps float64, opts queryPerfOptions) error {
+	ds, err := datasets.ByName(dsName, opts.scale, opts.seed)
+	if err != nil {
+		return err
+	}
+	const m = 128
+	ug, err := core.BuildUniformGrid(ds.Points, ds.Domain, eps, core.UGOptions{GridSize: m}, noise.NewSource(opts.seed))
+	if err != nil {
+		return err
+	}
+	ag, err := core.BuildAdaptiveGrid(ds.Points, ds.Domain, eps, core.AGOptions{M1: m / 4, MaxM2: 8}, noise.NewSource(opts.seed+1))
+	if err != nil {
+		return err
+	}
+
+	type path struct {
+		name  string
+		query func(geom.Rect) float64
+	}
+	kinds := []struct {
+		name  string
+		m     int
+		paths []path
+	}{
+		{"ug", m, []path{{"sat", ug.Query}, {"iter", ug.QueryIter}}},
+		{"ag", m / 4, []path{{"sat", ag.Query}, {"iter", ag.QueryIter}}},
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Query path latency (%s, eps=%g, %d reps)\n", dsName, eps, opts.reps)
+	fmt.Fprintln(tw, "kind\tcells\tsat ns/q\titer ns/q\tspeedup")
+	dom := ds.Domain
+	for _, kind := range kinds {
+		for _, k := range []int{1, kind.m / 8, kind.m / 4, kind.m / 2, kind.m} {
+			cw := dom.Width() / float64(kind.m)
+			ch := dom.Height() / float64(kind.m)
+			r := geom.NewRect(dom.MinX, dom.MinY, dom.MinX+float64(k)*cw, dom.MinY+float64(k)*ch)
+			ns := make(map[string]float64, len(kind.paths))
+			for _, p := range kind.paths {
+				var sink float64
+				start := time.Now()
+				for i := 0; i < opts.reps; i++ {
+					sink += p.query(r)
+				}
+				ns[p.name] = float64(time.Since(start).Nanoseconds()) / float64(opts.reps)
+				_ = sink
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.1fx\n",
+				kind.name, k, ns["sat"], ns["iter"], ns["iter"]/ns["sat"])
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+type queryPerfOptions struct {
+	scale float64
+	reps  int
+	seed  int64
+}

@@ -109,6 +109,7 @@ func run(args []string) error {
 	listen := fs.String("listen", ":8080", "address to serve HTTP on")
 	readonly := fs.Bool("readonly", false, "disable PUT/DELETE /v1/synopses/<name>; serve only synopses loaded at startup")
 	cacheEntries := fs.Int("cache-entries", 4096, "result cache capacity in (synopsis, rect) answers; 0 disables caching")
+	mmap := fs.Bool("mmap", false, "serve -synopsis files from memory-mapped zero-copy views (falls back to a plain read where mmap is unavailable)")
 	maxInflight := fs.Int("max-inflight", 0, "reject API requests beyond this many in flight with 429; 0 means unlimited")
 	requestTimeout := fs.Duration("request-timeout", time.Minute, "per-request deadline for /v1 endpoints; 0 disables")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long graceful shutdown waits for in-flight requests")
@@ -172,7 +173,7 @@ func run(args []string) error {
 	// loop now.
 	fatal := make(chan error, 1)
 	go func() {
-		if err := loadSynopses(reg, syns); err != nil {
+		if err := loadSynopses(reg, syns, *mmap); err != nil {
 			fatal <- err
 			return
 		}
@@ -236,7 +237,7 @@ func serveUntilSignal(httpSrv *http.Server, drain time.Duration, fatal <-chan er
 // names are rejected up front — the flag map used to let the last
 // occurrence silently overwrite earlier ones, so a fat-fingered command
 // line would serve a different release than the operator listed.
-func loadSynopses(reg *registry, specs []string) error {
+func loadSynopses(reg *registry, specs []string, mmap bool) error {
 	paths := make(map[string]string, len(specs))
 	for _, spec := range specs {
 		name, path, _ := strings.Cut(spec, "=")
@@ -247,7 +248,7 @@ func loadSynopses(reg *registry, specs []string) error {
 	}
 	for _, spec := range specs {
 		name, path, _ := strings.Cut(spec, "=")
-		if err := reg.loadFile(name, path); err != nil {
+		if err := reg.loadFile(name, path, mmap); err != nil {
 			return err
 		}
 		log.Printf("loaded synopsis %q from %s", name, path)

@@ -205,13 +205,13 @@ func TestRegistryLoadFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := newRegistry()
-	if err := reg.loadFile("disk", path); err != nil {
+	if err := reg.loadFile("disk", path, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, ok := reg.get("disk"); !ok {
 		t.Fatal("loadFile did not register the synopsis")
 	}
-	if err := reg.loadFile("missing", filepath.Join(t.TempDir(), "absent.json")); err == nil {
+	if err := reg.loadFile("missing", filepath.Join(t.TempDir(), "absent.json"), false); err == nil {
 		t.Fatal("loading a missing file should error")
 	}
 }
@@ -301,7 +301,7 @@ func TestShardedServingEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := newRegistry()
-	if err := reg.loadFile("mosaic", path); err != nil {
+	if err := reg.loadFile("mosaic", path, false); err != nil {
 		t.Fatal(err)
 	}
 	srv := newTestServer(t, reg)
@@ -538,7 +538,7 @@ func TestMetadataOmitsDomainWithoutMetadata(t *testing.T) {
 }
 
 func TestLoadSynopsesRejectsDuplicateNames(t *testing.T) {
-	err := loadSynopses(newRegistry(), []string{"a=x.json", "b=y.json", "a=z.json"})
+	err := loadSynopses(newRegistry(), []string{"a=x.json", "b=y.json", "a=z.json"}, false)
 	if err == nil {
 		t.Fatal("duplicate -synopsis name accepted")
 	}
@@ -562,7 +562,7 @@ func TestLoadSynopsesLoadsAll(t *testing.T) {
 		}
 		specs = append(specs, name+"="+path)
 	}
-	if err := loadSynopses(reg, specs); err != nil {
+	if err := loadSynopses(reg, specs, false); err != nil {
 		t.Fatal(err)
 	}
 	if reg.count() != 2 {
@@ -581,7 +581,7 @@ func TestRegistryLoadsShardedManifestLazily(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := newRegistry()
-	if err := reg.loadFile("mosaic", path); err != nil {
+	if err := reg.loadFile("mosaic", path, false); err != nil {
 		t.Fatal(err)
 	}
 	got, _, ok := reg.get("mosaic")

@@ -35,7 +35,8 @@ type serverMetrics struct {
 	materializations *obs.CounterVec   // lazy shards decoded on first touch
 	cacheHits        *obs.CounterVec
 	cacheMisses      *obs.CounterVec
-	synopsisKind     *obs.InfoVec // container kind per served synopsis
+	satQueries       *obs.CounterVec // rects computed on the SAT fast path
+	synopsisKind     *obs.InfoVec    // container kind per served synopsis
 
 	// Registry and lifecycle counters.
 	decodeErrors *obs.Counter // rejected PUT bodies
@@ -44,10 +45,11 @@ type serverMetrics struct {
 	inflight atomic.Int64 // current in-flight API requests
 }
 
-// newServerMetrics registers dpserve's metric families. cacheEntries
-// and synopsisCount are sampled at scrape time, so the gauges always
-// report the live value without a write on any mutation path.
-func newServerMetrics(cacheEntries, synopsisCount func() float64) *serverMetrics {
+// newServerMetrics registers dpserve's metric families. cacheEntries,
+// synopsisCount, and mappedBytes are sampled at scrape time, so the
+// gauges always report the live value without a write on any mutation
+// path.
+func newServerMetrics(cacheEntries, synopsisCount, mappedBytes func() float64) *serverMetrics {
 	r := obs.NewRegistry()
 	m := &serverMetrics{reg: r}
 	m.queryRects = r.CounterVec("dpserve_query_rects_total",
@@ -62,6 +64,8 @@ func newServerMetrics(cacheEntries, synopsisCount func() float64) *serverMetrics
 		"Rectangle queries answered from the result cache, by synopsis.", "synopsis")
 	m.cacheMisses = r.CounterVec("dpserve_cache_misses_total",
 		"Rectangle queries computed from the synopsis, by synopsis.", "synopsis")
+	m.satQueries = r.CounterVec("dpserve_sat_queries_total",
+		"Rectangles computed on the stored summed-area O(1) fast path, by synopsis (cache hits excluded).", "synopsis")
 	m.synopsisKind = r.InfoVec("dpserve_synopsis_kind",
 		"Container kind of each registered synopsis (info pattern: value is always 1; join on the synopsis label).",
 		"synopsis", "kind")
@@ -73,6 +77,8 @@ func newServerMetrics(cacheEntries, synopsisCount func() float64) *serverMetrics
 		"Result cache entries currently held.", cacheEntries)
 	r.GaugeFunc("dpserve_synopses",
 		"Synopses currently registered.", synopsisCount)
+	r.GaugeFunc("dpserve_mapped_bytes",
+		"Bytes of synopsis files currently served through memory mappings (-mmap; 0 when unmapped or on the read fallback).", mappedBytes)
 	r.GaugeFunc("dpserve_inflight_requests",
 		"API requests currently being served.",
 		func() float64 { return float64(m.inflight.Load()) })
@@ -92,6 +98,7 @@ func (m *serverMetrics) forgetSynopsis(name string) {
 	m.materializations.Forget(name)
 	m.cacheHits.Forget(name)
 	m.cacheMisses.Forget(name)
+	m.satQueries.Forget(name)
 	m.synopsisKind.Forget(name)
 }
 
@@ -100,11 +107,21 @@ func (m *serverMetrics) forgetSynopsis(name string) {
 // outside the dpgrid registry have no kind and are labeled "unknown"
 // rather than omitted, so the info join never silently loses a name.
 func (m *serverMetrics) setSynopsisKind(name string, syn dpgrid.Synopsis) {
-	kind := dpgrid.SynopsisKind(syn)
+	kind := dpgrid.SynopsisKind(unwrap(syn))
 	if kind == "" {
 		kind = "unknown"
 	}
 	m.synopsisKind.Set(name, kind)
+}
+
+// unwrap reaches through serving wrappers (dpgrid.MappedSynopsis) to
+// the decoded synopsis, which is where the metadata interfaces (kind,
+// epsilon, domain, shard count) live.
+func unwrap(s dpgrid.Synopsis) dpgrid.Synopsis {
+	if u, ok := s.(interface{ Unwrap() dpgrid.Synopsis }); ok {
+		return u.Unwrap()
+	}
+	return s
 }
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition

@@ -88,12 +88,42 @@ func (r *registry) names() []string {
 // Binary sharded manifests load lazily: the file is fully validated,
 // but each shard's query structure is decoded only when traffic first
 // touches its tile, so startup cost and memory track the working set
-// rather than the mosaic size.
-func (r *registry) loadFile(name, path string) error {
-	s, err := dpgrid.ReadSynopsisFileLazy(path)
+// rather than the mosaic size. With mmap the file is served off a
+// memory-mapped zero-copy view instead (dpgrid.MapSynopsisFile): the
+// kernel page cache holds the float payload and heap cost tracks
+// descriptors, not grids. Mapped synopses are never explicitly closed —
+// replacement or retirement just drops the registry reference, because
+// an in-flight query reading mapped bytes at unmap time would fault;
+// the mapping lives until process exit, which for a serving daemon is
+// the correct lifetime.
+func (r *registry) loadFile(name, path string, mmap bool) error {
+	var s dpgrid.Synopsis
+	var err error
+	if mmap {
+		s, err = dpgrid.MapSynopsisFile(path)
+	} else {
+		s, err = dpgrid.ReadSynopsisFileLazy(path)
+	}
 	if err != nil {
 		return fmt.Errorf("load %q from %s: %w", name, path, err)
 	}
 	r.put(name, s)
 	return nil
+}
+
+// mappedBytes sums the memory-mapped image sizes across registered
+// synopses — the scrape-time value of the dpserve_mapped_bytes gauge.
+// The sum is int64 over a sorted-irrelevant map walk: integer addition
+// commutes exactly, so iteration order cannot change the reported
+// value.
+func (r *registry) mappedBytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, e := range r.syns {
+		if m, ok := e.syn.(interface{ MappedBytes() int64 }); ok {
+			total += m.MappedBytes()
+		}
+	}
+	return total
 }

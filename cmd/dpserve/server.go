@@ -67,6 +67,7 @@ func newDPServer(reg *registry, opts serverOptions) *server {
 	s.met = newServerMetrics(
 		func() float64 { return float64(s.cache.Len()) },
 		func() float64 { return float64(reg.count()) },
+		func() float64 { return float64(reg.mappedBytes()) },
 	)
 	// Startup-loaded synopses (-load) predate the metrics registry; seed
 	// their kind info series so /metrics describes the full serving set
@@ -137,6 +138,7 @@ type sharded interface {
 }
 
 func infoFor(name string, s dpgrid.Synopsis) synopsisInfo {
+	s = unwrap(s)
 	info := synopsisInfo{Name: name, Kind: dpgrid.SynopsisKind(s)}
 	if m, ok := s.(metadata); ok {
 		d := m.Domain()
@@ -373,6 +375,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				h.Observe(float64(f))
 			}
 			s.met.materializations.With(name).Add(uint64(st.materialized))
+		}
+		// Computed rects (cache hits excluded) against a SAT-backed
+		// synopsis ran the O(1) prefix fast path.
+		if sb, ok := syn.(interface{ SATBacked() bool }); ok && sb.SATBacked() {
+			s.met.satQueries.With(name).Add(uint64(st.misses))
 		}
 	}
 	writeJSON(w, http.StatusOK, queryResponse{Synopsis: req.Synopsis, Counts: counts})

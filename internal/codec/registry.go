@@ -33,10 +33,12 @@ type Kinder interface {
 
 // Info summarizes a payload's envelope-level fields — what a manifest
 // validator needs to cross-check an embedded shard without
-// materializing it.
+// materializing it. SAT reports whether the payload carries a stored
+// summed-area section (see SATTag); kinds without one leave it false.
 type Info struct {
 	Dom geom.Domain
 	Eps float64
+	SAT bool
 }
 
 // Registration describes one synopsis kind: its identity (container
@@ -58,6 +60,14 @@ type Registration struct {
 	// DecodeBinaryLazy, when set, is preferred by lazy read paths (e.g.
 	// sharded manifests that defer per-shard decoding).
 	DecodeBinaryLazy func(data []byte) (Synopsis, error)
+	// DecodeBinaryView, when set, decodes a container into a zero-copy
+	// view that answers queries directly from data's float sections —
+	// the mmap serving path. The returned synopsis retains data; the
+	// caller must keep it immutable and alive (e.g. an mmap'd file
+	// image) for the synopsis's lifetime. Kinds without a useful
+	// zero-copy structure leave it nil and mapped readers fall back to
+	// the copying decoder.
+	DecodeBinaryView func(data []byte) (Synopsis, error)
 	// DecodeJSON deserializes the kind's JSON encoding. Required when
 	// JSONFormat is set.
 	DecodeJSON func(data []byte) (Synopsis, error)

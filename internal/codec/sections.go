@@ -71,3 +71,62 @@ func CheckPrefixSumsRaw(raw []byte, mx, my int) error {
 	}
 	return nil
 }
+
+// SATTag marks the optional summed-area-table trailer a grid-backed
+// kind may append after its body: the u16 tag, then a length-prefixed
+// f64 section holding the (mx+1)*(my+1) prefix-sum table of the kind's
+// cell values. The tag's little-endian bytes render as ASCII "ST".
+const SATTag uint16 = 0x5453
+
+// SATSection appends the summed-area trailer: the SATTag marker
+// followed by the sums table as a length-prefixed f64 section.
+func (e *Enc) SATSection(sums []float64) {
+	e.U16(SATTag)
+	e.F64s(sums)
+}
+
+// SATSection consumes the optional summed-area trailer of an
+// (mx x my)-cell grid body, returning the raw (mx+1)*(my+1)-entry f64
+// section, or nil when the container ends before the trailer (the
+// section is optional; files written before it existed decode
+// unchanged). Structural failures — a wrong tag, a bad length prefix,
+// truncation inside the table — set the decoder's sticky error.
+// Value-level checks are the caller's, via CheckSATRaw.
+func (d *Dec) SATSection(mx, my int) []byte {
+	if d.err != nil || d.Remaining() == 0 {
+		return nil
+	}
+	if tag := d.U16(); d.err == nil && tag != SATTag {
+		d.fail("summed-area section tag %#04x, want %#04x", tag, SATTag)
+	}
+	return d.RawF64s((mx + 1) * (my + 1))
+}
+
+// CheckSATRaw validates an undecoded summed-area trailer against the
+// mx*my cell values it claims to summarize (cellAt returns the
+// row-major cell value at index i): the zero border and finiteness of
+// CheckPrefixSumsRaw, then every interior entry compared bit-for-bit
+// against the value grid.NewPrefix would compute — the recurrence
+// sums[(iy+1)*w+ix+1] = sums[iy*w+ix+1] + rowAcc, checked inductively
+// against the already-verified row above. A table that passes is
+// bitwise identical to the one a reader ignoring the section would
+// rebuild, which is what keeps SAT-backed and rebuild-path answers
+// bit-identical and the encoding canonical.
+func CheckSATRaw(sat []byte, mx, my int, cellAt func(i int) float64) error {
+	if err := CheckPrefixSumsRaw(sat, mx, my); err != nil {
+		return err
+	}
+	w := mx + 1
+	for iy := 0; iy < my; iy++ {
+		var rowAcc float64
+		for ix := 0; ix < mx; ix++ {
+			rowAcc += cellAt(iy*mx + ix)
+			want := F64At(sat, iy*w+ix+1) + rowAcc
+			got := F64At(sat, (iy+1)*w+ix+1)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				return fmt.Errorf("codec: summed-area entry (%d,%d) is %g, want %g (inconsistent with cell values)", ix+1, iy+1, got, want)
+			}
+		}
+	}
+	return nil
+}

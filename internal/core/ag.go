@@ -74,11 +74,12 @@ type AdaptiveGrid struct {
 	alpha float64
 	m1    int
 
-	cells    []agCell     // row-major m1*m1
-	level1   *grid.Prefix // prefix sums over post-inference cell totals
-	leafPop  int          // total number of leaf cells (diagnostics)
-	maxM2    int          // largest m2 chosen (diagnostics)
-	epsLevel [2]float64   // actual budget split (diagnostics)
+	cells     []agCell     // row-major m1*m1
+	level1    *grid.Prefix // prefix sums over post-inference cell totals
+	leafPop   int          // total number of leaf cells (diagnostics)
+	maxM2     int          // largest m2 chosen (diagnostics)
+	epsLevel  [2]float64   // actual budget split (diagnostics)
+	satBacked bool         // level1 adopted from a stored SAT section on decode
 }
 
 // agCell holds one first-level cell's second-level synopsis.
@@ -370,9 +371,23 @@ func (a *AdaptiveGrid) Query(r geom.Rect) float64 {
 	m1 := a.m1
 	w, h := a.dom.CellSize(m1, m1)
 	bx0 := clampInt(int(math.Floor((clipped.MinX-a.dom.MinX)/w)), 0, m1-1)
-	bx1 := clampInt(int(math.Floor((clipped.MaxX-a.dom.MinX)/w)), 0, m1-1)
 	by0 := clampInt(int(math.Floor((clipped.MinY-a.dom.MinY)/h)), 0, m1-1)
-	by1 := clampInt(int(math.Floor((clipped.MaxY-a.dom.MinY)/h)), 0, m1-1)
+	// The high edges are half-open: a rect whose MaxX lands exactly on a
+	// cell boundary has zero overlap with the next column, so Ceil-1
+	// (clamped against the low edge for zero-extent rects) excludes it.
+	// Floor would include a column contributing exactly 0, which costs
+	// boundary work and blocks the aligned fast path below.
+	bx1 := clampInt(int(math.Ceil((clipped.MaxX-a.dom.MinX)/w))-1, bx0, m1-1)
+	by1 := clampInt(int(math.Ceil((clipped.MaxY-a.dom.MinY)/h))-1, by0, m1-1)
+
+	// Aligned fast path: a rect containing every touched first-level
+	// cell outright is one O(1) block sum off the level-1 table — no
+	// per-boundary-cell work. Full-domain queries and any cell-aligned
+	// rect take this branch.
+	lo, hi := &a.cells[by0*m1+bx0], &a.cells[by1*m1+bx1]
+	if clipped.ContainsRect(geom.NewRect(lo.rect.MinX, lo.rect.MinY, hi.rect.MaxX, hi.rect.MaxY)) {
+		return a.level1.BlockSum(bx0, by0, bx1+1, by1+1)
+	}
 
 	// Interior first-level cells (strictly inside the touched range) are
 	// fully covered: O(1) via the level-1 prefix table.
@@ -411,6 +426,47 @@ func (a *AdaptiveGrid) Query(r geom.Rect) float64 {
 func (a *AdaptiveGrid) QueryBatch(rs []geom.Rect) []float64 {
 	return pool.Map(rs, 0, a.Query)
 }
+
+// QueryIter answers r by iterating every touched leaf cell directly —
+// the O(touched leaves) baseline the two-level prefix strategy
+// replaces, kept as the differential-test and benchmark reference. Leaf
+// values are read back out of the per-cell prefix tables one at a time,
+// so the answer reflects the same released counts as Query without any
+// block-sum shortcuts.
+func (a *AdaptiveGrid) QueryIter(r geom.Rect) float64 {
+	clipped, ok := a.dom.Clip(r)
+	if !ok {
+		return 0
+	}
+	m1 := a.m1
+	w, h := a.dom.CellSize(m1, m1)
+	bx0 := clampInt(int(math.Floor((clipped.MinX-a.dom.MinX)/w)), 0, m1-1)
+	bx1 := clampInt(int(math.Floor((clipped.MaxX-a.dom.MinX)/w)), 0, m1-1)
+	by0 := clampInt(int(math.Floor((clipped.MinY-a.dom.MinY)/h)), 0, m1-1)
+	by1 := clampInt(int(math.Floor((clipped.MaxY-a.dom.MinY)/h)), 0, m1-1)
+	var total float64
+	for by := by0; by <= by1; by++ {
+		for bx := bx0; bx <= bx1; bx++ {
+			cell := &a.cells[by*m1+bx]
+			cellDom := geom.Domain{Rect: cell.rect}
+			for ly := 0; ly < cell.m2; ly++ {
+				for lx := 0; lx < cell.m2; lx++ {
+					f := cellDom.CellRect(lx, ly, cell.m2, cell.m2).OverlapFraction(clipped)
+					if f > 0 {
+						total += f * cell.leaves.BlockSum(lx, ly, lx+1, ly+1)
+					}
+				}
+			}
+		}
+	}
+	return total
+}
+
+// SATBacked reports whether the synopsis's level-1 prefix table was
+// adopted from a stored summed-area section rather than rebuilt — true
+// exactly for synopses decoded from containers carrying the SAT
+// trailer.
+func (a *AdaptiveGrid) SATBacked() bool { return a.satBacked }
 
 // M1 returns the first-level grid size.
 func (a *AdaptiveGrid) M1() int { return a.m1 }

@@ -325,3 +325,162 @@ func TestBinaryLayoutIsLittleEndian(t *testing.T) {
 		t.Fatalf("epsilon on the wire = %g, want 0.75", got)
 	}
 }
+
+// buildRawUGSAT is buildRawUG plus an arbitrary summed-area trailer, so
+// tests can plant trailers the encoder would never emit. A nil sums
+// slice with tag set writes the tag and a zero-length section; tag 0
+// writes codec.SATTag.
+func buildRawUGSAT(counts, sums []float64, tag uint16) []byte {
+	e := codec.NewEnc(nil, codec.KindUniform)
+	for _, v := range [4]float64{0, 0, 1, 1} {
+		e.F64(v)
+	}
+	e.F64(1) // eps
+	e.U32(2) // m
+	e.U32(2) // mx
+	e.U32(2) // my
+	e.F64s(counts)
+	if tag == 0 {
+		tag = codec.SATTag
+	}
+	e.U16(tag)
+	e.F64s(sums)
+	return e.Bytes()
+}
+
+// TestSATTrailerRejectsCorrupt: every malformed trailer must fail both
+// Parse and Validate — wrong tag, wrong length, truncation, border
+// violations, non-finite entries, and entries inconsistent with the
+// counts. The last case is the critical one: a structurally perfect
+// prefix table whose values disagree with the body would silently
+// change answers between SAT-backed and rebuild readers.
+func TestSATTrailerRejectsCorrupt(t *testing.T) {
+	counts := []float64{1, 2, 3, 4}
+	// The canonical trailer for counts on a 2x2 grid (what NewPrefix
+	// computes): border zeros, then prefix sums.
+	good := []float64{
+		0, 0, 0,
+		0, 1, 3,
+		0, 4, 10,
+	}
+	if _, err := ParseUniformGridBinary(buildRawUGSAT(counts, good, 0)); err != nil {
+		t.Fatalf("canonical trailer rejected: %v", err)
+	}
+
+	mutate := func(i int, v float64) []float64 {
+		out := append([]float64(nil), good...)
+		out[i] = v
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"wrong tag", buildRawUGSAT(counts, good, 0x5454)},
+		{"short table", buildRawUGSAT(counts, good[:8], 0)},
+		{"long table", buildRawUGSAT(counts, append(mutate(0, 0), 11), 0)},
+		{"empty table", buildRawUGSAT(counts, nil, 0)},
+		{"nonzero first row", buildRawUGSAT(counts, mutate(1, 5), 0)},
+		{"nonzero first col", buildRawUGSAT(counts, mutate(3, 5), 0)},
+		{"nan entry", buildRawUGSAT(counts, mutate(4, math.NaN()), 0)},
+		{"inf entry", buildRawUGSAT(counts, mutate(8, math.Inf(1)), 0)},
+		{"inconsistent interior", buildRawUGSAT(counts, mutate(4, 2), 0)},
+		{"inconsistent corner", buildRawUGSAT(counts, mutate(8, 10.000000000000002), 0)},
+		{"trailing bytes after trailer", append(buildRawUGSAT(counts, good, 0), 0)},
+		{"truncated inside trailer", buildRawUGSAT(counts, good, 0)[:len(buildRawUGSAT(counts, good, 0))-4]},
+	}
+	for _, tc := range cases {
+		if _, err := ParseUniformGridBinary(tc.data); err == nil {
+			t.Errorf("%s: parse accepted", tc.name)
+		}
+		if _, err := ValidateUniformGridBinary(tc.data); err == nil {
+			t.Errorf("%s: validate accepted", tc.name)
+		}
+		if _, err := ParseUniformGridBinaryView(tc.data); err == nil {
+			t.Errorf("%s: view accepted", tc.name)
+		}
+	}
+}
+
+// TestSATTrailerOptional: a container ending right after its body (the
+// pre-trailer format) is accepted by every decode path, and the view
+// parser falls back to a materializing decode.
+func TestSATTrailerOptional(t *testing.T) {
+	data := buildRawUG([4]float64{0, 0, 1, 1}, 1, 2, 2, 2, []float64{1, 2, 3, 4})
+	if _, err := ParseUniformGridBinary(data); err != nil {
+		t.Fatalf("trailerless container rejected: %v", err)
+	}
+	info, err := ValidateUniformGridBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SAT {
+		t.Error("trailerless container validated with SAT=true")
+	}
+	view, err := ParseUniformGridBinaryView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isView := view.(*UGView); isView {
+		t.Error("view decode of a trailerless container returned a zero-copy view")
+	}
+}
+
+// TestValidateReportsSAT: Validate's Info.SAT mirrors trailer presence,
+// which is what lets a sharded manifest report SATBacked for its whole
+// mosaic.
+func TestValidateReportsSAT(t *testing.T) {
+	ugBin, _ := testUG(t).AppendBinary(nil)
+	info, err := ValidateUniformGridBinary(ugBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SAT {
+		t.Error("encoder-produced UG container validated with SAT=false")
+	}
+	agBin, _ := testAG(t).AppendBinary(nil)
+	info, err = ValidateAdaptiveGridBinary(agBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.SAT {
+		t.Error("encoder-produced AG container validated with SAT=false")
+	}
+}
+
+// TestAGSATTrailerRejectsInconsistent plants an AG trailer whose
+// entries disagree with the per-cell table totals.
+func TestAGSATTrailerRejectsInconsistent(t *testing.T) {
+	mk := func(sat []float64) []byte {
+		e := codec.NewEnc(nil, codec.KindAdaptive)
+		for _, v := range [4]float64{0, 0, 1, 1} {
+			e.F64(v)
+		}
+		e.F64(1)   // eps
+		e.F64(0.5) // alpha
+		e.U32(1)   // m1
+		e.U32(1)   // cell 0: m2 = 1 -> 2x2 sums, total 5
+		e.F64s([]float64{0, 0, 0, 5})
+		e.U16(codec.SATTag)
+		e.F64s(sat)
+		return e.Bytes()
+	}
+	if _, err := ParseAdaptiveGridBinary(mk([]float64{0, 0, 0, 5})); err != nil {
+		t.Fatalf("consistent AG trailer rejected: %v", err)
+	}
+	for name, sat := range map[string][]float64{
+		"wrong total":    {0, 0, 0, 6},
+		"nonzero border": {0, 5, 0, 5},
+		"short":          {0, 0, 0},
+	} {
+		if _, err := ParseAdaptiveGridBinary(mk(sat)); err == nil {
+			t.Errorf("%s: parse accepted", name)
+		}
+		if _, err := ValidateAdaptiveGridBinary(mk(sat)); err == nil {
+			t.Errorf("%s: validate accepted", name)
+		}
+		if _, err := ParseAdaptiveGridBinaryView(mk(sat)); err == nil {
+			t.Errorf("%s: view accepted", name)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+// Differential query-equivalence suite for the summed-area fast path.
+// Every container now carries a SAT trailer, which opens three ways to
+// answer the same query: the SAT-backed materialized decode, the
+// decode of the same container with the trailer stripped (the rebuild
+// path old readers take), and the zero-copy view over the raw trailer
+// bytes. Those three must agree BIT FOR BIT — the trailer is checked
+// bitwise against the body at decode time, and RawPrefix performs
+// Prefix's arithmetic on identical values in identical order. The
+// cell-iteration baseline (QueryIter) sums the same released counts in
+// a different order, so it is held to a magnitude-scaled tolerance
+// instead.
+
+// satRects is the rect battery: interior, edge-straddling, single-cell,
+// sliver, zero-area, full-domain, beyond-domain, and corner cases.
+func satRects(dom geom.Domain) []geom.Rect {
+	w, h := dom.Width(), dom.Height()
+	return []geom.Rect{
+		dom.Rect, // full domain exactly
+		geom.NewRect(dom.MinX-w, dom.MinY-h, dom.MaxX+w, dom.MaxY+h),                     // superset
+		geom.NewRect(dom.MinX+0.25*w, dom.MinY+0.25*h, dom.MaxX-0.25*w, dom.MaxY-0.25*h), // interior
+		geom.NewRect(dom.MinX-0.5*w, dom.MinY+0.1*h, dom.MinX+0.5*w, dom.MaxY+0.5*h),     // straddles left+top edges
+		geom.NewRect(dom.MinX+0.41*w, dom.MinY+0.37*h, dom.MinX+0.44*w, dom.MinY+0.39*h), // sub-cell sliver
+		geom.NewRect(dom.MinX+0.5*w, dom.MinY+0.5*h, dom.MinX+0.5*w, dom.MaxY),           // zero width
+		geom.NewRect(dom.MinX, dom.MinY, dom.MinX, dom.MinY),                             // zero area at corner
+		geom.NewRect(dom.MaxX+1, dom.MaxY+1, dom.MaxX+2, dom.MaxY+2),                     // fully outside
+		geom.NewRect(dom.MinX, dom.MinY, dom.MinX+w/64, dom.MinY+h/64),                   // tiny corner cell
+		geom.NewRect(dom.MinX+1e-9, dom.MinY+1e-9, dom.MaxX-1e-9, dom.MaxY-1e-9),         // almost full
+	}
+}
+
+// stripSAT removes the summed-area trailer from a UG or AG container
+// using the pinned wire layout (the layout test below keeps the offsets
+// honest), yielding the container an older writer would have produced.
+func stripSAT(t *testing.T, data []byte) []byte {
+	t.Helper()
+	satLen := satTrailerLen(t, data)
+	stripped := bytes.Clone(data[: len(data)-satLen : len(data)-satLen])
+	return stripped
+}
+
+// satTrailerLen computes the trailer's byte length from the container's
+// own dimension fields: tag (2) + length prefix (8) + (mx+1)*(my+1)
+// float64s.
+func satTrailerLen(t *testing.T, data []byte) int {
+	t.Helper()
+	d, kind, err := codec.NewDec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Domain(); err != nil {
+		t.Fatal(err)
+	}
+	d.F64() // eps
+	var mx, my int
+	switch kind {
+	case codec.KindUniform:
+		d.Int32() // m
+		mx, my = d.Int32(), d.Int32()
+	case codec.KindAdaptive:
+		d.F64() // alpha
+		mx = d.Int32()
+		my = mx
+	default:
+		t.Fatalf("satTrailerLen: kind %v", kind)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return 2 + 8 + 8*(mx+1)*(my+1)
+}
+
+// satVariant is one way of answering queries about the same release.
+type satVariant struct {
+	name string
+	syn  codec.Synopsis
+}
+
+// iterQuerier is the cell-iteration diagnostic surface.
+type iterQuerier interface {
+	QueryIter(r geom.Rect) float64
+}
+
+// ugVariants builds a UG of grid size m and returns the bit-identical
+// query paths plus the freshly built synopsis (also bit-identical: the
+// encoder serializes its exact tables) and the iteration baseline.
+func ugVariants(t *testing.T, m int) (dom geom.Domain, exact []satVariant, iter iterQuerier, scale float64) {
+	t.Helper()
+	dom = geom.MustDomain(-10, 5, 30, 45)
+	u, err := BuildUniformGrid(clusteredPoints(int64(900+m), 4000, dom), dom, 0.8, UGOptions{GridSize: m}, noise.NewSource(int64(900+m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := u.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	satDec, err := ParseUniformGridBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !satDec.SATBacked() {
+		t.Fatal("decode of a SAT-bearing container is not SAT-backed")
+	}
+	stripped, err := ParseUniformGridBinary(stripSAT(t, data))
+	if err != nil {
+		t.Fatalf("stripped container rejected: %v", err)
+	}
+	if stripped.SATBacked() {
+		t.Fatal("decode of a stripped container claims SAT backing")
+	}
+	view, err := ParseUniformGridBinaryView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := view.(*UGView); !ok {
+		t.Fatalf("view decode returned %T, want *UGView", view)
+	}
+	for _, v := range u.noisy.Values() {
+		scale += math.Abs(v)
+	}
+	return dom, []satVariant{
+		{"built", u},
+		{"sat-decode", satDec},
+		{"stripped-decode", stripped},
+		{"view", view},
+	}, satDec, scale
+}
+
+// agVariants is ugVariants for AG at first-level size m1.
+func agVariants(t *testing.T, m1 int) (dom geom.Domain, exact []satVariant, iter iterQuerier, scale float64) {
+	t.Helper()
+	dom = geom.MustDomain(0, 0, 20, 20)
+	a, err := BuildAdaptiveGrid(clusteredPoints(int64(700+m1), 6000, dom), dom, 1.1,
+		AGOptions{M1: m1, Alpha: 0.4, MaxM2: 6}, noise.NewSource(int64(700+m1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := a.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	satDec, err := ParseAdaptiveGridBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !satDec.SATBacked() {
+		t.Fatal("decode of a SAT-bearing container is not SAT-backed")
+	}
+	stripped, err := ParseAdaptiveGridBinary(stripSAT(t, data))
+	if err != nil {
+		t.Fatalf("stripped container rejected: %v", err)
+	}
+	if stripped.SATBacked() {
+		t.Fatal("decode of a stripped container claims SAT backing")
+	}
+	view, err := ParseAdaptiveGridBinaryView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := view.(*AGView); !ok {
+		t.Fatalf("view decode returned %T, want *AGView", view)
+	}
+	for k := range a.cells {
+		scale += math.Abs(a.cells[k].leaves.Total())
+	}
+	// The freshly built AG is NOT in the exact set: its level-1 table
+	// holds the constrained-inference v' totals, which the file cannot
+	// carry (see encodeSAT); decode-side paths agree bitwise among
+	// themselves and with the iteration baseline to tolerance.
+	return dom, []satVariant{
+		{"sat-decode", satDec},
+		{"stripped-decode", stripped},
+		{"view", view},
+	}, satDec, scale
+}
+
+// checkEquivalence runs the rect battery against every variant: decode
+// variants bitwise-equal, iteration baseline within a magnitude-scaled
+// tolerance.
+func checkEquivalence(t *testing.T, dom geom.Domain, exact []satVariant, iter iterQuerier, scale float64) {
+	t.Helper()
+	tol := math.Max(scale, 1) * 1e-11
+	for ri, r := range satRects(dom) {
+		base := exact[0].syn.Query(r)
+		for _, v := range exact[1:] {
+			if got := v.syn.Query(r); math.Float64bits(got) != math.Float64bits(base) {
+				t.Errorf("rect %d %v: %s answered %v, %s answered %v (want bitwise equal)",
+					ri, r, exact[0].name, base, v.name, got)
+			}
+		}
+		if it := iter.QueryIter(r); math.Abs(it-base) > tol {
+			t.Errorf("rect %d %v: iteration baseline %g differs from prefix answer %g by %g (tol %g)",
+				ri, r, it, base, it-base, tol)
+		}
+	}
+}
+
+// TestSATDifferentialUG: all UG query paths agree across grid sizes,
+// including m=1 (single cell) and m=64 (many cells per query).
+func TestSATDifferentialUG(t *testing.T) {
+	for _, m := range []int{1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("m=%d", m), func(t *testing.T) {
+			dom, exact, iter, scale := ugVariants(t, m)
+			checkEquivalence(t, dom, exact, iter, scale)
+		})
+	}
+}
+
+// TestSATDifferentialAG: all AG decode paths agree across first-level
+// sizes.
+func TestSATDifferentialAG(t *testing.T) {
+	for _, m1 := range []int{1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("m1=%d", m1), func(t *testing.T) {
+			dom, exact, iter, scale := agVariants(t, m1)
+			checkEquivalence(t, dom, exact, iter, scale)
+		})
+	}
+}
+
+// TestSATDifferentialConcurrent re-runs the battery from 1, 2, and
+// GOMAXPROCS workers simultaneously against shared synopses — under
+// -race this proves the SAT-backed and zero-copy paths are free of
+// hidden mutable state.
+func TestSATDifferentialConcurrent(t *testing.T) {
+	domUG, exactUG, iterUG, scaleUG := ugVariants(t, 7)
+	domAG, exactAG, iterAG, scaleAG := agVariants(t, 7)
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					checkEquivalence(t, domUG, exactUG, iterUG, scaleUG)
+					checkEquivalence(t, domAG, exactAG, iterAG, scaleAG)
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestSATStrippedReencodeGainsTrailer pins forward compatibility: a
+// container stripped of its trailer decodes, and re-encoding that
+// decoded synopsis reproduces the original trailer bit for bit (the
+// trailer is a pure function of the body).
+func TestSATStrippedReencodeGainsTrailer(t *testing.T) {
+	u := testUG(t)
+	data, err := u.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := ParseUniformGridBinary(stripSAT(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := stripped.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Fatal("re-encoding a stripped-decode UG did not reproduce the SAT-bearing container")
+	}
+
+	a := testAG(t)
+	agData, err := a.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agStripped, err := ParseAdaptiveGridBinary(stripSAT(t, agData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agAgain, err := agStripped.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(agAgain, agData) {
+		t.Fatal("re-encoding a stripped-decode AG did not reproduce the SAT-bearing container")
+	}
+}
+
+// TestSATViewReencodeVerbatim: the zero-copy views re-encode by
+// returning their retained container bytes unchanged.
+func TestSATViewReencodeVerbatim(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		data  func(t *testing.T) []byte
+		parse func([]byte) (codec.Synopsis, error)
+	}{
+		{"ug", func(t *testing.T) []byte { d, err := testUG(t).AppendBinary(nil); mustNoErr(t, err); return d }, ParseUniformGridBinaryView},
+		{"ag", func(t *testing.T) []byte { d, err := testAG(t).AppendBinary(nil); mustNoErr(t, err); return d }, ParseAdaptiveGridBinaryView},
+	} {
+		data := tc.data(t)
+		view, err := tc.parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		ba, ok := view.(interface{ AppendBinary([]byte) ([]byte, error) })
+		if !ok {
+			t.Fatalf("%s: view lacks AppendBinary", tc.name)
+		}
+		again, err := ba.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Errorf("%s: view re-encode changed bytes", tc.name)
+		}
+	}
+}
+
+// TestSATViewMetadata: views report the same envelope metadata as the
+// materialized decode.
+func TestSATViewMetadata(t *testing.T) {
+	u := testUG(t)
+	data, err := u.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := ParseUniformGridBinaryView(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uv := view.(*UGView)
+	if uv.Epsilon() != u.Epsilon() || uv.Domain() != u.Domain() || uv.GridSize() != u.GridSize() {
+		t.Errorf("UG view metadata: eps %g dom %v m %d", uv.Epsilon(), uv.Domain(), uv.GridSize())
+	}
+	mx, my := u.Dims()
+	if vmx, vmy := uv.Dims(); vmx != mx || vmy != my {
+		t.Errorf("UG view dims %dx%d, want %dx%d", vmx, vmy, mx, my)
+	}
+	if got, want := uv.TotalEstimate(), u.TotalEstimate(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("UG view TotalEstimate %v, want %v", got, want)
+	}
+
+	a := testAG(t)
+	agData, err := a.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agView, err := ParseAdaptiveGridBinaryView(agData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := agView.(*AGView)
+	if av.Epsilon() != a.Epsilon() || av.Domain() != a.Domain() || av.M1() != a.M1() || av.Alpha() != a.Alpha() {
+		t.Errorf("AG view metadata: eps %g dom %v m1 %d alpha %g", av.Epsilon(), av.Domain(), av.M1(), av.Alpha())
+	}
+	agDec, err := ParseAdaptiveGridBinary(agData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := av.TotalEstimate(), agDec.TotalEstimate(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("AG view TotalEstimate %v, want decoded %v", got, want)
+	}
+}
+
+// TestSATViewBatch: QueryBatch through the views matches per-rect Query
+// bitwise in input order.
+func TestSATViewBatch(t *testing.T) {
+	dom, exact, _, _ := ugVariants(t, 7)
+	view := exact[len(exact)-1].syn.(*UGView)
+	rects := satRects(dom)
+	got := view.QueryBatch(rects)
+	for i, r := range rects {
+		if want := view.Query(r); math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Errorf("rect %d: batch %v, single %v", i, got[i], want)
+		}
+	}
+}
+
+func mustNoErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

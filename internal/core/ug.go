@@ -50,12 +50,13 @@ type UGOptions struct {
 // square data-unit cells under UGOptions.AspectAware). Queries are
 // answered with the uniformity assumption for partially covered cells.
 type UniformGrid struct {
-	dom    geom.Domain
-	eps    float64
-	m      int // nominal Guideline 1 size
-	mx, my int // actual grid dimensions (mx = my = m unless aspect-aware)
-	noisy  *grid.Counts
-	prefix *grid.Prefix
+	dom       geom.Domain
+	eps       float64
+	m         int // nominal Guideline 1 size
+	mx, my    int // actual grid dimensions (mx = my = m unless aspect-aware)
+	noisy     *grid.Counts
+	prefix    *grid.Prefix
+	satBacked bool // prefix adopted from a stored SAT section on decode
 }
 
 // BuildUniformGrid constructs a UG synopsis of points over dom under
@@ -167,6 +168,18 @@ func (u *UniformGrid) Query(r geom.Rect) float64 { return u.prefix.Query(r) }
 func (u *UniformGrid) QueryBatch(rs []geom.Rect) []float64 {
 	return pool.Map(rs, 0, u.Query)
 }
+
+// QueryIter answers r by iterating the covered cells directly — the
+// O(covered cells) baseline the prefix path replaces. It exists as the
+// differential-test and benchmark reference: the SAT-backed O(1) path
+// must agree with it to within float-summation reordering.
+func (u *UniformGrid) QueryIter(r geom.Rect) float64 { return u.noisy.QueryIter(r) }
+
+// SATBacked reports whether the synopsis's prefix table was adopted
+// from a stored summed-area section rather than rebuilt from counts —
+// true exactly for synopses decoded from containers carrying the SAT
+// trailer.
+func (u *UniformGrid) SATBacked() bool { return u.satBacked }
 
 // GridSize returns the nominal grid size m (Guideline 1's value).
 func (u *UniformGrid) GridSize() int { return u.m }

@@ -147,6 +147,35 @@ func (c *Counts) QueryNaive(r geom.Rect) float64 {
 	return total
 }
 
+// QueryIter answers a range query by iterating only the covered cells
+// and applying the uniformity estimate per cell — the cell-iteration
+// baseline the prefix-table fast path is measured against. Cost grows
+// with the number of covered cells (superlinear in rect side length),
+// where Prefix.Query stays O(1); the BenchmarkQueryRect trajectory in
+// internal/core records the gap. Answers match Query up to float
+// association order.
+func (c *Counts) QueryIter(r geom.Rect) float64 {
+	clipped, ok := c.dom.Clip(r)
+	if !ok {
+		return 0
+	}
+	w, h := c.dom.CellSize(c.mx, c.my)
+	ix0 := clampInt(int(math.Floor((clipped.MinX-c.dom.MinX)/w)), 0, c.mx-1)
+	ix1 := clampInt(int(math.Floor((clipped.MaxX-c.dom.MinX)/w)), 0, c.mx-1)
+	iy0 := clampInt(int(math.Floor((clipped.MinY-c.dom.MinY)/h)), 0, c.my-1)
+	iy1 := clampInt(int(math.Floor((clipped.MaxY-c.dom.MinY)/h)), 0, c.my-1)
+	var total float64
+	for iy := iy0; iy <= iy1; iy++ {
+		for ix := ix0; ix <= ix1; ix++ {
+			f := c.CellRect(ix, iy).OverlapFraction(clipped)
+			if f > 0 {
+				total += f * c.vals[iy*c.mx+ix]
+			}
+		}
+	}
+	return total
+}
+
 // Prefix is an immutable prefix-sum view of a Counts grid providing O(1)
 // uniformity-estimate range queries. Build it once after the grid's counts
 // are final (e.g. after noise and constrained inference).

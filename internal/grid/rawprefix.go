@@ -1,0 +1,122 @@
+package grid
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/dpgrid/dpgrid/internal/geom"
+)
+
+// RawPrefix is a zero-copy Prefix: the same O(1) uniformity-estimate
+// range queries, answered directly from a serialized little-endian
+// (mx+1) x (my+1) sums table without materializing a []float64. It is
+// what the mmap serving path builds over a file's stored summed-area
+// section — each lookup is a single 8-byte load plus a bit cast, so a
+// query touches at most 36 mapped bytes regardless of rect size and
+// decode allocates nothing proportional to the grid.
+//
+// The table bytes are borrowed, not owned: the caller must keep them
+// immutable and alive (e.g. an mmap'd file image) for the RawPrefix's
+// lifetime. Query and BlockSum perform the arithmetic of Prefix.Query
+// and Prefix.BlockSum on identical float64 values in identical order,
+// so answers are bit-for-bit equal to the materialized path's — the
+// differential suite in internal/core locks that equivalence.
+type RawPrefix struct {
+	dom    geom.Domain
+	mx, my int
+	raw    []byte // (mx+1)*(my+1) little-endian float64s, row-major
+}
+
+// RawPrefixFromSection wraps a serialized sums table (as returned by
+// codec.Dec.SATSection or Dec.RawF64s) without copying it. It validates
+// the table's shape and zero border like PrefixFromSums; value-level
+// checks (finiteness, consistency with the cell values) are the
+// serializer's, via codec.CheckSATRaw.
+func RawPrefixFromSection(dom geom.Domain, mx, my int, raw []byte) (*RawPrefix, error) {
+	if mx <= 0 || my <= 0 {
+		return nil, fmt.Errorf("grid: dimensions must be positive, got %dx%d", mx, my)
+	}
+	if mx > MaxCells || my > MaxCells || int64(mx)*int64(my) > MaxCells {
+		return nil, fmt.Errorf("grid: %dx%d grid too large", mx, my)
+	}
+	p := &RawPrefix{dom: dom, mx: mx, my: my, raw: raw}
+	if want := (mx + 1) * (my + 1) * 8; len(raw) != want {
+		return nil, fmt.Errorf("grid: sums section holds %d bytes, want (mx+1)*(my+1)*8 = %d", len(raw), want)
+	}
+	for ix := 0; ix <= mx; ix++ {
+		if v := p.at(ix); v != 0 {
+			return nil, fmt.Errorf("grid: sums table row 0 entry %d is %g, want 0", ix, v)
+		}
+	}
+	for iy := 0; iy <= my; iy++ {
+		if v := p.at(iy * (mx + 1)); v != 0 {
+			return nil, fmt.Errorf("grid: sums table column 0 entry %d is %g, want 0", iy, v)
+		}
+	}
+	return p, nil
+}
+
+// at decodes entry i of the table in place: one aligned-or-not 8-byte
+// load and a bit cast, no allocation.
+func (p *RawPrefix) at(i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(p.raw[8*i:]))
+}
+
+// Domain returns the domain of the underlying grid.
+func (p *RawPrefix) Domain() geom.Domain { return p.dom }
+
+// Dims returns the underlying grid dimensions.
+func (p *RawPrefix) Dims() (mx, my int) { return p.mx, p.my }
+
+// Total returns the sum of all cells.
+func (p *RawPrefix) Total() float64 { return p.at(p.my*(p.mx+1) + p.mx) }
+
+// BlockSum returns the exact sum of cells with ix in [ix0, ix1) and iy
+// in [iy0, iy1). Indices are clamped to the grid. The arithmetic
+// mirrors Prefix.BlockSum term for term.
+func (p *RawPrefix) BlockSum(ix0, iy0, ix1, iy1 int) float64 {
+	ix0 = clampInt(ix0, 0, p.mx)
+	ix1 = clampInt(ix1, 0, p.mx)
+	iy0 = clampInt(iy0, 0, p.my)
+	iy1 = clampInt(iy1, 0, p.my)
+	if ix0 >= ix1 || iy0 >= iy1 {
+		return 0
+	}
+	w := p.mx + 1
+	return p.at(iy1*w+ix1) - p.at(iy0*w+ix1) - p.at(iy1*w+ix0) + p.at(iy0*w+ix0)
+}
+
+// Query answers the range-count query r under the uniformity
+// assumption, clipped to the domain. It duplicates Prefix.Query rather
+// than sharing it through an interface: the sums lookup sits in the
+// innermost loop of the serving hot path, and an indirect per-entry
+// call would defeat the point of the zero-copy view. The differential
+// equivalence suite keeps the two implementations answer-identical.
+func (p *RawPrefix) Query(r geom.Rect) float64 {
+	clipped, ok := p.dom.Clip(r)
+	if !ok {
+		return 0
+	}
+	w, h := p.dom.CellSize(p.mx, p.my)
+	loX := (clipped.MinX - p.dom.MinX) / w
+	hiX := (clipped.MaxX - p.dom.MinX) / w
+	loY := (clipped.MinY - p.dom.MinY) / h
+	hiY := (clipped.MaxY - p.dom.MinY) / h
+	loX = clampFloat(loX, 0, float64(p.mx))
+	hiX = clampFloat(hiX, 0, float64(p.mx))
+	loY = clampFloat(loY, 0, float64(p.my))
+	hiY = clampFloat(hiY, 0, float64(p.my))
+
+	var xbuf, ybuf [3]axisSpan
+	xs := axisSpans(loX, hiX, p.mx, xbuf[:0])
+	ys := axisSpans(loY, hiY, p.my, ybuf[:0])
+
+	var total float64
+	for _, sy := range ys {
+		for _, sx := range xs {
+			total += sx.w * sy.w * p.BlockSum(sx.i0, sy.i0, sx.i1, sy.i1)
+		}
+	}
+	return total
+}

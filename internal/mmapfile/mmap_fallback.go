@@ -1,0 +1,22 @@
+//go:build (!linux && !darwin) || dpgrid_nommap
+
+package mmapfile
+
+import "os"
+
+// open reads the file into heap memory — the portable fallback for
+// platforms without the mmap syscall surface, and the mode the
+// dpgrid_nommap build tag forces so CI can prove the serving stack
+// behaves identically without the mapping.
+func open(path string) ([]byte, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(data) == 0 {
+		data = nil
+	}
+	return data, false, nil
+}
+
+func unmap(data []byte) error { return nil }

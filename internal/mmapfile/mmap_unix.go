@@ -1,0 +1,48 @@
+//go:build (linux || darwin) && !dpgrid_nommap
+
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// open maps the file read-only and privately: PROT_READ pages so the
+// image is tamper-evident (a stray write faults instead of corrupting
+// served answers), MAP_PRIVATE so even a misbehaving kernel-side writer
+// cannot alter our view retroactively through this mapping's COW
+// semantics. The descriptor is closed immediately after mapping — the
+// mapping keeps the inode alive on its own.
+func open(path string) ([]byte, bool, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer fh.Close()
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// Zero-length mmap is EINVAL on Linux; an empty image needs no
+		// mapping anyway.
+		return nil, false, nil
+	}
+	if int64(int(size)) != size {
+		return nil, false, fmt.Errorf("mmapfile: %s: size %d overflows int", path, size)
+	}
+	data, err := syscall.Mmap(int(fh.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, false, fmt.Errorf("mmapfile: mmap %s: %w", path, err)
+	}
+	return data, true, nil
+}
+
+func unmap(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,107 @@
+package mmapfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenReadsFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	want := []byte("dpgridv2 payload bytes")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	if !bytes.Equal(f.Data(), want) {
+		t.Errorf("Data = %q, want %q", f.Data(), want)
+	}
+	if f.Len() != len(want) {
+		t.Errorf("Len = %d, want %d", f.Len(), len(want))
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(empty): %v", err)
+	}
+	defer f.Close()
+	if f.Len() != 0 {
+		t.Errorf("Len = %d, want 0", f.Len())
+	}
+	if f.Mapped() {
+		t.Error("empty file reported as mapped; zero-length mappings are invalid")
+	}
+	if err := f.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if f.Data() != nil {
+		t.Error("Data non-nil after Close")
+	}
+	if f.Len() != 0 {
+		t.Errorf("Len = %d after Close, want 0", f.Len())
+	}
+	if f.Mapped() {
+		t.Error("Mapped true after Close")
+	}
+}
+
+// TestModeConsistent pins that whichever mode the build selected, the
+// image is byte-identical to the file — the rest of the stack must not
+// be able to tell the modes apart.
+func TestModeConsistent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	want := make([]byte, 1<<16)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	t.Logf("mapped=%v", f.Mapped())
+	if !bytes.Equal(f.Data(), want) {
+		t.Error("image differs from file contents")
+	}
+}

@@ -99,6 +99,7 @@ type shardedBinary struct {
 	format   string
 	kind     codec.Kind
 	payloads [][]byte
+	satAll   bool // every payload carries a stored SAT (set when validated)
 }
 
 // decodeShardedBinary validates the manifest framing and slices the
@@ -190,6 +191,7 @@ func decodeShardedBinary(data []byte, validatePayloads bool) (*shardedBinary, er
 		sb.payloads[i] = blob[off[0] : off[0]+off[1]]
 	}
 	if validatePayloads {
+		sb.satAll = true
 		for i, payload := range sb.payloads {
 			info, err := validateShardPayload(shardKind, payload)
 			if err != nil {
@@ -201,6 +203,7 @@ func decodeShardedBinary(data []byte, validatePayloads bool) (*shardedBinary, er
 			if info.Eps != eps {
 				return nil, fmt.Errorf("shard: tile %d: epsilon %g != manifest epsilon %g", i, info.Eps, eps)
 			}
+			sb.satAll = sb.satAll && info.SAT
 		}
 	}
 	return sb, nil
@@ -220,6 +223,29 @@ func parseShardPayload(kind codec.Kind, data []byte) (Synopsis, error) {
 		return nil, err
 	}
 	syn, err := reg.DecodeBinary(data)
+	return assertTile(reg, syn, err)
+}
+
+// parseShardPayloadView is parseShardPayload through the kind's
+// zero-copy view decoder, for manifests served off a memory-mapped
+// file: the tile answers queries straight from the mapped payload
+// bytes. Kinds without a view decoder (or payloads without the
+// structure it needs — the view parsers fall back internally) still
+// materialize correctly via DecodeBinary.
+func parseShardPayloadView(kind codec.Kind, data []byte) (Synopsis, error) {
+	reg, err := embeddableByKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	decode := reg.DecodeBinaryView
+	if decode == nil {
+		decode = reg.DecodeBinary
+	}
+	syn, err := decode(data)
+	return assertTile(reg, syn, err)
+}
+
+func assertTile(reg codec.Registration, syn codec.Synopsis, err error) (Synopsis, error) {
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,8 @@ type Lazy struct {
 	payloads     [][]byte
 	tiles        []lazyTile
 	materialized atomic.Int64
+	zeroCopy     bool // materialize tiles as zero-copy views (mmap mode)
+	satAll       bool // every payload carries a stored SAT section
 }
 
 type lazyTile struct {
@@ -46,6 +48,21 @@ type lazyTile struct {
 // materialization be infallible later. The returned Lazy keeps data;
 // the caller must not mutate it afterwards.
 func ParseShardedLazy(data []byte) (*Lazy, error) {
+	return parseShardedLazy(data, false)
+}
+
+// ParseShardedLazyView is ParseShardedLazy for memory-mapped data:
+// tiles materialize through their kind's zero-copy view decoder, so a
+// first touch builds a descriptor over the mapped payload bytes instead
+// of copying the float sections onto the heap. Validation is identical
+// — a payload that loads here answers bit-identically to one decoded
+// eagerly. The returned Lazy retains data; the caller must keep it
+// immutable and alive (e.g. hold the mapping open) for its lifetime.
+func ParseShardedLazyView(data []byte) (*Lazy, error) {
+	return parseShardedLazy(data, true)
+}
+
+func parseShardedLazy(data []byte, zeroCopy bool) (*Lazy, error) {
 	sb, err := decodeShardedBinary(data, true)
 	if err != nil {
 		return nil, err
@@ -58,6 +75,8 @@ func ParseShardedLazy(data []byte) (*Lazy, error) {
 		kind:     sb.kind,
 		payloads: sb.payloads,
 		tiles:    make([]lazyTile, len(sb.payloads)),
+		zeroCopy: zeroCopy,
+		satAll:   sb.satAll,
 	}, nil
 }
 
@@ -78,7 +97,11 @@ func (l *Lazy) shard(i int) Synopsis { return l.shardTrack(i, nil) }
 func (l *Lazy) shardTrack(i int, fresh *int) Synopsis {
 	t := &l.tiles[i]
 	t.once.Do(func() {
-		syn, err := parseShardPayload(l.kind, l.payloads[i])
+		parse := parseShardPayload
+		if l.zeroCopy {
+			parse = parseShardPayloadView
+		}
+		syn, err := parse(l.kind, l.payloads[i])
 		if err != nil {
 			panic(fmt.Sprintf("shard: tile %d failed to materialize after validating at load: %v", i, err))
 		}
@@ -95,6 +118,11 @@ func (l *Lazy) shardTrack(i int, fresh *int) Synopsis {
 // the observable a serving test uses to prove queries touch only the
 // tiles they overlap.
 func (l *Lazy) MaterializedShards() int { return int(l.materialized.Load()) }
+
+// SATBacked reports whether every payload in the manifest carries a
+// stored summed-area section — i.e. whether queries against this
+// release run on the O(1) prefix fast path in every tile.
+func (l *Lazy) SATBacked() bool { return l.satAll }
 
 // Query estimates the number of data points in r, visiting (and, on
 // first touch, materializing) only the shards overlapping r — the same

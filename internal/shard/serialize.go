@@ -38,6 +38,9 @@ func init() {
 		DecodeBinaryLazy: func(data []byte) (codec.Synopsis, error) {
 			return ParseShardedLazy(data)
 		},
+		DecodeBinaryView: func(data []byte) (codec.Synopsis, error) {
+			return ParseShardedLazyView(data)
+		},
 		DecodeJSON: func(data []byte) (codec.Synopsis, error) {
 			return ParseSharded(data)
 		},

@@ -1,0 +1,200 @@
+package dpgrid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
+	"github.com/dpgrid/dpgrid/internal/mmapfile"
+)
+
+// ErrSynopsisClosed is returned by MappedSynopsis.QueryStatsCtx after
+// Close: the mapping is gone, so the synopsis can no longer answer.
+var ErrSynopsisClosed = errors.New("dpgrid: synopsis closed")
+
+// MappedSynopsis is a synopsis served off a memory-mapped file: the
+// inner synopsis is a zero-copy view whose query tables resolve into
+// the mapped bytes, so loading costs address space instead of heap and
+// the kernel page cache backs the float payload. MapSynopsisFile
+// returns one.
+//
+// Lifecycle: the mapping stays open until Close. Close is the caller's
+// explicit, deliberate act — nothing closes implicitly, because an
+// in-flight query reading mapped bytes at unmap time would fault the
+// process. Serving layers therefore either never close (letting process
+// exit clean up, as dpserve does on synopsis replacement) or close only
+// after draining their request paths. After Close, QueryStatsCtx
+// reports ErrSynopsisClosed; the plain Query/QueryBatch interfaces have
+// no error channel, so they panic with a message naming the bug rather
+// than letting the process die on an opaque SIGSEGV or — in the read
+// fallback, where the bytes linger until collected — silently serve
+// from a closed file.
+//
+// MappedSynopsis is safe for concurrent queries; Close may race queries
+// only in the sense that it flips the closed flag first, so late
+// arrivals fail loudly instead of touching unmapped memory (a query
+// already past the check remains the caller's ordering bug, exactly as
+// with any close-during-use).
+type MappedSynopsis struct {
+	inner  Synopsis
+	file   *mmapfile.File // nil when the reader did not retain the file image
+	closed atomic.Bool
+}
+
+// Unwrap returns the underlying synopsis — the decoded view (or
+// materialized synopsis, for encodings without a zero-copy structure).
+// Serving layers use it to reach metadata interfaces (Epsilon, Domain,
+// ContainerKind, NumShards) without each of them being re-exported
+// here.
+func (m *MappedSynopsis) Unwrap() Synopsis { return m.inner }
+
+// MappedBytes returns the size of the memory-mapped file image backing
+// the synopsis, or 0 when the load did not map (JSON files, platforms
+// or builds without mmap, or encodings whose decoder copies rather than
+// retains). It is the per-synopsis term of dpserve's mapped-bytes
+// gauge.
+func (m *MappedSynopsis) MappedBytes() int64 {
+	if m.file == nil || !m.file.Mapped() {
+		return 0
+	}
+	return int64(m.file.Len())
+}
+
+// SATBacked reports whether queries run on the stored summed-area fast
+// path (forwarded from the inner synopsis; false for synopses that do
+// not expose the property).
+func (m *MappedSynopsis) SATBacked() bool {
+	sb, ok := m.inner.(interface{ SATBacked() bool })
+	return ok && sb.SATBacked()
+}
+
+// Close releases the mapping. See the type comment for the draining
+// contract; Close is idempotent.
+func (m *MappedSynopsis) Close() error {
+	m.closed.Store(true)
+	if m.file == nil {
+		return nil
+	}
+	return m.file.Close()
+}
+
+func (m *MappedSynopsis) checkOpen() {
+	if m.closed.Load() {
+		panic("dpgrid: query on a closed MappedSynopsis (drain queries before Close, or use QueryStatsCtx for an error instead of a panic)")
+	}
+}
+
+// Query estimates the number of data points in r. It panics after
+// Close; serving paths should prefer QueryStatsCtx, which returns
+// ErrSynopsisClosed instead.
+func (m *MappedSynopsis) Query(r Rect) float64 {
+	m.checkOpen()
+	return m.inner.Query(r)
+}
+
+// QueryBatch answers every rectangle in rs in input order (panics after
+// Close, like Query).
+func (m *MappedSynopsis) QueryBatch(rs []Rect) []float64 {
+	m.checkOpen()
+	if bs, ok := m.inner.(BatchSynopsis); ok {
+		return bs.QueryBatch(rs)
+	}
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = m.inner.Query(r)
+	}
+	return out
+}
+
+// QueryStats forwards to the inner release's instrumented query;
+// monolithic inner synopses report a single-shard fan-out. It panics
+// after Close (no error channel); QueryStatsCtx is the closable form.
+func (m *MappedSynopsis) QueryStats(r Rect) (float64, ShardQueryStats) {
+	m.checkOpen()
+	if so, ok := m.inner.(ShardObserver); ok {
+		return so.QueryStats(r)
+	}
+	return m.inner.Query(r), ShardQueryStats{Shards: 1}
+}
+
+// QueryStatsCtx is the serving entry point: QueryStats with
+// cancellation and with Close surfaced as ErrSynopsisClosed rather than
+// a panic. Monolithic inner synopses answer as one uncancellable shard
+// after an up-front ctx check.
+func (m *MappedSynopsis) QueryStatsCtx(ctx context.Context, r Rect) (float64, ShardQueryStats, error) {
+	if m.closed.Load() {
+		return 0, ShardQueryStats{}, ErrSynopsisClosed
+	}
+	if sco, ok := m.inner.(ShardContextObserver); ok {
+		return sco.QueryStatsCtx(ctx, r)
+	}
+	if err := context.Cause(ctx); err != nil {
+		return 0, ShardQueryStats{}, err
+	}
+	est, stats := m.QueryStats(r)
+	return est, stats, nil
+}
+
+// MapSynopsisFile loads a synopsis file for serving with a
+// memory-mapped backing: the file image is mmap'd (read-only, private;
+// see internal/mmapfile) and the synopsis decodes as a zero-copy view
+// answering queries straight from the mapped bytes. Kinds or encodings
+// without a zero-copy structure still load — lazily or eagerly, as
+// ReadSynopsisFileLazy would — with the mapping retained only when the
+// decoded form actually borrows from it. On platforms (or builds) where
+// mmap is unavailable the file is read into memory and everything else
+// behaves identically, with MappedBytes reporting 0.
+//
+// The returned synopsis must be kept open for as long as queries may
+// run; see MappedSynopsis for the Close contract.
+func MapSynopsisFile(path string) (*MappedSynopsis, error) {
+	f, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dpgrid: %w", err)
+	}
+	syn, retains, err := readSynopsisView(f.Data())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !retains {
+		// The decoded synopsis copied what it needed; holding gigabytes
+		// of mapping (or fallback heap) behind it would be pure waste.
+		f.Close()
+		f = nil
+	}
+	return &MappedSynopsis{inner: syn, file: f}, nil
+}
+
+// readSynopsisView decodes data preferring zero-copy view decoders,
+// reporting whether the result retains (borrows from) data. Fallback
+// order: DecodeBinaryView (retains), DecodeBinaryLazy (retains — lazy
+// manifests keep the raw payload slices), DecodeBinary (copies). JSON
+// files always copy.
+func readSynopsisView(data []byte) (Synopsis, bool, error) {
+	if !codec.Detect(data) {
+		syn, err := readSynopsisJSON(data)
+		return syn, false, err
+	}
+	_, kind, err := codec.NewDec(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("dpgrid: %w", err)
+	}
+	reg, ok := codec.Lookup(kind)
+	if !ok {
+		return nil, false, fmt.Errorf("dpgrid: unknown synopsis kind %v", kind)
+	}
+	switch {
+	case reg.DecodeBinaryView != nil:
+		syn, err := reg.DecodeBinaryView(data)
+		return syn, true, err
+	case reg.DecodeBinaryLazy != nil:
+		syn, err := reg.DecodeBinaryLazy(data)
+		return syn, true, err
+	default:
+		syn, err := reg.DecodeBinary(data)
+		return syn, false, err
+	}
+}

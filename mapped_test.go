@@ -1,0 +1,250 @@
+package dpgrid
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/mmapfile"
+)
+
+// mappedTestRects is the query battery shared by the mapped-vs-read
+// equivalence checks.
+var mappedTestRects = []Rect{
+	NewRect(0, 0, 20, 20),
+	NewRect(1.5, 2.5, 18, 19),
+	NewRect(9, 9, 11, 11),
+	NewRect(-5, -5, 50, 50),
+	NewRect(3, 3, 3, 3),
+	NewRect(0.1, 17.3, 4.4, 19.9),
+}
+
+// writeMappedTestFiles writes every valid synopsis in both encodings
+// under a temp dir, returning name -> path for the given format.
+func writeMappedTestFiles(t *testing.T, format string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	ext := ".json"
+	if format == FormatBinary {
+		ext = ".dpgrid"
+	}
+	paths := make(map[string]string)
+	for name, s := range validSynopses(t) {
+		p := filepath.Join(dir, name+ext)
+		if err := WriteSynopsisFileFormat(p, s, format); err != nil {
+			t.Fatal(err)
+		}
+		paths[name] = p
+	}
+	return paths
+}
+
+// mmapAvailable reports whether this platform/build actually maps files
+// (false under the dpgrid_nommap tag or on unsupported platforms), so
+// the MappedBytes assertions below hold in both build modes.
+func mmapAvailable(t *testing.T, path string) bool {
+	t.Helper()
+	f, err := mmapfile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	return f.Mapped()
+}
+
+// TestMapSynopsisFileEquivalence: for every kind in both encodings, a
+// mapped load answers the query battery bit-identically to the plain
+// lazy file reader.
+func TestMapSynopsisFileEquivalence(t *testing.T) {
+	for _, format := range []string{FormatBinary, FormatJSON} {
+		for name, path := range writeMappedTestFiles(t, format) {
+			mapped, err := MapSynopsisFile(path)
+			if err != nil {
+				t.Fatalf("%s (%s): MapSynopsisFile: %v", name, format, err)
+			}
+			plain, err := ReadSynopsisFileLazy(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range mappedTestRects {
+				a, b := mapped.Query(r), plain.Query(r)
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Errorf("%s (%s): Query(%v): mapped %v, read %v", name, format, r, a, b)
+				}
+			}
+			got := mapped.QueryBatch(mappedTestRects)
+			for i, r := range mappedTestRects {
+				if math.Float64bits(got[i]) != math.Float64bits(plain.Query(r)) {
+					t.Errorf("%s (%s): QueryBatch[%d] diverges from Query", name, format, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMappedBytesAccounting: binary loads whose decoded form borrows
+// from the file report the file size (when the build actually maps);
+// JSON loads always copy and report 0.
+func TestMappedBytesAccounting(t *testing.T) {
+	binPaths := writeMappedTestFiles(t, FormatBinary)
+	// UG, AG (zero-copy views) and sharded (lazy manifest borrowing
+	// payload slices) retain the mapping; fully materializing kinds drop
+	// it.
+	for _, name := range []string{"ug", "ag", "sharded"} {
+		path := binPaths[name]
+		mapped, err := MapSynopsisFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(0)
+		if mmapAvailable(t, path) {
+			want = st.Size()
+		}
+		if got := mapped.MappedBytes(); got != want {
+			t.Errorf("%s: MappedBytes = %d, want %d", name, got, want)
+		}
+	}
+	for name, path := range writeMappedTestFiles(t, FormatJSON) {
+		mapped, err := MapSynopsisFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mapped.MappedBytes(); got != 0 {
+			t.Errorf("%s (json): MappedBytes = %d, want 0", name, got)
+		}
+	}
+}
+
+// TestMappedSATBacked: mapped UG/AG views and all-SAT sharded mosaics
+// report the fast path; JSON loads (rebuilt prefixes, no stored SAT) do
+// not need to — but must answer identically regardless (covered above).
+func TestMappedSATBacked(t *testing.T) {
+	binPaths := writeMappedTestFiles(t, FormatBinary)
+	for _, name := range []string{"ug", "ag", "sharded"} {
+		mapped, err := MapSynopsisFile(binPaths[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mapped.SATBacked() {
+			t.Errorf("%s: mapped binary load not SATBacked", name)
+		}
+	}
+}
+
+// TestMappedSynopsisClose: after Close, the error-returning entry point
+// reports ErrSynopsisClosed and the errorless interfaces panic with an
+// explanatory message instead of faulting on unmapped memory. Close is
+// idempotent.
+func TestMappedSynopsisClose(t *testing.T) {
+	path := writeMappedTestFiles(t, FormatBinary)["ug"]
+	mapped, err := MapSynopsisFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mappedTestRects[0]
+	before := mapped.Query(r)
+	if _, _, err := mapped.QueryStatsCtx(t.Context(), r); err != nil {
+		t.Fatalf("QueryStatsCtx before Close: %v", err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, _, err := mapped.QueryStatsCtx(t.Context(), r); err != ErrSynopsisClosed {
+		t.Fatalf("QueryStatsCtx after Close: err = %v, want ErrSynopsisClosed", err)
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s after Close did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Query", func() { mapped.Query(r) })
+	mustPanic("QueryBatch", func() { mapped.QueryBatch(mappedTestRects) })
+	mustPanic("QueryStats", func() { mapped.QueryStats(r) })
+	_ = before
+}
+
+// TestMappedShardedConcurrentMaterialization: concurrent queries racing
+// first-touch shard materialization against MaterializedShards reads
+// must be clean under -race, and every answer must match a fresh
+// single-threaded load.
+func TestMappedShardedConcurrentMaterialization(t *testing.T) {
+	path := writeMappedTestFiles(t, FormatBinary)["sharded"]
+	mapped, err := MapSynopsisFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, ok := mapped.Unwrap().(*LazySharded)
+	if !ok {
+		t.Fatalf("mapped sharded inner is %T, want *LazySharded", mapped.Unwrap())
+	}
+	plain, err := ReadSynopsisFileLazy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, len(mappedTestRects))
+	for i, r := range mappedTestRects {
+		want[i] = plain.Query(r)
+	}
+
+	workers := runtime.GOMAXPROCS(0) + 2
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for pass := 0; pass < 20; pass++ {
+				for i, r := range mappedTestRects {
+					if got := mapped.Query(r); math.Float64bits(got) != math.Float64bits(want[i]) {
+						t.Errorf("worker %d: Query(%v) = %v, want %v", w, r, got, want[i])
+						return
+					}
+				}
+				if n := lazy.MaterializedShards(); n < 0 || n > lazy.NumShards() {
+					t.Errorf("worker %d: MaterializedShards = %d out of [0, %d]", w, n, lazy.NumShards())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := lazy.MaterializedShards(); n == 0 {
+		t.Error("no shards materialized after the query storm")
+	}
+}
+
+// TestMapSynopsisFileRejectsCorrupt: truncated or damaged files fail at
+// load — before any query can touch a partially mapped structure — and
+// a missing file surfaces the open error.
+func TestMapSynopsisFileRejectsCorrupt(t *testing.T) {
+	for name, path := range writeMappedTestFiles(t, FormatBinary) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range []int{len(data) - 1, len(data) / 2, 9} {
+			p := filepath.Join(t.TempDir(), "trunc.dpgrid")
+			if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if syn, err := MapSynopsisFile(p); err == nil {
+				t.Errorf("%s truncated to %d bytes: MapSynopsisFile accepted %T", name, cut, syn.Unwrap())
+			}
+		}
+	}
+	if _, err := MapSynopsisFile(filepath.Join(t.TempDir(), "absent.dpgrid")); err == nil {
+		t.Error("MapSynopsisFile accepted a missing file")
+	}
+}

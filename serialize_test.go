@@ -3,10 +3,13 @@ package dpgrid
 import (
 	"bytes"
 	"flag"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/dpgrid/dpgrid/internal/codec"
 )
 
 func TestWriteReadSynopsisUG(t *testing.T) {
@@ -699,6 +702,85 @@ func TestAssembleShardedRejectsBadTiles(t *testing.T) {
 	for name, tiles := range cases {
 		if _, err := AssembleSharded(plan, 1, tiles); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// goldenSATTrailerLen reads a golden UG/AG container's dimension fields
+// off the wire and returns its summed-area trailer's byte length:
+// tag (2) + length prefix (8) + (mx+1)*(my+1) float64 entries.
+func goldenSATTrailerLen(t *testing.T, data []byte) int {
+	t.Helper()
+	d, kind, err := codec.NewDec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Domain(); err != nil {
+		t.Fatal(err)
+	}
+	d.F64() // eps
+	var mx, my int
+	switch kind {
+	case codec.KindUniform:
+		d.Int32() // m
+		mx, my = d.Int32(), d.Int32()
+	case codec.KindAdaptive:
+		d.F64() // alpha
+		mx = d.Int32()
+		my = mx
+	default:
+		t.Fatalf("goldenSATTrailerLen: unexpected kind %v", kind)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return 2 + 8 + 8*(mx+1)*(my+1)
+}
+
+// TestGoldenSATSectionIgnorable locks the forward-compatibility promise
+// of the summed-area trailer: stripping the section from a committed
+// golden container yields a file that still decodes, and the two
+// decodes answer every query bit-identically. The trailer is an
+// acceleration structure, never a source of truth — readers that drop
+// it (or predate it) lose speed, not correctness.
+func TestGoldenSATSectionIgnorable(t *testing.T) {
+	for _, name := range []string{"ug", "ag"} {
+		golden, err := os.ReadFile(filepath.Join("testdata", "golden."+name+".dpgrid"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		satLen := goldenSATTrailerLen(t, golden)
+		if satLen >= len(golden) {
+			t.Fatalf("%s: trailer length %d >= file length %d", name, satLen, len(golden))
+		}
+		full, err := ReadSynopsis(bytes.NewReader(golden))
+		if err != nil {
+			t.Fatalf("%s: full decode: %v", name, err)
+		}
+		stripped, err := ReadSynopsis(bytes.NewReader(golden[:len(golden)-satLen]))
+		if err != nil {
+			t.Fatalf("%s: stripped decode: %v", name, err)
+		}
+		for _, r := range []Rect{
+			NewRect(0, 0, 20, 20),
+			NewRect(1.5, 2.5, 18, 19),
+			NewRect(9, 9, 11, 11),
+			NewRect(-5, -5, 50, 50),
+			NewRect(3, 3, 3, 3),
+		} {
+			a, b := full.Query(r), stripped.Query(r)
+			if math.Float64bits(a) != math.Float64bits(b) {
+				t.Errorf("%s: Query(%v): SAT-backed %v, stripped %v (not bit-identical)", name, r, a, b)
+			}
+		}
+		// The stripped container re-encodes back to the committed golden
+		// bytes: the trailer is a pure function of the body.
+		var again bytes.Buffer
+		if err := WriteSynopsisBinary(&again, stripped); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(golden, again.Bytes()) {
+			t.Errorf("%s: stripped decode re-encoded to different bytes than the golden file", name)
 		}
 	}
 }
