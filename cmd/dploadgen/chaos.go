@@ -1,0 +1,227 @@
+package main
+
+// Chaos mode: -chaos stands a fault-injection reverse proxy (from
+// internal/faultinject) in front of each live backend, and -chaos-flap
+// scripts kill/restore windows against them while the open-loop load
+// runs. Point a cluster placement at the proxy addresses and the
+// report's per-bucket timeline shows the outage arc — errors and
+// partial answers climbing through the flap, recovery after — which is
+// how failover and breaker tuning get validated against a real fleet
+// instead of in-process stubs.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dpgrid/dpgrid/internal/faultinject"
+)
+
+// chaosSpec is one -chaos name=listen=target flag: a proxy named name,
+// listening on listen, forwarding to the backend at target.
+type chaosSpec struct {
+	name   string
+	listen string
+	target string
+}
+
+// chaosFlags collects repeated -chaos flags.
+type chaosFlags []chaosSpec
+
+// String implements flag.Value.
+func (c *chaosFlags) String() string {
+	parts := make([]string, len(*c))
+	for i, s := range *c {
+		parts[i] = s.name + "=" + s.listen + "=" + s.target
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one name=listen=target spec.
+func (c *chaosFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return fmt.Errorf("want name=listen=target, got %q", v)
+	}
+	for _, prev := range *c {
+		if prev.name == parts[0] {
+			return fmt.Errorf("duplicate chaos proxy name %q", parts[0])
+		}
+	}
+	*c = append(*c, chaosSpec{name: parts[0], listen: parts[1], target: parts[2]})
+	return nil
+}
+
+// flapSpec is one -chaos-flap name=start+duration flag: proxy name goes
+// down start after load begins and comes back duration later.
+type flapSpec struct {
+	name  string
+	start time.Duration
+	dur   time.Duration
+}
+
+// flapFlags collects repeated -chaos-flap flags.
+type flapFlags []flapSpec
+
+// String implements flag.Value.
+func (f *flapFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, s := range *f {
+		parts[i] = fmt.Sprintf("%s=%s+%s", s.name, s.start, s.dur)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one name=start+duration spec.
+func (f *flapFlags) Set(v string) error {
+	name, window, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=start+duration, got %q", v)
+	}
+	startStr, durStr, ok := strings.Cut(window, "+")
+	if !ok {
+		return fmt.Errorf("want name=start+duration, got %q", v)
+	}
+	start, err := time.ParseDuration(startStr)
+	if err != nil {
+		return fmt.Errorf("flap start in %q: %w", v, err)
+	}
+	dur, err := time.ParseDuration(durStr)
+	if err != nil {
+		return fmt.Errorf("flap duration in %q: %w", v, err)
+	}
+	if start < 0 || dur <= 0 {
+		return fmt.Errorf("flap %q: start must be >= 0 and duration > 0", v)
+	}
+	*f = append(*f, flapSpec{name: name, start: start, dur: dur})
+	return nil
+}
+
+// chaosProxy is one running fault-injection proxy.
+type chaosProxy struct {
+	spec  chaosSpec
+	tr    *faultinject.Transport
+	srv   *http.Server
+	flaps []flapSpec
+}
+
+// chaosHarness owns the proxies and their flap timers.
+type chaosHarness struct {
+	proxies []*chaosProxy
+	timers  []*time.Timer
+	mu      sync.Mutex
+}
+
+// startChaos binds and serves one proxy per -chaos spec and attaches
+// the -chaos-flap schedules. Flap timers do not run until begin.
+func startChaos(specs chaosFlags, flaps flapFlags) (*chaosHarness, error) {
+	if len(specs) == 0 {
+		if len(flaps) > 0 {
+			return nil, fmt.Errorf("-chaos-flap needs matching -chaos proxies")
+		}
+		return nil, nil
+	}
+	byName := make(map[string]*chaosProxy, len(specs))
+	h := &chaosHarness{}
+	for _, spec := range specs {
+		px, err := faultinject.NewProxy(spec.target, faultinject.Plan{}, nil)
+		if err != nil {
+			h.stop()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", spec.listen)
+		if err != nil {
+			h.stop()
+			return nil, fmt.Errorf("chaos proxy %s: listen %s: %w", spec.name, spec.listen, err)
+		}
+		cp := &chaosProxy{
+			spec: spec,
+			tr:   px.Transport,
+			srv:  &http.Server{Handler: px, ReadHeaderTimeout: 10 * time.Second},
+		}
+		cp.spec.listen = ln.Addr().String() // resolve ":0" to the bound port
+		go cp.srv.Serve(ln)
+		h.proxies = append(h.proxies, cp)
+		byName[spec.name] = cp
+	}
+	for _, fl := range flaps {
+		cp, ok := byName[fl.name]
+		if !ok {
+			h.stop()
+			return nil, fmt.Errorf("-chaos-flap names unknown proxy %q", fl.name)
+		}
+		cp.flaps = append(cp.flaps, fl)
+	}
+	return h, nil
+}
+
+// begin arms the flap schedules relative to now (load start). Safe on
+// a nil harness.
+func (h *chaosHarness) begin() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, cp := range h.proxies {
+		for _, fl := range cp.flaps {
+			tr := cp.tr
+			h.timers = append(h.timers,
+				time.AfterFunc(fl.start, func() { tr.SetDown(true) }),
+				time.AfterFunc(fl.start+fl.dur, func() { tr.SetDown(false) }))
+		}
+	}
+}
+
+// stop cancels pending flaps and shuts the proxies down. Safe on a nil
+// harness and after partial startup.
+func (h *chaosHarness) stop() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for _, t := range h.timers {
+		t.Stop()
+	}
+	h.timers = nil
+	h.mu.Unlock()
+	for _, cp := range h.proxies {
+		cp.tr.Close()
+		cp.srv.Close()
+	}
+}
+
+// chaosReport is the per-proxy section of the JSON report.
+type chaosReport struct {
+	Name     string   `json:"name"`
+	Listen   string   `json:"listen"`
+	Target   string   `json:"target"`
+	Requests uint64   `json:"requests"`
+	Injected uint64   `json:"injected"`
+	Flaps    []string `json:"flaps,omitempty"`
+}
+
+// reports summarizes the proxies after a run. Nil-safe.
+func (h *chaosHarness) reports() []chaosReport {
+	if h == nil {
+		return nil
+	}
+	out := make([]chaosReport, len(h.proxies))
+	for i, cp := range h.proxies {
+		cr := chaosReport{
+			Name:     cp.spec.name,
+			Listen:   cp.spec.listen,
+			Target:   cp.spec.target,
+			Requests: cp.tr.Requests(),
+			Injected: cp.tr.Injected(),
+		}
+		for _, fl := range cp.flaps {
+			cr.Flaps = append(cr.Flaps, fmt.Sprintf("%s+%s", fl.start, fl.dur))
+		}
+		out[i] = cr
+	}
+	return out
+}

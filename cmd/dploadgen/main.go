@@ -60,6 +60,9 @@ type config struct {
 	maxInflight int
 	seed        int64
 	domain      [4]float64
+	// timelineBucket is the width of the report's per-bucket outcome
+	// timeline; 0 gets one second.
+	timelineBucket time.Duration
 }
 
 func run(args []string, out io.Writer) error {
@@ -76,6 +79,11 @@ func run(args []string, out io.Writer) error {
 	maxInflight := fs.Int("max-inflight", 1024, "pending requests beyond this are counted dropped, not launched")
 	seed := fs.Int64("seed", 1, "workload RNG seed")
 	domainFlag := fs.String("domain", "", "query domain as minX,minY,maxX,maxY (default: fetched from the target)")
+	timelineBucket := fs.Duration("timeline-bucket", time.Second, "width of the report's per-bucket outcome timeline")
+	var chaosSpecs chaosFlags
+	fs.Var(&chaosSpecs, "chaos", "start a fault-injection reverse proxy as name=listen=target (repeatable); point the cluster placement at the proxy addresses")
+	var flapSpecs flapFlags
+	fs.Var(&flapSpecs, "chaos-flap", "take proxy <name> down for a window as name=start+duration, offsets from load start (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,18 +96,22 @@ func run(args []string, out io.Writer) error {
 	if *hotFrac < 0 || *hotFrac > 1 {
 		return fmt.Errorf("-hot-frac must be in [0,1]")
 	}
+	if *timelineBucket <= 0 {
+		return fmt.Errorf("-timeline-bucket must be positive")
+	}
 	cfg := config{
-		target:      *target,
-		synopsis:    *synopsis,
-		qps:         *qps,
-		duration:    *duration,
-		timeout:     *timeout,
-		batch:       *batch,
-		hot:         *hot,
-		hotFrac:     *hotFrac,
-		rectFrac:    *rectFrac,
-		maxInflight: *maxInflight,
-		seed:        *seed,
+		target:         *target,
+		synopsis:       *synopsis,
+		qps:            *qps,
+		duration:       *duration,
+		timeout:        *timeout,
+		batch:          *batch,
+		hot:            *hot,
+		hotFrac:        *hotFrac,
+		rectFrac:       *rectFrac,
+		maxInflight:    *maxInflight,
+		seed:           *seed,
+		timelineBucket: *timelineBucket,
 	}
 	if *domainFlag != "" {
 		if _, err := fmt.Sscanf(*domainFlag, "%f,%f,%f,%f",
@@ -117,7 +129,13 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("degenerate domain %v", cfg.domain)
 	}
 
-	rep, err := generate(cfg)
+	harness, err := startChaos(chaosSpecs, flapSpecs)
+	if err != nil {
+		return err
+	}
+	defer harness.stop()
+
+	rep, err := generate(cfg, harness)
 	if err != nil {
 		return err
 	}
@@ -183,6 +201,22 @@ type report struct {
 	LatencyMsP90 float64 `json:"latency_ms_p90"`
 	LatencyMsP99 float64 `json:"latency_ms_p99"`
 	LatencyMsMax float64 `json:"latency_ms_max"`
+
+	// Timeline buckets request outcomes by completion time so a chaos
+	// run's arc — errors and partials climbing through an injected
+	// outage, recovery after — reads straight off the report.
+	Timeline []timelineBucket `json:"timeline,omitempty"`
+	// Chaos summarizes each -chaos proxy: traffic seen, faults
+	// injected, flap windows applied.
+	Chaos []chaosReport `json:"chaos,omitempty"`
+}
+
+// timelineBucket is one -timeline-bucket-wide slice of the run.
+type timelineBucket struct {
+	StartS   float64 `json:"start_s"`
+	OK       int64   `json:"ok"`
+	Errors   int64   `json:"errors"`
+	Partials int64   `json:"partials"`
 }
 
 // workload precomputes the hot set; calls are not concurrent (the
@@ -228,42 +262,70 @@ func (wl *workload) next() queryBody {
 
 // collector accumulates per-request outcomes concurrently.
 type collector struct {
+	bucketW time.Duration
+
 	mu        sync.Mutex
 	latencies []time.Duration
 	statuses  map[int]int64
+	buckets   []timelineBucket
 	ok        int64
 	errors    int64
 	partials  int64
 }
 
-func (c *collector) record(lat time.Duration, status int, partial bool, failed bool) {
+// bucket returns the timeline bucket covering the instant `since`
+// after load start, growing the slice as the run progresses.
+func (c *collector) bucket(since time.Duration) *timelineBucket {
+	bi := int(since / c.bucketW)
+	if bi < 0 {
+		bi = 0
+	}
+	for len(c.buckets) <= bi {
+		c.buckets = append(c.buckets, timelineBucket{
+			StartS: float64(len(c.buckets)) * c.bucketW.Seconds(),
+		})
+	}
+	return &c.buckets[bi]
+}
+
+func (c *collector) record(lat time.Duration, since time.Duration, status int, partial bool, failed bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.latencies = append(c.latencies, lat)
 	if c.statuses == nil {
 		c.statuses = make(map[int]int64)
 	}
+	b := c.bucket(since)
 	if failed {
 		c.errors++
+		b.Errors++
 		c.statuses[0]++
 		return
 	}
 	c.statuses[status]++
 	if status == http.StatusOK {
 		c.ok++
+		b.OK++
 		if partial {
 			c.partials++
+			b.Partials++
 		}
 	} else {
 		c.errors++
+		b.Errors++
 	}
 }
 
-// generate runs the open-loop arrival process and assembles the report.
-func generate(cfg config) (*report, error) {
+// generate runs the open-loop arrival process and assembles the
+// report. A non-nil chaos harness has its flap schedule armed relative
+// to load start.
+func generate(cfg config, harness *chaosHarness) (*report, error) {
 	wl := newWorkload(cfg)
 	client := &http.Client{Timeout: cfg.timeout}
-	col := &collector{}
+	if cfg.timelineBucket <= 0 {
+		cfg.timelineBucket = time.Second
+	}
+	col := &collector{bucketW: cfg.timelineBucket}
 	var wg sync.WaitGroup
 	var inflight atomic.Int64
 	var launched, dropped int64
@@ -271,6 +333,7 @@ func generate(cfg config) (*report, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
 	defer cancel()
 	start := time.Now()
+	harness.begin()
 
 arrivals:
 	for {
@@ -298,7 +361,7 @@ arrivals:
 			t0 := time.Now()
 			resp, err := client.Post(cfg.target+"/v1/query", "application/json", bytes.NewReader(body))
 			if err != nil {
-				col.record(time.Since(t0), 0, false, true)
+				col.record(time.Since(t0), time.Since(start), 0, false, true)
 				return
 			}
 			var reply queryReply
@@ -306,10 +369,10 @@ arrivals:
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK && decErr != nil {
-				col.record(time.Since(t0), 0, false, true)
+				col.record(time.Since(t0), time.Since(start), 0, false, true)
 				return
 			}
-			col.record(time.Since(t0), resp.StatusCode, reply.Partial, false)
+			col.record(time.Since(t0), time.Since(start), resp.StatusCode, reply.Partial, false)
 		}(body)
 	}
 	wg.Wait()
@@ -347,5 +410,7 @@ arrivals:
 	rep.LatencyMsP90 = q(0.90)
 	rep.LatencyMsP99 = q(0.99)
 	rep.LatencyMsMax = q(1)
+	rep.Timeline = col.buckets
+	rep.Chaos = harness.reports()
 	return rep, nil
 }

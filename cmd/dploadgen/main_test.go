@@ -99,7 +99,7 @@ func TestGenerateOpenLoopReport(t *testing.T) {
 		seed:        3,
 		domain:      [4]float64{0, 0, 100, 100},
 	}
-	rep, err := generate(cfg)
+	rep, err := generate(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestGenerateCountsErrorsAndDrops(t *testing.T) {
 		batch: 1, hot: 2, hotFrac: 0.5, rectFrac: 0.1,
 		maxInflight: 64, seed: 1, domain: [4]float64{0, 0, 10, 10},
 	}
-	rep, err := generate(cfg)
+	rep, err := generate(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,6 +181,149 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if rep.Synopsis != "checkins" || rep.Requests == 0 {
 		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestRunChaosSection checks the CLI plumbing: -chaos and -chaos-flap
+// flags survive run() end to end and land in the report's chaos
+// section with the proxy's resolved listen address and flap schedule.
+func TestRunChaosSection(t *testing.T) {
+	srv, _, _ := stubServer(t, 0)
+	var out bytes.Buffer
+	err := run([]string{
+		"-target", srv.URL,
+		"-synopsis", "checkins",
+		"-qps", "100",
+		"-duration", "150ms",
+		"-seed", "11",
+		"-chaos", "b0=127.0.0.1:0=" + srv.URL,
+		"-chaos-flap", "b0=10ms+50ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("not a JSON report: %v\n%s", err, out.String())
+	}
+	if len(rep.Chaos) != 1 || rep.Chaos[0].Name != "b0" || rep.Chaos[0].Target != srv.URL {
+		t.Fatalf("chaos section = %+v", rep.Chaos)
+	}
+	if rep.Chaos[0].Listen == "" || rep.Chaos[0].Listen == "127.0.0.1:0" {
+		t.Fatalf("proxy listen address not resolved: %q", rep.Chaos[0].Listen)
+	}
+	if len(rep.Chaos[0].Flaps) != 1 || rep.Chaos[0].Flaps[0] != "10ms+50ms" {
+		t.Fatalf("flap schedule not reported: %+v", rep.Chaos[0].Flaps)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Fatal("report has no timeline buckets")
+	}
+}
+
+// TestRunChaosFlap drives the full chaos path: a fault-injection
+// proxy fronts the stub backend, load targets the proxy, and a
+// scripted flap kills it mid-run — the report's timeline must show the
+// outage (errors) bracketed by healthy buckets, with the chaos section
+// accounting for the injected faults. The proxy is bound via
+// startChaos first so its resolved address can be the target.
+func TestRunChaosFlap(t *testing.T) {
+	srv, _, _ := stubServer(t, 0)
+	specs := chaosFlags{}
+	if err := specs.Set("b0=127.0.0.1:0=" + srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	flaps := flapFlags{}
+	if err := flaps.Set("b0=200ms+200ms"); err != nil {
+		t.Fatal(err)
+	}
+	harness, err := startChaos(specs, flaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer harness.stop()
+	cfg := config{
+		target: "http://" + harness.proxies[0].spec.listen, synopsis: "checkins",
+		qps: 300, duration: 600 * time.Millisecond, timeout: 2 * time.Second,
+		batch: 1, hot: 4, hotFrac: 0.8, rectFrac: 0.1,
+		maxInflight: 256, seed: 11, domain: [4]float64{0, 0, 100, 100},
+		timelineBucket: 100 * time.Millisecond,
+	}
+	rep2, err := generate(cfg, harness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2.Chaos = harness.reports()
+
+	if rep2.OK == 0 {
+		t.Fatal("no requests succeeded outside the flap window")
+	}
+	if rep2.Errors == 0 {
+		t.Fatal("the 200ms flap injected no visible errors")
+	}
+	var bucketErrs, bucketOK int64
+	firstOK, lastOK := false, false
+	for i, b := range rep2.Timeline {
+		bucketErrs += b.Errors
+		bucketOK += b.OK
+		if b.OK > 0 && b.Errors == 0 {
+			if i < len(rep2.Timeline)/2 {
+				firstOK = true
+			} else {
+				lastOK = true
+			}
+		}
+	}
+	if bucketErrs != rep2.Errors || bucketOK != rep2.OK {
+		t.Errorf("timeline sums (ok=%d errs=%d) disagree with totals (ok=%d errs=%d)",
+			bucketOK, bucketErrs, rep2.OK, rep2.Errors)
+	}
+	if !firstOK || !lastOK {
+		t.Errorf("timeline shows no healthy bucket on both sides of the flap: %+v", rep2.Timeline)
+	}
+	ch := rep2.Chaos[0]
+	if ch.Requests == 0 || ch.Injected == 0 {
+		t.Errorf("chaos proxy accounting: %+v", ch)
+	}
+	if len(ch.Flaps) != 1 || ch.Flaps[0] != "200ms+200ms" {
+		t.Errorf("flap schedule not reported: %+v", ch.Flaps)
+	}
+}
+
+func TestChaosFlagParsing(t *testing.T) {
+	var c chaosFlags
+	if err := c.Set("n0=127.0.0.1:9101=http://127.0.0.1:8081"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set("n0=127.0.0.1:9102=http://x"); err == nil {
+		t.Error("duplicate proxy name accepted")
+	}
+	for _, bad := range []string{"", "n1", "n1=only-listen", "=l=t", "n1==t", "n1=l="} {
+		var cc chaosFlags
+		if err := cc.Set(bad); err == nil {
+			t.Errorf("chaos spec %q accepted", bad)
+		}
+	}
+	var f flapFlags
+	if err := f.Set("n0=2s+3s"); err != nil {
+		t.Fatal(err)
+	}
+	if f[0].start != 2*time.Second || f[0].dur != 3*time.Second {
+		t.Errorf("parsed flap = %+v", f[0])
+	}
+	for _, bad := range []string{"", "n0", "n0=2s", "n0=x+3s", "n0=2s+x", "n0=-1s+3s", "n0=1s+0s", "=2s+3s"} {
+		var ff flapFlags
+		if err := ff.Set(bad); err == nil {
+			t.Errorf("flap spec %q accepted", bad)
+		}
+	}
+	// -chaos-flap without a matching -chaos proxy is rejected at startup.
+	if _, err := startChaos(nil, flapFlags{{name: "ghost", start: 0, dur: time.Second}}); err == nil {
+		t.Error("flap against no proxies accepted")
+	}
+	if h, err := startChaos(chaosFlags{{name: "a", listen: "127.0.0.1:0", target: "http://127.0.0.1:1"}},
+		flapFlags{{name: "ghost", start: 0, dur: time.Second}}); err == nil {
+		h.stop()
+		t.Error("flap naming an unknown proxy accepted")
 	}
 }
 

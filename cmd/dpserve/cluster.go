@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"os"
+	"strconv"
 	"time"
 
 	"github.com/dpgrid/dpgrid"
@@ -97,8 +100,10 @@ type routerOptions struct {
 // routerServer is the -cluster serving state: the scatter-gather
 // router plus the router-level metric families.
 type routerServer struct {
-	router *cluster.Router
-	obsReg *obs.Registry
+	router        *cluster.Router
+	obsReg        *obs.Registry
+	met           *cluster.Metrics
+	placementPath string
 
 	queries  *obs.CounterVec   // router queries by synopsis
 	latency  *obs.HistogramVec // router query latency by synopsis
@@ -119,8 +124,10 @@ func newRouterServer(opts routerOptions) (*routerServer, error) {
 	reg := obs.NewRegistry()
 	met := cluster.NewMetrics(reg)
 	rs := &routerServer{
-		router: cluster.NewRouter(p, opts.backend, met),
-		obsReg: reg,
+		router:        cluster.NewRouter(p, opts.backend, met),
+		obsReg:        reg,
+		met:           met,
+		placementPath: opts.placementPath,
 		queries: reg.CounterVec("dpserve_router_queries_total",
 			"Router queries answered, by synopsis.", "synopsis"),
 		latency: reg.HistogramVec("dpserve_router_request_seconds",
@@ -215,7 +222,8 @@ func (rs *routerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, cluster.ErrAllBackendsDown):
 		rs.failures.Inc()
-		w.Header().Set("Retry-After", "1")
+		secs := int64(rs.router.RetryAfter() / time.Second)
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	case err != nil:
@@ -229,5 +237,67 @@ func (rs *routerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Counts:       res.Counts,
 		Partial:      res.Partial,
 		MissingTiles: res.MissingTiles,
+		Generation:   res.Generation,
 	})
+}
+
+// reload re-reads the placement file and atomically swaps it into the
+// router. A file that fails to load or validate is rejected: the
+// rejection is counted, logged, and the old placement keeps serving —
+// a botched placement push can never take down a healthy router.
+func (rs *routerServer) reload() error {
+	p, err := cluster.LoadPlacement(rs.placementPath)
+	if err != nil {
+		rs.met.ReloadRejected()
+		log.Printf("dpserve: placement reload rejected, keeping generation %d serving: %v",
+			rs.router.Generation(), err)
+		return err
+	}
+	gen := rs.router.Reload(p)
+	log.Printf("dpserve: placement %s reloaded as generation %d (%d releases, %d backends)",
+		rs.placementPath, gen, len(p.ReleaseNames()), len(p.Nodes))
+	return nil
+}
+
+// reloadLoop drives placement hot-reload until stop closes. Each value
+// on hup (SIGHUP in production, a test-owned channel in tests) reloads
+// unconditionally; a positive watch interval additionally polls the
+// placement file and reloads when its mtime or size changes. In-flight
+// queries keep the placement they started with — the swap only affects
+// queries that begin after it.
+func (rs *routerServer) reloadLoop(hup <-chan os.Signal, watch time.Duration, stop <-chan struct{}) {
+	var tick <-chan time.Time
+	if watch > 0 {
+		t := time.NewTicker(watch)
+		defer t.Stop()
+		tick = t.C
+	}
+	lastMod, lastSize := statPlacement(rs.placementPath)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-hup:
+			_ = rs.reload()
+			lastMod, lastSize = statPlacement(rs.placementPath)
+		case <-tick:
+			mod, size := statPlacement(rs.placementPath)
+			if mod != lastMod || size != lastSize {
+				lastMod, lastSize = mod, size
+				_ = rs.reload()
+			}
+		}
+	}
+}
+
+// statPlacement fingerprints the placement file for the -placement-watch
+// poll; a stat failure (file briefly missing mid-rename) reads as a
+// sentinel that differs from any real file, so the change is caught on
+// the next tick.
+func statPlacement(path string) (time.Time, int64) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return time.Time{}, -1
+	}
+	return fi.ModTime(), fi.Size()
 }

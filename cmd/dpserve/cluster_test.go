@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -12,6 +13,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -61,33 +65,55 @@ func startClusterBackend(t testing.TB, syn dpgrid.Synopsis) *httptest.Server {
 // tiles across three backends, two tiles each.
 func writeTestPlacement(t testing.TB, urls [3]string) string {
 	t.Helper()
+	path := filepath.Join(t.TempDir(), "placement.json")
+	writeTestPlacementTo(t, path, urls)
+	return path
+}
+
+// writeTestPlacementTo writes the exactly-once v1 placement to path.
+func writeTestPlacementTo(t testing.TB, path string, urls [3]string) {
+	t.Helper()
+	writePlacementJSON(t, path, 1, []map[string]any{
+		{"node": "n0", "tiles": []int{0, 1}},
+		{"node": "n1", "tiles": []int{2, 3}},
+		{"node": "n2", "tiles": []int{4, 5}},
+	}, urls)
+}
+
+// writeReplicatedPlacementTo writes a v2 placement to path with every
+// tile on two of the three backends.
+func writeReplicatedPlacementTo(t testing.TB, path string, urls [3]string) {
+	t.Helper()
+	writePlacementJSON(t, path, 2, []map[string]any{
+		{"node": "n0", "tiles": []int{0, 1, 2, 3}},
+		{"node": "n1", "tiles": []int{2, 3, 4, 5}},
+		{"node": "n2", "tiles": []int{4, 5, 0, 1}},
+	}, urls)
+}
+
+func writePlacementJSON(t testing.TB, path string, version int, assignments []map[string]any, urls [3]string) {
+	t.Helper()
 	placement := map[string]any{
-		"version": 1,
+		"version": version,
 		"nodes": []map[string]string{
 			{"name": "n0", "url": urls[0]},
 			{"name": "n1", "url": urls[1]},
 			{"name": "n2", "url": urls[2]},
 		},
 		"releases": []map[string]any{{
-			"synopsis": "checkins",
-			"domain":   []float64{0, 0, 100, 100},
-			"tiles":    "3x2",
-			"assignments": []map[string]any{
-				{"node": "n0", "tiles": []int{0, 1}},
-				{"node": "n1", "tiles": []int{2, 3}},
-				{"node": "n2", "tiles": []int{4, 5}},
-			},
+			"synopsis":    "checkins",
+			"domain":      []float64{0, 0, 100, 100},
+			"tiles":       "3x2",
+			"assignments": assignments,
 		}},
 	}
 	data, err := json.Marshal(placement)
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(t.TempDir(), "placement.json")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	return path
 }
 
 func startRouter(t testing.TB, placementPath string, opts cluster.Options) (*routerServer, *httptest.Server) {
@@ -426,5 +452,229 @@ func TestRunClusterFlagValidation(t *testing.T) {
 	if err := run([]string{"-placement", "p.json"}); err == nil ||
 		!strings.Contains(err.Error(), "only meaningful with -cluster") {
 		t.Errorf("-placement without -cluster: %v", err)
+	}
+	if err := run([]string{"-placement-watch", "1s"}); err == nil ||
+		!strings.Contains(err.Error(), "only meaningful with -cluster") {
+		t.Errorf("-placement-watch without -cluster: %v", err)
+	}
+}
+
+// waitGeneration polls until the router serves the wanted placement
+// generation or the deadline passes.
+func waitGeneration(t *testing.T, rs *routerServer, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rs.router.Generation() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("generation = %d, want %d", rs.router.Generation(), want)
+}
+
+// TestReloadLoopSighupAndWatch drives the hot-reload loop through all
+// three triggers: a SIGHUP value on the channel reloads unconditionally,
+// the -placement-watch poll catches a rewritten file with no signal at
+// all, and a corrupt rewrite is rejected with the old placement kept
+// serving until a good file lands.
+func TestReloadLoopSighupAndWatch(t *testing.T) {
+	syn := testClusterSharded(t, 41)
+	var urls [3]string
+	for i := range urls {
+		urls[i] = startClusterBackend(t, syn).URL
+	}
+	path := writeTestPlacement(t, urls)
+	rs, routerSrv := startRouter(t, path, cluster.Options{ProbeInterval: -1})
+
+	hup := make(chan os.Signal)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rs.reloadLoop(hup, 2*time.Millisecond, stop)
+	}()
+	defer func() { close(stop); <-done }()
+
+	// SIGHUP reloads even an unchanged file.
+	hup <- syscall.SIGHUP
+	waitGeneration(t, rs, 2)
+
+	// The watch poll picks up a rewrite on its own.
+	writeReplicatedPlacementTo(t, path, urls)
+	waitGeneration(t, rs, 3)
+
+	// A corrupt rewrite is rejected: generation 3 keeps serving and the
+	// rejection is counted.
+	if err := os.WriteFile(path, []byte(`{"version": 9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		page := getMetricsPage(t, routerSrv.URL)
+		if strings.Contains(page, "dpserve_cluster_placement_reload_rejections_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("reload rejection never counted; metrics:\n%s", page)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := rs.router.Generation(); got != 3 {
+		t.Fatalf("bad file bumped generation to %d", got)
+	}
+	resp, qr := postClusterQuery(t, routerSrv.URL, queryRequest{
+		Synopsis: "checkins", Rects: [][4]float64{{0, 0, 100, 100}},
+	})
+	if resp.StatusCode != http.StatusOK || qr.Partial {
+		t.Fatalf("old placement stopped serving after rejected reload: %d %+v", resp.StatusCode, qr)
+	}
+	if qr.Generation != 3 {
+		t.Errorf("response generation = %d, want 3", qr.Generation)
+	}
+
+	// A good file recovers.
+	writeTestPlacementTo(t, path, urls)
+	waitGeneration(t, rs, 4)
+	page := getMetricsPage(t, routerSrv.URL)
+	if !strings.Contains(page, "dpserve_cluster_placement_generation 4") {
+		t.Errorf("generation gauge missing from metrics:\n%s", page)
+	}
+}
+
+func getMetricsPage(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	page, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(page)
+}
+
+// TestClusterHotReloadUnderLoad is the satellite invariant: queries
+// running concurrently with repeated SIGHUP placement swaps each see
+// exactly one placement — every answer is complete, bit-identical to
+// single-node serving, and stamped with a generation that existed; the
+// generations a sequential client observes never go backwards.
+func TestClusterHotReloadUnderLoad(t *testing.T) {
+	syn := testClusterSharded(t, 42)
+	var urls [3]string
+	for i := range urls {
+		urls[i] = startClusterBackend(t, syn).URL
+	}
+	path := writeTestPlacement(t, urls)
+	rs, routerSrv := startRouter(t, path, cluster.Options{
+		Timeout:          2 * time.Second,
+		Retries:          1,
+		Backoff:          time.Millisecond,
+		FailureThreshold: 1000, // swaps are not failures; keep breakers closed
+		Cooldown:         time.Minute,
+		ProbeInterval:    -1,
+	})
+
+	single := startClusterBackend(t, syn)
+	req := queryRequest{Synopsis: "checkins", Rects: [][4]float64{
+		{0, 0, 100, 100}, {10, 20, 70, 90}, {33, 1, 34, 99},
+	}}
+	_, want := postClusterQuery(t, single.URL, req)
+
+	hup := make(chan os.Signal)
+	stopLoop := make(chan struct{})
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		rs.reloadLoop(hup, 0, stopLoop)
+	}()
+	defer func() { close(stopLoop); <-loopDone }()
+
+	const swaps = 20
+	finalGen := uint64(1 + swaps)
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	errs := make(chan string, 64)
+	var wg sync.WaitGroup
+	var served atomic.Uint64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			var lastGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(routerSrv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				var qr queryResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode != http.StatusOK:
+					errs <- fmt.Sprintf("query during swap: status %d", resp.StatusCode)
+					return
+				case decErr != nil:
+					errs <- "decode: " + decErr.Error()
+					return
+				case qr.Partial || len(qr.MissingTiles) != 0:
+					errs <- fmt.Sprintf("partial answer during swap: %+v", qr)
+					return
+				case qr.Generation < 1 || qr.Generation > finalGen:
+					errs <- fmt.Sprintf("impossible generation %d", qr.Generation)
+					return
+				case qr.Generation < lastGen:
+					errs <- fmt.Sprintf("generation went backwards: %d after %d", qr.Generation, lastGen)
+					return
+				}
+				lastGen = qr.Generation
+				for i := range want.Counts {
+					if qr.Counts[i] != want.Counts[i] {
+						errs <- fmt.Sprintf("gen %d rect %d: %v != single-node %v",
+							qr.Generation, i, qr.Counts[i], want.Counts[i])
+						return
+					}
+				}
+				served.Add(1)
+			}
+		}()
+	}
+
+	// Alternate exactly-once and replicated placements; both cover every
+	// tile, so answers must stay complete and bit-identical throughout.
+	for s := 0; s < swaps; s++ {
+		if s%2 == 0 {
+			writeReplicatedPlacementTo(t, path, urls)
+		} else {
+			writeTestPlacementTo(t, path, urls)
+		}
+		hup <- syscall.SIGHUP
+		waitGeneration(t, rs, uint64(2+s))
+		time.Sleep(2 * time.Millisecond) // let some queries land on this generation
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no queries completed during the swap storm")
+	}
+	if got := rs.router.Generation(); got != finalGen {
+		t.Errorf("final generation = %d, want %d", got, finalGen)
 	}
 }

@@ -79,6 +79,7 @@ import (
 	"time"
 
 	"github.com/dpgrid/dpgrid/internal/cluster"
+	"github.com/dpgrid/dpgrid/internal/noise"
 )
 
 // synopsisFlags collects repeated -synopsis name=path flags.
@@ -120,6 +121,7 @@ func run(args []string) error {
 	breakerThreshold := fs.Int("breaker-threshold", 3, "cluster mode: consecutive failures that open a backend's breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "cluster mode: how long an open breaker sheds a backend")
 	probeInterval := fs.Duration("probe-interval", 2*time.Second, "cluster mode: background health probe spacing; negative disables")
+	placementWatch := fs.Duration("placement-watch", 0, "cluster mode: poll the placement file at this interval and hot-reload on change; 0 disables polling (SIGHUP always reloads)")
 	var syns synopsisFlags
 	fs.Var(&syns, "synopsis", "synopsis to serve as name=path (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -142,6 +144,7 @@ func run(args []string) error {
 				FailureThreshold: *breakerThreshold,
 				Cooldown:         *breakerCooldown,
 				ProbeInterval:    *probeInterval,
+				Jitter:           noise.NewSource(time.Now().UnixNano()),
 			},
 		})
 		if err != nil {
@@ -149,13 +152,28 @@ func run(args []string) error {
 		}
 		rs.router.Start()
 		defer rs.router.Close()
+
+		// Placement hot-reload: SIGHUP swaps in the re-read file, and
+		// -placement-watch polls for changes. In-flight queries finish on
+		// the placement they started with; a bad file is rejected and the
+		// old one keeps serving.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		stopReload := make(chan struct{})
+		defer close(stopReload)
+		go rs.reloadLoop(hup, *placementWatch, stopReload)
+
 		p := rs.router.Placement()
-		log.Printf("dpserve routing %d releases across %d backends (placement %s)",
-			len(p.ReleaseNames()), len(p.Nodes), *placementPath)
+		log.Printf("dpserve routing %d releases across %d backends (placement %s, generation %d)",
+			len(p.ReleaseNames()), len(p.Nodes), *placementPath, p.Generation)
 		return serveUntilSignal(newHTTPServer(*listen, rs.handler()), *drainTimeout, nil)
 	}
 	if *placementPath != "" {
 		return fmt.Errorf("-placement is only meaningful with -cluster")
+	}
+	if *placementWatch != 0 {
+		return fmt.Errorf("-placement-watch is only meaningful with -cluster")
 	}
 
 	reg := newRegistry()

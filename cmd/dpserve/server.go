@@ -108,6 +108,9 @@ type queryResponse struct {
 	Counts       []float64 `json:"counts"`
 	Partial      bool      `json:"partial,omitempty"`
 	MissingTiles []int     `json:"missing_tiles,omitempty"`
+	// Generation is the placement generation that answered a cluster
+	// query; backend (single-node) responses omit it.
+	Generation uint64 `json:"placement_generation,omitempty"`
 }
 
 // synopsisInfo is one entry of GET /v1/synopses and the body of

@@ -77,6 +77,23 @@ func (b *breaker) failure() {
 	}
 }
 
+// remaining returns how much of the cooldown is left before an open
+// breaker would admit a half-open trial, and 0 when the breaker is
+// closed or already half-open. It is what derives Retry-After on
+// all-backends-down responses: the earliest moment a retry could find
+// a backend admitted again.
+func (b *breaker) remaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return 0
+	}
+	if rem := b.openUntil.Sub(b.now()); rem > 0 {
+		return rem
+	}
+	return 0
+}
+
 // state returns the breaker's current position in its cycle.
 func (b *breaker) state() BreakerState {
 	b.mu.Lock()

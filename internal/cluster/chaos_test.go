@@ -1,0 +1,295 @@
+package cluster
+
+// The chaos suite: every test routes real scatter-gather traffic
+// through internal/faultinject proxies standing between the router and
+// live in-process backends, then asserts the serving invariants hold
+// while nodes die, flap, stall, and partition. The invariant is always
+// the same one the paper's parallel composition buys us: an answer is
+// either complete and bit-identical to single-node serving, or partial
+// with counts exactly equal to the surviving tiles' sum — never a
+// silently wrong number. Faults are scripted (request-sequence flap
+// windows, seeded error draws), so each scenario replays identically,
+// including under -race; CI runs these as its chaos smoke step
+// (-run TestChaos).
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/dpgrid/dpgrid/internal/faultinject"
+	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
+	"github.com/dpgrid/dpgrid/internal/obs"
+	"github.com/dpgrid/dpgrid/internal/shard"
+)
+
+// chaosCluster stands three backends up behind fault-injecting proxies
+// and returns the proxy handles (for fault control) plus the proxy
+// URLs (for the placement).
+func chaosCluster(t *testing.T, s *shard.Sharded, plans [3]faultinject.Plan, seeds [3]int64) ([3]*faultinject.Proxy, [3]string) {
+	t.Helper()
+	var proxies [3]*faultinject.Proxy
+	var urls [3]string
+	for i := range proxies {
+		backend := newBackendServer(t, s)
+		var src noise.Source
+		if seeds[i] != 0 {
+			src = noise.NewSource(seeds[i])
+		}
+		px, err := faultinject.NewProxy(backend.URL, plans[i], src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		front := httptest.NewServer(px)
+		t.Cleanup(front.Close)
+		// Runs before front.Close (cleanups are LIFO): releases any
+		// handler still parked in a blackhole so Close can drain.
+		t.Cleanup(px.Transport.Close)
+		proxies[i] = px
+		urls[i] = front.URL
+	}
+	return proxies, urls
+}
+
+// assertServingInvariant checks the one property chaos must never
+// break: Partial if and only if tiles are missing, and each count is
+// exactly the ascending-order sum of the rect's non-missing tiles —
+// which for a complete answer is bit-identical to single-node serving.
+func assertServingInvariant(t *testing.T, s *shard.Sharded, rects []geom.Rect, res *Result) {
+	t.Helper()
+	if res.Partial != (len(res.MissingTiles) > 0) {
+		t.Fatalf("Partial=%v but MissingTiles=%v", res.Partial, res.MissingTiles)
+	}
+	missing := make(map[int]bool, len(res.MissingTiles))
+	for _, ti := range res.MissingTiles {
+		missing[ti] = true
+	}
+	for i, rect := range rects {
+		var want float64
+		for _, ti := range s.Plan().OverlappingTiles(rect) {
+			if !missing[ti] {
+				want += s.ShardAnswer(ti, rect)
+			}
+		}
+		if res.Counts[i] != want {
+			t.Fatalf("rect %d: count %v != surviving-tile sum %v (missing %v)",
+				i, res.Counts[i], want, res.MissingTiles)
+		}
+	}
+}
+
+func chaosOpts() Options {
+	return Options{
+		Timeout:          200 * time.Millisecond,
+		Retries:          0,
+		Backoff:          time.Millisecond,
+		Jitter:           noise.NewSource(99),
+		FailureThreshold: 100, // scenarios that want the breaker set their own
+		Cooldown:         time.Minute,
+		ProbeInterval:    -1,
+	}
+}
+
+// TestChaosKillRestore kills one node of a replicated cluster under
+// live traffic, then restores it: every answer during the outage stays
+// complete (failover), and after restore plus cooldown the primary
+// serves again.
+func TestChaosKillRestore(t *testing.T) {
+	s := testSharded(t)
+	proxies, urls := chaosCluster(t, s, [3]faultinject.Plan{}, [3]int64{})
+	opts := chaosOpts()
+	opts.FailureThreshold = 2
+	opts.Cooldown = 30 * time.Millisecond
+	r := NewRouter(replicatedThreeNodePlacement(t, urls), opts, NewMetrics(obs.NewRegistry()))
+
+	rects := []geom.Rect{geom.NewRect(0, 0, 100, 100), geom.NewRect(20, 40, 80, 95)}
+	query := func() *Result {
+		t.Helper()
+		res, err := r.Query(context.Background(), "checkins", rects)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		assertServingInvariant(t, s, rects, res)
+		return res
+	}
+
+	if res := query(); res.Partial || res.Failovers != 0 {
+		t.Fatalf("healthy cluster: %+v", res)
+	}
+
+	// Kill n1. Its tiles fail over; nothing goes missing or wrong. The
+	// breaker opens after FailureThreshold failed exchanges, after which
+	// failover is a shed, not a timeout.
+	proxies[1].Transport.SetDown(true)
+	for i := 0; i < 5; i++ {
+		if res := query(); res.Partial {
+			t.Fatalf("query %d during kill answered partial: %+v", i, res)
+		} else if res.Failovers == 0 {
+			t.Fatalf("query %d during kill shows no failover", i)
+		}
+	}
+	if st := r.BackendStatuses()[1].State; st != BreakerOpen {
+		t.Errorf("killed node's breaker = %s, want open", st)
+	}
+
+	// Restore. After the cooldown a half-open trial succeeds and the
+	// primary takes its tiles back — failovers stop.
+	proxies[1].Transport.SetDown(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		time.Sleep(10 * time.Millisecond)
+		res := query()
+		if !res.Partial && res.Failovers == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restored node never took its tiles back: %+v", res)
+		}
+	}
+	if st := r.BackendStatuses()[1].State; st != BreakerClosed {
+		t.Errorf("restored node's breaker = %s, want closed", st)
+	}
+}
+
+// TestChaosFlapSchedule scripts an exact outage span on the primary of
+// tiles 3-5 and replays it: with sequential queries the proxy sees one
+// request per query, so queries 0-3 hit the primary, 4-11 fail over,
+// and 12+ return — the failover counts are exact, not statistical.
+func TestChaosFlapSchedule(t *testing.T) {
+	s := testSharded(t)
+	var plans [3]faultinject.Plan
+	plans[1] = faultinject.Plan{Flaps: []faultinject.Window{{From: 4, To: 12}}}
+	proxies, urls := chaosCluster(t, s, plans, [3]int64{})
+	r := NewRouter(replicatedThreeNodePlacement(t, urls), chaosOpts(), NewMetrics(obs.NewRegistry()))
+
+	rects := []geom.Rect{geom.NewRect(0, 0, 100, 100)}
+	for q := 0; q < 16; q++ {
+		res, err := r.Query(context.Background(), "checkins", rects)
+		if err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+		assertServingInvariant(t, s, rects, res)
+		if res.Partial {
+			t.Fatalf("query %d answered partial under a single-node flap: %+v", q, res)
+		}
+		wantFailovers := 0
+		if q >= 4 && q < 12 {
+			wantFailovers = 3 // tiles 3, 4, 5 each hop to their second replica
+		}
+		if res.Failovers != wantFailovers {
+			t.Fatalf("query %d: Failovers = %d, want %d", q, res.Failovers, wantFailovers)
+		}
+	}
+	if got := proxies[1].Transport.Injected(); got != 8 {
+		t.Errorf("flap injected %d faults, want 8", got)
+	}
+}
+
+// TestChaosSlowNode gives one node more latency than the router's
+// per-attempt timeout: its tiles fail over within the same query, the
+// answer stays complete, and the slow node never stalls the batch past
+// its bounded attempt.
+func TestChaosSlowNode(t *testing.T) {
+	s := testSharded(t)
+	var plans [3]faultinject.Plan
+	plans[1] = faultinject.Plan{Latency: 2 * time.Second}
+	_, urls := chaosCluster(t, s, plans, [3]int64{})
+	r := NewRouter(replicatedThreeNodePlacement(t, urls), chaosOpts(), nil)
+
+	rects := []geom.Rect{geom.NewRect(0, 0, 100, 100)}
+	start := time.Now()
+	res, err := r.Query(context.Background(), "checkins", rects)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Errorf("slow node stalled the query for %v; the 200ms attempt timeout did not bound it", elapsed)
+	}
+	assertServingInvariant(t, s, rects, res)
+	if res.Partial || res.Failovers != 3 {
+		t.Fatalf("slow-node query: %+v, want complete with 3 failovers", res)
+	}
+}
+
+// TestChaosPartition blackholes an unreplicated node: requests to it
+// hang until the router's deadline, the answer degrades to a partial
+// sum naming exactly its tiles, and the breaker opens so later queries
+// shed instead of waiting out the timeout again.
+func TestChaosPartition(t *testing.T) {
+	s := testSharded(t)
+	var plans [3]faultinject.Plan
+	plans[1] = faultinject.Plan{BlackholeRate: 1}
+	_, urls := chaosCluster(t, s, plans, [3]int64{0, 21, 0})
+	opts := chaosOpts()
+	opts.FailureThreshold = 2
+	r := NewRouter(threeNodePlacement(t, urls), opts, nil)
+
+	rects := []geom.Rect{geom.NewRect(0, 0, 100, 100)}
+	for q := 0; q < 2; q++ {
+		start := time.Now()
+		res, err := r.Query(context.Background(), "checkins", rects)
+		if err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("query %d: partition stalled the query for %v", q, elapsed)
+		}
+		assertServingInvariant(t, s, rects, res)
+		if len(res.MissingTiles) != 3 || res.MissingTiles[0] != 3 {
+			t.Fatalf("query %d: MissingTiles = %v, want [3 4 5]", q, res.MissingTiles)
+		}
+	}
+	if st := r.BackendStatuses()[1].State; st != BreakerOpen {
+		t.Errorf("partitioned node's breaker = %s, want open", st)
+	}
+}
+
+// TestChaosErrorBurstsReplay soaks a replicated cluster in seeded
+// random transport errors on every node and checks two things: the
+// serving invariant holds on every single answer, and the whole run —
+// which answers were partial, how many failovers each took — replays
+// exactly from the same seeds.
+func TestChaosErrorBurstsReplay(t *testing.T) {
+	s := testSharded(t)
+	rects := []geom.Rect{geom.NewRect(0, 0, 100, 100), geom.NewRect(10, 10, 55, 90)}
+
+	run := func() []string {
+		plans := [3]faultinject.Plan{
+			{ErrorRate: 0.3}, {ErrorRate: 0.3}, {ErrorRate: 0.3},
+		}
+		_, urls := chaosCluster(t, s, plans, [3]int64{101, 102, 103})
+		opts := chaosOpts()
+		opts.Retries = 1
+		r := NewRouter(replicatedThreeNodePlacement(t, urls), opts, NewMetrics(obs.NewRegistry()))
+
+		var trace []string
+		complete := 0
+		for q := 0; q < 25; q++ {
+			res, err := r.Query(context.Background(), "checkins", rects)
+			if err != nil {
+				trace = append(trace, "down")
+				continue
+			}
+			assertServingInvariant(t, s, rects, res)
+			if !res.Partial {
+				complete++
+			}
+			trace = append(trace, fmt.Sprintf("partial=%v failovers=%d missing=%v",
+				res.Partial, res.Failovers, res.MissingTiles))
+		}
+		if complete == 0 {
+			t.Fatal("no query survived 30% error rate with replicas and a retry")
+		}
+		return trace
+	}
+
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chaos run diverged at query %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

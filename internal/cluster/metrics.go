@@ -1,6 +1,10 @@
 package cluster
 
-import "github.com/dpgrid/dpgrid/internal/obs"
+import (
+	"sync/atomic"
+
+	"github.com/dpgrid/dpgrid/internal/obs"
+)
 
 // Metrics are the router's observability families, registered on a
 // caller-supplied obs.Registry so cluster-mode dpserve exposes them on
@@ -28,6 +32,18 @@ type Metrics struct {
 	partialAnswers *obs.Counter
 	// probeFailures counts failed background health probes per backend.
 	probeFailures *obs.CounterVec
+	// tileFailovers counts tile assignments served by (or moved to) a
+	// non-primary replica: one per tile per failover hop.
+	tileFailovers *obs.Counter
+	// reloadsAccepted / reloadsRejected count placement hot-reload
+	// outcomes: an accepted reload bumps the generation gauge, a
+	// rejected one leaves the serving placement untouched.
+	reloadsAccepted *obs.Counter
+	reloadsRejected *obs.Counter
+	// generation mirrors the serving placement's generation as a gauge,
+	// so dashboards can see a reload land (and catch a fleet serving
+	// mixed generations).
+	generation atomic.Uint64
 }
 
 // backendLatencyBounds bracket an in-rack HTTP exchange: 1ms to ~8s.
@@ -41,7 +57,7 @@ var clusterFanoutBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // NewMetrics registers the router families on reg.
 func NewMetrics(reg *obs.Registry) *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		backendRequests: reg.CounterVec("dpserve_cluster_backend_requests_total",
 			"Shard-query attempts sent per backend (retries count separately).", "backend"),
 		backendErrors: reg.CounterVec("dpserve_cluster_backend_errors_total",
@@ -60,7 +76,17 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Router queries answered with one or more tiles missing."),
 		probeFailures: reg.CounterVec("dpserve_cluster_probe_failures_total",
 			"Failed background health probes per backend.", "backend"),
+		tileFailovers: reg.Counter("dpserve_cluster_tile_failovers_total",
+			"Tile assignments routed to a non-primary replica (one per tile per failover hop)."),
+		reloadsAccepted: reg.Counter("dpserve_cluster_placement_reloads_total",
+			"Placement hot-reloads accepted (each bumps the generation gauge)."),
+		reloadsRejected: reg.Counter("dpserve_cluster_placement_reload_rejections_total",
+			"Placement hot-reloads rejected (bad file); the previous placement keeps serving."),
 	}
+	reg.GaugeFunc("dpserve_cluster_placement_generation",
+		"Generation of the placement currently serving queries.",
+		func() float64 { return float64(m.generation.Load()) })
+	return m
 }
 
 func (m *Metrics) attempt(backend string, seconds float64, failed bool) {
@@ -110,4 +136,43 @@ func (m *Metrics) probeFailed(backend string) {
 		return
 	}
 	m.probeFailures.With(backend).Inc()
+}
+
+func (m *Metrics) failover(tiles int) {
+	if m == nil {
+		return
+	}
+	m.tileFailovers.Add(uint64(tiles))
+}
+
+func (m *Metrics) reloadAccepted(generation uint64) {
+	if m == nil {
+		return
+	}
+	m.reloadsAccepted.Inc()
+	m.generation.Store(generation)
+}
+
+func (m *Metrics) setGeneration(generation uint64) {
+	if m == nil {
+		return
+	}
+	m.generation.Store(generation)
+}
+
+// ReloadRejected counts a placement reload that failed validation. It
+// is exported because the rejection happens in the caller (dpserve's
+// reload loop) before the router ever sees a new placement.
+func (m *Metrics) ReloadRejected() {
+	if m == nil {
+		return
+	}
+	m.reloadsRejected.Inc()
+}
+
+func (m *Metrics) forgetBackend(backend string) {
+	if m == nil {
+		return
+	}
+	m.backendState.Forget(backend)
 }

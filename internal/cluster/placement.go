@@ -31,8 +31,15 @@ import (
 	"github.com/dpgrid/dpgrid/internal/shard"
 )
 
-// placementVersion is the accepted placement file version.
-const placementVersion = 1
+// Accepted placement file versions. Version 1 places every tile on
+// exactly one node; version 2 relaxes that to exactly-covered: a tile
+// may be assigned to several nodes (replicas), and the router fails
+// over between them. A v1 file is exactly a v2 file whose every tile
+// happens to have one replica, so v1 files keep parsing unchanged.
+const (
+	placementVersionV1 = 1
+	placementVersionV2 = 2
+)
 
 // Node is one backend dpserve process.
 type Node struct {
@@ -62,8 +69,10 @@ type ReleaseSpec struct {
 	Domain [4]float64 `json:"domain"`
 	// Tiles is the mosaic spec, e.g. "4x4" (KxL, row-major indices).
 	Tiles string `json:"tiles"`
-	// Assignments partition the tile indices across nodes: every tile
-	// exactly once.
+	// Assignments cover the tile indices with nodes: in a v1 file every
+	// tile appears exactly once; in a v2 file a tile may appear under
+	// several nodes (replicas), and the order assignments are listed is
+	// the router's failover preference order for that tile.
 	Assignments []Assignment `json:"assignments"`
 }
 
@@ -74,24 +83,47 @@ type placementFile struct {
 	Releases []ReleaseSpec `json:"releases"`
 }
 
-// Release is one resolved release: its plan plus the tile -> node
+// Release is one resolved release: its plan plus the tile -> replica
 // ownership table.
 type Release struct {
-	Name  string
-	Plan  shard.Plan
-	owner []int // tile index -> index into Placement.Nodes
+	Name string
+	Plan shard.Plan
+	// replicas[i] lists the nodes (as indices into Placement.Nodes)
+	// holding tile i, in the placement file's assignment order — the
+	// router's deterministic failover preference order.
+	replicas [][]int
 }
 
-// OwnerOf returns the index (into Placement.Nodes) of the node owning
-// tile i.
-func (r *Release) OwnerOf(i int) int { return r.owner[i] }
+// OwnerOf returns the index (into Placement.Nodes) of tile i's primary
+// (first-preference) node.
+func (r *Release) OwnerOf(i int) int { return r.replicas[i][0] }
+
+// Replicas returns the indices (into Placement.Nodes) of the nodes
+// holding tile i, in failover preference order. The returned slice is
+// shared; callers must not mutate it.
+func (r *Release) Replicas(i int) []int { return r.replicas[i] }
+
+// MaxReplication returns the largest replica count any tile has —
+// 1 for a v1 placement.
+func (r *Release) MaxReplication() int {
+	max := 0
+	for _, reps := range r.replicas {
+		if len(reps) > max {
+			max = len(reps)
+		}
+	}
+	return max
+}
 
 // Placement is a validated placement: the node set plus every
 // release's resolved plan and ownership table. It is immutable after
 // parsing, so one Placement may back any number of concurrent queries.
+// Generation is stamped by whoever installs the placement (the router
+// numbers successive reloads) and rides along untouched by parsing.
 type Placement struct {
-	Nodes    []Node
-	releases map[string]*Release
+	Nodes      []Node
+	Generation uint64
+	releases   map[string]*Release
 }
 
 // Release returns the resolved release registered under name.
@@ -110,19 +142,21 @@ func (p *Placement) ReleaseNames() []string {
 	return out
 }
 
-// ParsePlacement parses and validates a placement file: version 1, at
-// least one node with unique names and well-formed http(s) base URLs,
-// and at least one release whose assignments cover every tile of its
-// mosaic exactly once using only declared nodes. Validation is
-// exhaustive here so a bad file fails at startup, not as wrong answers
-// under traffic.
+// ParsePlacement parses and validates a placement file: version 1 or
+// 2, at least one node with unique names and well-formed http(s) base
+// URLs, and at least one release whose assignments cover every tile of
+// its mosaic using only declared nodes — exactly once in a v1 file,
+// at least once (replicated, no duplicate tile-node pair) in a v2
+// file. Validation is exhaustive here so a bad file fails at startup
+// (or is rejected at reload), not as wrong answers under traffic.
 func ParsePlacement(data []byte) (*Placement, error) {
 	var f placementFile
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("cluster: parse placement: %w", err)
 	}
-	if f.Version != placementVersion {
-		return nil, fmt.Errorf("cluster: placement version %d (want %d)", f.Version, placementVersion)
+	if f.Version != placementVersionV1 && f.Version != placementVersionV2 {
+		return nil, fmt.Errorf("cluster: placement version %d (want %d or %d)",
+			f.Version, placementVersionV1, placementVersionV2)
 	}
 	if len(f.Nodes) == 0 {
 		return nil, fmt.Errorf("cluster: placement declares no nodes")
@@ -166,32 +200,35 @@ func ParsePlacement(data []byte) (*Placement, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: release %q: %w", spec.Synopsis, err)
 		}
-		owner := make([]int, plan.NumTiles())
-		for i := range owner {
-			owner[i] = -1
-		}
+		replicas := make([][]int, plan.NumTiles())
 		for _, a := range spec.Assignments {
 			ni, ok := nodeIdx[a.Node]
 			if !ok {
 				return nil, fmt.Errorf("cluster: release %q assigns tiles to undeclared node %q", spec.Synopsis, a.Node)
 			}
 			for _, ti := range a.Tiles {
-				if ti < 0 || ti >= len(owner) {
-					return nil, fmt.Errorf("cluster: release %q: tile %d out of range [0,%d)", spec.Synopsis, ti, len(owner))
+				if ti < 0 || ti >= len(replicas) {
+					return nil, fmt.Errorf("cluster: release %q: tile %d out of range [0,%d)", spec.Synopsis, ti, len(replicas))
 				}
-				if owner[ti] != -1 {
-					return nil, fmt.Errorf("cluster: release %q: tile %d assigned twice (%s and %s)",
-						spec.Synopsis, ti, f.Nodes[owner[ti]].Name, a.Node)
+				for _, prev := range replicas[ti] {
+					if prev == ni {
+						return nil, fmt.Errorf("cluster: release %q: tile %d assigned to node %s twice",
+							spec.Synopsis, ti, a.Node)
+					}
 				}
-				owner[ti] = ni
+				if f.Version == placementVersionV1 && len(replicas[ti]) > 0 {
+					return nil, fmt.Errorf("cluster: release %q: tile %d assigned twice (%s and %s); replicate with a version-2 placement",
+						spec.Synopsis, ti, f.Nodes[replicas[ti][0]].Name, a.Node)
+				}
+				replicas[ti] = append(replicas[ti], ni)
 			}
 		}
-		for ti, ni := range owner {
-			if ni == -1 {
+		for ti, reps := range replicas {
+			if len(reps) == 0 {
 				return nil, fmt.Errorf("cluster: release %q: tile %d unassigned", spec.Synopsis, ti)
 			}
 		}
-		p.releases[spec.Synopsis] = &Release{Name: spec.Synopsis, Plan: plan, owner: owner}
+		p.releases[spec.Synopsis] = &Release{Name: spec.Synopsis, Plan: plan, replicas: replicas}
 	}
 	return p, nil
 }

@@ -60,7 +60,7 @@ func TestParsePlacementRejects(t *testing.T) {
 		want string
 	}{
 		{"bad json", func(s string) string { return s[:20] }, "parse placement"},
-		{"wrong version", func(s string) string { return strings.Replace(s, `"version": 1`, `"version": 2`, 1) }, "version"},
+		{"wrong version", func(s string) string { return strings.Replace(s, `"version": 1`, `"version": 3`, 1) }, "version"},
 		{"no nodes", func(s string) string {
 			return strings.Replace(s, `{"name": "a", "url": "http://127.0.0.1:9001/"},
     {"name": "b", "url": "http://127.0.0.1:9002"}`, "", 1)
@@ -81,6 +81,96 @@ func TestParsePlacementRejects(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			mutated := tc.mut(validPlacement)
 			if mutated == validPlacement {
+				t.Fatal("mutation did not change the input")
+			}
+			_, err := ParsePlacement([]byte(mutated))
+			if err == nil {
+				t.Fatal("ParsePlacement accepted a bad file")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// replicatedPlacement is a v2 file: tiles 1 and 2 live on both nodes,
+// tile 0 only on a, tile 3 only on b.
+const replicatedPlacement = `{
+  "version": 2,
+  "nodes": [
+    {"name": "a", "url": "http://127.0.0.1:9001"},
+    {"name": "b", "url": "http://127.0.0.1:9002"}
+  ],
+  "releases": [
+    {
+      "synopsis": "checkins",
+      "domain": [0, 0, 100, 100],
+      "tiles": "2x2",
+      "assignments": [
+        {"node": "a", "tiles": [0, 1, 2]},
+        {"node": "b", "tiles": [1, 2, 3]}
+      ]
+    }
+  ]
+}`
+
+func TestParsePlacementV2Replicas(t *testing.T) {
+	p, err := ParsePlacement([]byte(replicatedPlacement))
+	if err != nil {
+		t.Fatalf("ParsePlacement: %v", err)
+	}
+	rel, ok := p.Release("checkins")
+	if !ok {
+		t.Fatal("Release(checkins) missing")
+	}
+	wantReplicas := [][]int{{0}, {0, 1}, {0, 1}, {1}}
+	for ti, want := range wantReplicas {
+		got := rel.Replicas(ti)
+		if len(got) != len(want) {
+			t.Fatalf("Replicas(%d) = %v, want %v", ti, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("Replicas(%d) = %v, want %v (preference order is file order)", ti, got, want)
+			}
+		}
+		if rel.OwnerOf(ti) != want[0] {
+			t.Errorf("OwnerOf(%d) = %d, want first replica %d", ti, rel.OwnerOf(ti), want[0])
+		}
+	}
+	if rel.MaxReplication() != 2 {
+		t.Errorf("MaxReplication = %d, want 2", rel.MaxReplication())
+	}
+}
+
+func TestParsePlacementV2Rejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(string) string
+		want string
+	}{
+		// The same tile on the same node twice is a typo even under
+		// replication.
+		{"same node twice", func(s string) string {
+			return strings.Replace(s, `{"node": "b", "tiles": [1, 2, 3]}`,
+				`{"node": "b", "tiles": [1, 2, 3]}, {"node": "b", "tiles": [1]}`, 1)
+		}, "assigned to node b twice"},
+		// Exactly-covered still means covered: dropping every copy of a
+		// tile is rejected.
+		{"tile unassigned", func(s string) string {
+			s = strings.Replace(s, "[0, 1, 2]", "[1, 2]", 1)
+			return s
+		}, "tile 0 unassigned"},
+		// v1 files must keep their stricter exactly-once semantics.
+		{"replicas in v1", func(s string) string {
+			return strings.Replace(s, `"version": 2`, `"version": 1`, 1)
+		}, "assigned twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mut(replicatedPlacement)
+			if mutated == replicatedPlacement {
 				t.Fatal("mutation did not change the input")
 			}
 			_, err := ParsePlacement([]byte(mutated))

@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dpgrid/dpgrid/internal/geom"
+	"github.com/dpgrid/dpgrid/internal/noise"
 )
 
 // Options tune the router's robustness knobs; the zero value gets
@@ -23,9 +25,15 @@ type Options struct {
 	// Retries is how many extra attempts follow a failed one
 	// (default 1; negative means none).
 	Retries int
-	// Backoff is the pause before the first retry, doubling per attempt
-	// (default 50ms).
+	// Backoff is the base pause before the first retry, doubling per
+	// attempt (default 50ms). The actual pause is jittered over
+	// [base/2, 3*base/2) — see Jitter.
 	Backoff time.Duration
+	// Jitter supplies the uniform draws that spread retry backoff, so
+	// a fleet of synchronized clients doesn't hammer a recovering
+	// backend in lockstep. Nil gets a fixed-seed source; commands
+	// should inject a per-process seed, tests a pinned one.
+	Jitter noise.Source
 	// FailureThreshold consecutive failures open a backend's breaker
 	// (default 3).
 	FailureThreshold int
@@ -51,6 +59,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Backoff <= 0 {
 		o.Backoff = 50 * time.Millisecond
+	}
+	if o.Jitter == nil {
+		o.Jitter = noise.NewSource(1)
 	}
 	if o.FailureThreshold <= 0 {
 		o.FailureThreshold = 3
@@ -85,61 +96,164 @@ type Result struct {
 	// complete answer each is bit-identical to the estimate a single
 	// process serving the whole release would return.
 	Counts []float64
-	// Partial reports that one or more needed tiles were unanswered;
-	// Counts then hold the sum over the tiles that did answer — a lower
-	// bound the caller can serve while the cluster degrades.
+	// Partial reports that one or more needed tiles were unanswered by
+	// every one of their replicas; Counts then hold the sum over the
+	// tiles that did answer — a lower bound the caller can serve while
+	// the cluster degrades.
 	Partial bool
 	// MissingTiles are the unanswered global tile indices, ascending.
 	MissingTiles []int
-	// Backends is how many backends the query scattered to.
+	// Backends is how many distinct backends the query scattered to.
 	Backends int
+	// Failovers counts tile assignments that went to a non-primary
+	// replica (because an earlier replica failed or its breaker was
+	// open), one per tile per hop.
+	Failovers int
+	// Generation is the placement generation that answered the query.
+	// A query runs start to finish on one placement, so a batch is
+	// never merged across generations.
+	Generation uint64
 }
 
-// backendRef is a node plus its breaker.
+// backendRef is a node plus its breaker. Refs are pooled by node name
+// across placement reloads so breaker state (an open breaker on a dead
+// node) survives a hot swap.
 type backendRef struct {
 	name string
 	url  string
 	br   *breaker
 }
 
-// Router scatters rectangle queries across the backends of a
-// Placement and gathers the per-tile partials into merged answers. It
-// is safe for concurrent use. Start launches the background health
-// prober; Close stops it.
-type Router struct {
+// routerState is one immutable placement generation's serving state:
+// the placement plus the backend refs indexed like its Nodes. Queries
+// load it once at entry, so an in-flight query finishes on the
+// placement it started with even while Reload swaps in a new one.
+type routerState struct {
 	placement *Placement
-	opts      Options
-	met       *Metrics
 	backends  []*backendRef
+}
+
+// Router scatters rectangle queries across the backends of a
+// Placement and gathers the per-tile partials into merged answers,
+// failing over between a tile's replicas within a single query. It is
+// safe for concurrent use. Start launches the background health
+// prober; Close stops it; Reload hot-swaps the placement.
+type Router struct {
+	opts Options
+	met  *Metrics
+
+	state atomic.Pointer[routerState]
+
+	// reloadMu serializes Reload and guards refs.
+	reloadMu sync.Mutex
+	refs     map[string]*backendRef
+
+	// jitterMu guards draws from the (stateful) jitter source.
+	jitterMu sync.Mutex
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
 }
 
-// NewRouter builds a router over p. met may be nil.
+// NewRouter builds a router over p. met may be nil. p is stamped as
+// generation 1 unless the caller already numbered it.
 func NewRouter(p *Placement, opts Options, met *Metrics) *Router {
 	opts = opts.withDefaults()
 	r := &Router{
-		placement: p,
-		opts:      opts,
-		met:       met,
-		backends:  make([]*backendRef, len(p.Nodes)),
-		stop:      make(chan struct{}),
+		opts: opts,
+		met:  met,
+		refs: make(map[string]*backendRef, len(p.Nodes)),
+		stop: make(chan struct{}),
 	}
-	for i, n := range p.Nodes {
-		r.backends[i] = &backendRef{
-			name: n.Name,
-			url:  n.URL,
-			br:   newBreaker(opts.FailureThreshold, opts.Cooldown, nil),
-		}
-		met.setState(n.Name, BreakerClosed)
+	if p.Generation == 0 {
+		p.Generation = 1
 	}
+	r.reloadMu.Lock()
+	r.state.Store(r.buildState(p))
+	r.reloadMu.Unlock()
+	met.setGeneration(p.Generation)
 	return r
 }
 
-// Placement returns the router's placement.
-func (r *Router) Placement() *Placement { return r.placement }
+// buildState assembles serving state for p, reusing pooled backend
+// refs (and their breakers) for nodes whose name and URL are
+// unchanged. reloadMu must be held.
+func (r *Router) buildState(p *Placement) *routerState {
+	st := &routerState{placement: p, backends: make([]*backendRef, len(p.Nodes))}
+	for i, n := range p.Nodes {
+		ref := r.refs[n.Name]
+		if ref == nil || ref.url != n.URL {
+			ref = &backendRef{
+				name: n.Name,
+				url:  n.URL,
+				br:   newBreaker(r.opts.FailureThreshold, r.opts.Cooldown, nil),
+			}
+			r.refs[n.Name] = ref
+		}
+		st.backends[i] = ref
+		r.met.setState(n.Name, ref.br.state())
+	}
+	return st
+}
+
+// Reload atomically swaps the serving placement and returns the new
+// generation. Queries already in flight finish on the placement they
+// loaded at entry; new queries see the new one. Breaker state carries
+// over for nodes whose name and URL are unchanged, so a reload does
+// not reopen traffic to a known-dead node; nodes that vanish from the
+// placement drop their metric series and pooled breaker.
+func (r *Router) Reload(p *Placement) uint64 {
+	r.reloadMu.Lock()
+	defer r.reloadMu.Unlock()
+	old := r.state.Load()
+	p.Generation = old.placement.Generation + 1
+	st := r.buildState(p)
+	kept := make(map[string]bool, len(p.Nodes))
+	for _, n := range p.Nodes {
+		kept[n.Name] = true
+	}
+	for _, n := range old.placement.Nodes {
+		if !kept[n.Name] {
+			r.met.forgetBackend(n.Name)
+			delete(r.refs, n.Name)
+		}
+	}
+	r.state.Store(st)
+	r.met.reloadAccepted(p.Generation)
+	return p.Generation
+}
+
+// Placement returns the placement currently serving queries.
+func (r *Router) Placement() *Placement { return r.state.Load().placement }
+
+// Generation returns the serving placement's generation.
+func (r *Router) Generation() uint64 { return r.state.Load().placement.Generation }
+
+// RetryAfter returns how long a client should wait after an
+// all-backends-down failure: the shortest remaining breaker cooldown
+// across the current backends — the earliest instant a shed backend is
+// admitted for a half-open trial — rounded up to a whole second, and
+// at least one second (also the answer when no breaker is open, e.g.
+// when every backend failed its in-flight attempts instead).
+func (r *Router) RetryAfter() time.Duration {
+	st := r.state.Load()
+	var min time.Duration
+	for _, be := range st.backends {
+		if rem := be.br.remaining(); rem > 0 && (min == 0 || rem < min) {
+			min = rem
+		}
+	}
+	if min <= 0 {
+		return time.Second
+	}
+	if rounded := min.Truncate(time.Second); rounded == min {
+		return min
+	} else if next := rounded + time.Second; next > 0 {
+		return next
+	}
+	return time.Second
+}
 
 // Start launches the background health prober (a no-op when probing is
 // disabled). Call Close to stop it.
@@ -159,7 +273,8 @@ func (r *Router) Close() {
 
 // probeLoop GETs every backend's health endpoint each interval,
 // feeding the breakers so dead nodes are shed (and recovered nodes
-// readmitted) without query traffic paying for the discovery.
+// readmitted) without query traffic paying for the discovery. Each
+// sweep probes the backends of the placement serving at that moment.
 func (r *Router) probeLoop() {
 	defer r.wg.Done()
 	ticker := time.NewTicker(r.opts.ProbeInterval)
@@ -175,7 +290,7 @@ func (r *Router) probeLoop() {
 }
 
 func (r *Router) probeAll() {
-	for _, be := range r.backends {
+	for _, be := range r.state.Load().backends {
 		ctx, cancel := context.WithTimeout(context.Background(), r.opts.Timeout)
 		ok := r.probeOne(ctx, be)
 		cancel()
@@ -210,11 +325,12 @@ type BackendStatus struct {
 	State BreakerState `json:"state"`
 }
 
-// BackendStatuses reports every backend's breaker state, for health
-// endpoints and operator visibility.
+// BackendStatuses reports every current backend's breaker state, for
+// health endpoints and operator visibility.
 func (r *Router) BackendStatuses() []BackendStatus {
-	out := make([]BackendStatus, len(r.backends))
-	for i, be := range r.backends {
+	st := r.state.Load()
+	out := make([]BackendStatus, len(st.backends))
+	for i, be := range st.backends {
 		out[i] = BackendStatus{Name: be.name, URL: be.url, State: be.br.state()}
 	}
 	return out
@@ -229,103 +345,169 @@ type gather struct {
 
 func gatherKey(rect, tile int) int64 { return int64(rect)<<32 | int64(tile) }
 
-// Query scatters rects across the backends owning their overlapping
-// tiles and merges the partials. The merge visits each rectangle's
-// tiles in ascending global index order — the same order the
-// in-process fan-out sums in — so a complete answer is bit-identical
-// to a single node serving the whole release. Unanswered tiles
-// (breaker open, attempts exhausted, or a backend whose manifest lacks
-// the tile) degrade the answer to a partial sum rather than an error;
-// only a query that needed tiles and got none back fails, with
-// ErrAllBackendsDown.
+// Query scatters rects across the backends holding their overlapping
+// tiles and merges the partials. Each tile is asked of its replicas in
+// placement preference order: the first replica whose breaker admits
+// traffic gets the tile, and a failed exchange moves the tile to the
+// next replica within the same query, so a single node loss costs a
+// failover hop, not an answer. The merge visits each rectangle's tiles
+// in ascending global index order — the same order the in-process
+// fan-out sums in — so whenever at least one replica per tile answers,
+// the result is bit-identical to a single node serving the whole
+// release. Only a tile whose every replica is down goes missing
+// (Partial=true); only a query that needed tiles and got none at all
+// back fails, with ErrAllBackendsDown.
 func (r *Router) Query(ctx context.Context, synopsis string, rects []geom.Rect) (*Result, error) {
-	rel, ok := r.placement.Release(synopsis)
+	st := r.state.Load()
+	rel, ok := st.placement.Release(synopsis)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSynopsis, synopsis)
 	}
+	gen := st.placement.Generation
 
-	// Route: which tiles does each rectangle need, and which backend
-	// owns each needed tile?
+	// Route: which tiles does each rectangle need, and which rects does
+	// each needed tile serve?
 	perRect := make([][]int, len(rects))
 	tilesPerRect := make([]int, len(rects))
-	needed := make(map[int]map[int]struct{}) // backend index -> tile set
+	rectsOf := make(map[int][]int) // tile -> rect indices overlapping it
 	for i, rect := range rects {
 		perRect[i] = rel.Plan.OverlappingTiles(rect)
 		tilesPerRect[i] = len(perRect[i])
 		for _, ti := range perRect[i] {
-			ni := rel.OwnerOf(ti)
-			set, ok := needed[ni]
-			if !ok {
-				set = make(map[int]struct{})
-				needed[ni] = set
-			}
-			set[ti] = struct{}{}
+			rectsOf[ti] = append(rectsOf[ti], i)
 		}
 	}
-	r.met.observeFanout(len(needed), tilesPerRect)
 
 	counts := make([]float64, len(rects))
-	if len(needed) == 0 {
+	if len(rectsOf) == 0 {
 		// No rectangle overlaps the domain: a complete all-zero answer.
-		return &Result{Counts: counts}, nil
+		r.met.observeFanout(0, tilesPerRect)
+		return &Result{Counts: counts, Generation: gen}, nil
 	}
 
-	// Scatter: one request per involved backend, in parallel. Backends
-	// with an open breaker are shed up front — their tiles go missing
-	// without waiting out a timeout.
-	results := make(map[int]*gather, len(needed))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+	allTiles := sortedKeys(rectsOf)
+
+	// Scatter in failover rounds. Round 0 assigns every tile to its
+	// first admissible replica; each later round reassigns the tiles
+	// whose backend failed to their next untried replica. A tile with
+	// no admissible replica left is missing.
+	tileCounts := make(map[int64]float64)
+	resolved := make(map[int]bool, len(allTiles))
+	nextPos := make(map[int]int, len(allTiles))
+	attempted := make(map[int]bool)
+	shedSeen := make(map[int]bool)
 	wireRects := rectsToWire(rects)
-	for ni, set := range needed {
-		be := r.backends[ni]
-		if !be.br.allow() {
-			r.met.shed(be.name)
-			continue
+	failovers := 0
+	anySuccess := false
+
+	pending := allTiles
+	for len(pending) > 0 {
+		assign := make(map[int][]int) // backend index -> tiles this round
+		for _, ti := range pending {
+			reps := rel.Replicas(ti)
+			pos := nextPos[ti]
+			ni := -1
+			for ; pos < len(reps); pos++ {
+				cand := reps[pos]
+				if st.backends[cand].br.allow() {
+					ni = cand
+					break
+				}
+				// Shed: breaker open, skip to the next replica without
+				// waiting out a timeout. Counted once per backend per query.
+				if !shedSeen[cand] {
+					shedSeen[cand] = true
+					r.met.shed(st.backends[cand].name)
+				}
+			}
+			if ni == -1 {
+				continue // every replica shed or already tried: missing
+			}
+			if pos > 0 {
+				failovers++
+				r.met.failover(1)
+			}
+			nextPos[ti] = pos + 1
+			assign[ni] = append(assign[ni], ti)
 		}
-		tiles := sortedTiles(set)
-		wg.Add(1)
-		go func(ni int, be *backendRef, tiles []int) {
-			defer wg.Done()
-			g := r.queryBackend(ctx, be, synopsis, tiles, wireRects, len(rects))
-			mu.Lock()
-			results[ni] = g
-			mu.Unlock()
-		}(ni, be, tiles)
+		if len(assign) == 0 {
+			break
+		}
+
+		nodes := sortedKeys(assign)
+		results := make([]*gather, len(nodes))
+		var wg sync.WaitGroup
+		for idx, ni := range nodes {
+			attempted[ni] = true
+			tiles := assign[ni]
+			sort.Ints(tiles)
+			wg.Add(1)
+			go func(idx int, be *backendRef, tiles []int) {
+				defer wg.Done()
+				results[idx] = r.queryBackend(ctx, be, synopsis, tiles, wireRects, len(rects))
+			}(idx, st.backends[ni], tiles)
+		}
+		wg.Wait()
+
+		// A tile is resolved only when its backend answered it for every
+		// rect that overlaps it; anything less (failed exchange, or a
+		// backend whose manifest lacks the tile) sends the whole tile to
+		// the next replica, keeping the merge all-or-nothing per tile.
+		var next []int
+		for idx, ni := range nodes {
+			g := results[idx]
+			if g.ok {
+				anySuccess = true
+			}
+			for _, ti := range assign[ni] {
+				complete := g.ok
+				if complete {
+					for _, i := range rectsOf[ti] {
+						if _, got := g.counts[gatherKey(i, ti)]; !got {
+							complete = false
+							break
+						}
+					}
+				}
+				if !complete {
+					next = append(next, ti)
+					continue
+				}
+				for _, i := range rectsOf[ti] {
+					tileCounts[gatherKey(i, ti)] = g.counts[gatherKey(i, ti)]
+				}
+				resolved[ti] = true
+			}
+		}
+		sort.Ints(next)
+		pending = next
 	}
-	wg.Wait()
+	r.met.observeFanout(len(attempted), tilesPerRect)
+
+	if !anySuccess {
+		return nil, fmt.Errorf("%w: no replica of %d tile(s) answered for %q",
+			ErrAllBackendsDown, len(allTiles), synopsis)
+	}
 
 	// Gather: merge in ascending tile order per rectangle; tiles whose
-	// backend failed (or answered without them) go on the missing list.
-	missingSet := make(map[int]struct{})
-	anySuccess := false
-	for _, g := range results {
-		if g.ok {
-			anySuccess = true
+	// every replica failed go on the missing list.
+	var missing []int
+	for _, ti := range allTiles {
+		if !resolved[ti] {
+			missing = append(missing, ti)
 		}
 	}
 	for i := range rects {
 		for _, ti := range perRect[i] {
-			g := results[rel.OwnerOf(ti)]
-			if g == nil || !g.ok {
-				missingSet[ti] = struct{}{}
-				continue
+			if v, got := tileCounts[gatherKey(i, ti)]; got {
+				counts[i] += v
 			}
-			v, got := g.counts[gatherKey(i, ti)]
-			if !got {
-				missingSet[ti] = struct{}{}
-				continue
-			}
-			counts[i] += v
 		}
 	}
-	if !anySuccess {
-		return nil, fmt.Errorf("%w: %d backend(s) unavailable for %q", ErrAllBackendsDown, len(needed), synopsis)
-	}
-	res := &Result{Counts: counts, Backends: len(needed)}
-	if len(missingSet) > 0 {
+	res := &Result{Counts: counts, Backends: len(attempted), Failovers: failovers, Generation: gen}
+	if len(missing) > 0 {
 		res.Partial = true
-		res.MissingTiles = sortedTiles(missingSet)
+		res.MissingTiles = missing
 		r.met.partial()
 	}
 	return res, nil
@@ -333,9 +515,9 @@ func (r *Router) Query(ctx context.Context, synopsis string, rects []geom.Rect) 
 
 // queryBackend runs the bounded retry loop for one backend: each
 // attempt gets its own timeout, transport errors and 5xx responses
-// back off and retry, and 4xx responses fail fast (the node is
-// healthy; the request will not get better). Breaker and metrics see
-// every attempt.
+// back off (jittered, doubling) and retry, and 4xx responses fail fast
+// (the node is healthy; the request will not get better). Breaker and
+// metrics see every attempt.
 func (r *Router) queryBackend(ctx context.Context, be *backendRef, synopsis string, tiles []int, wireRects [][4]float64, numRects int) *gather {
 	body, err := json.Marshal(ShardQueryRequest{Synopsis: synopsis, Tiles: tiles, Rects: wireRects})
 	if err != nil {
@@ -354,10 +536,22 @@ func (r *Router) queryBackend(ctx context.Context, be *backendRef, synopsis stri
 		select {
 		case <-ctx.Done():
 			return &gather{}
-		case <-time.After(backoff):
+		case <-time.After(r.jittered(backoff)):
 		}
 		backoff *= 2
 	}
+}
+
+// jittered spreads a backoff delay uniformly over [base/2, 3*base/2)
+// using the injected jitter source. Deterministic doubling from a
+// fixed base means every client that saw the same failure would
+// otherwise retry at the same instants — synchronized retry storms are
+// exactly what a recovering backend cannot absorb.
+func (r *Router) jittered(base time.Duration) time.Duration {
+	r.jitterMu.Lock()
+	u := r.opts.Jitter.Uniform()
+	r.jitterMu.Unlock()
+	return base/2 + time.Duration(u*float64(base))
 }
 
 // attempt performs one exchange. It returns a non-nil gather on
@@ -423,10 +617,10 @@ func rectsToWire(rects []geom.Rect) [][4]float64 {
 	return out
 }
 
-func sortedTiles(set map[int]struct{}) []int {
-	out := make([]int, 0, len(set))
-	for ti := range set {
-		out = append(out, ti)
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
 	}
 	sort.Ints(out)
 	return out

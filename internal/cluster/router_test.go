@@ -379,6 +379,304 @@ func TestRouterBreakerShedsThenRecovers(t *testing.T) {
 	}
 }
 
+// replicatedThreeNodePlacement is the v2 twin of threeNodePlacement:
+// every row of the 3x3 mosaic keeps its primary and gains the next
+// node (ring order) as a second replica.
+func replicatedThreeNodePlacement(t *testing.T, urls [3]string) *Placement {
+	t.Helper()
+	f := placementFile{
+		Version: 2,
+		Nodes: []Node{
+			{Name: "n0", URL: urls[0]},
+			{Name: "n1", URL: urls[1]},
+			{Name: "n2", URL: urls[2]},
+		},
+		Releases: []ReleaseSpec{{
+			Synopsis: "checkins",
+			Domain:   [4]float64{0, 0, 100, 100},
+			Tiles:    "3x3",
+			Assignments: []Assignment{
+				{Node: "n0", Tiles: []int{0, 1, 2}},
+				{Node: "n1", Tiles: []int{3, 4, 5}},
+				{Node: "n2", Tiles: []int{6, 7, 8}},
+				{Node: "n1", Tiles: []int{0, 1, 2}},
+				{Node: "n2", Tiles: []int{3, 4, 5}},
+				{Node: "n0", Tiles: []int{6, 7, 8}},
+			},
+		}},
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParsePlacement(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRouterFailoverKeepsAnswersComplete is the replication payoff: a
+// dead primary moves its tiles to the second replica within the same
+// query, and the merged answer stays complete and bit-identical to
+// single-node serving — node loss costs a failover hop, not data.
+func TestRouterFailoverKeepsAnswersComplete(t *testing.T) {
+	s := testSharded(t)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+
+	var urls [3]string
+	urls[0] = newBackendServer(t, s).URL
+	dead := newBackendServer(t, s)
+	urls[1] = dead.URL
+	urls[2] = newBackendServer(t, s).URL
+	dead.Close() // n1: primary of tiles 3-5, second replica of 0-2
+
+	opts := fastOpts()
+	opts.Timeout = 200 * time.Millisecond
+	opts.Retries = 0
+	opts.FailureThreshold = 100 // exercise failed-exchange failover, not the breaker
+	r := NewRouter(replicatedThreeNodePlacement(t, urls), opts, met)
+
+	full := geom.NewRect(0, 0, 100, 100)
+	res, err := r.Query(context.Background(), "checkins", []geom.Rect{full})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Partial || len(res.MissingTiles) != 0 {
+		t.Fatalf("replicated cluster with one dead node answered partial: %+v", res)
+	}
+	if want := s.Query(full); res.Counts[0] != want {
+		t.Errorf("failover merge %v != single-node %v", res.Counts[0], want)
+	}
+	// Tiles 3, 4, 5 each hopped from n1 to n2.
+	if res.Failovers != 3 {
+		t.Errorf("Failovers = %d, want 3", res.Failovers)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dpserve_cluster_tile_failovers_total 3") {
+		t.Error("failover counter not recorded")
+	}
+}
+
+// TestRouterFailoverOnOpenBreaker: a tile whose preferred replica is
+// behind an open breaker is assigned straight to the next replica —
+// shedding, not timing out.
+func TestRouterFailoverOnOpenBreaker(t *testing.T) {
+	s := testSharded(t)
+	var urls [3]string
+	for i := range urls {
+		urls[i] = newBackendServer(t, s).URL
+	}
+	opts := fastOpts()
+	opts.FailureThreshold = 1
+	r := NewRouter(replicatedThreeNodePlacement(t, urls), opts, nil)
+
+	// Open n1's breaker directly.
+	r.state.Load().backends[1].br.failure()
+	if got := r.BackendStatuses()[1].State; got != BreakerOpen {
+		t.Fatalf("n1 breaker = %s, want open", got)
+	}
+
+	full := geom.NewRect(0, 0, 100, 100)
+	start := time.Now()
+	res, err := r.Query(context.Background(), "checkins", []geom.Rect{full})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("shed failover took %v; an open breaker must not cost a timeout", elapsed)
+	}
+	if res.Partial {
+		t.Fatalf("open breaker with a healthy replica answered partial: %+v", res)
+	}
+	if want := s.Query(full); res.Counts[0] != want {
+		t.Errorf("shed-failover merge %v != single-node %v", res.Counts[0], want)
+	}
+	if res.Failovers != 3 {
+		t.Errorf("Failovers = %d, want 3 (tiles 3-5 shed to n2)", res.Failovers)
+	}
+}
+
+// TestRouterPartialOnlyWhenEveryReplicaDown: with two of three nodes
+// gone, tiles that still have one live replica are answered (via
+// failover) and only the tiles whose every replica is dead go missing.
+func TestRouterPartialOnlyWhenEveryReplicaDown(t *testing.T) {
+	s := testSharded(t)
+	var urls [3]string
+	urls[0] = newBackendServer(t, s).URL
+	dead1, dead2 := newBackendServer(t, s), newBackendServer(t, s)
+	urls[1], urls[2] = dead1.URL, dead2.URL
+	dead1.Close()
+	dead2.Close()
+
+	opts := fastOpts()
+	opts.Timeout = 200 * time.Millisecond
+	opts.Retries = 0
+	opts.FailureThreshold = 100
+	r := NewRouter(replicatedThreeNodePlacement(t, urls), opts, nil)
+
+	full := geom.NewRect(0, 0, 100, 100)
+	res, err := r.Query(context.Background(), "checkins", []geom.Rect{full})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	// Tiles 3-5 live only on n1 and n2, both dead. Tiles 0-2 (n0
+	// primary) and 6-8 (n0 second replica) survive.
+	if !res.Partial || len(res.MissingTiles) != 3 {
+		t.Fatalf("res = %+v, want partial missing tiles 3-5", res)
+	}
+	for i, ti := range []int{3, 4, 5} {
+		if res.MissingTiles[i] != ti {
+			t.Fatalf("MissingTiles = %v, want [3 4 5]", res.MissingTiles)
+		}
+	}
+	var want float64
+	for _, ti := range []int{0, 1, 2, 6, 7, 8} {
+		want += s.ShardAnswer(ti, full)
+	}
+	if res.Counts[0] != want {
+		t.Errorf("partial sum %v != surviving-tile sum %v", res.Counts[0], want)
+	}
+}
+
+// TestRouterRetryAfter pins the 503 hint: one second when no breaker
+// is open, otherwise the shortest remaining cooldown rounded up to a
+// whole second.
+func TestRouterRetryAfter(t *testing.T) {
+	s := testSharded(t)
+	var urls [3]string
+	for i := range urls {
+		urls[i] = newBackendServer(t, s).URL
+	}
+	opts := fastOpts()
+	opts.FailureThreshold = 1
+	opts.Cooldown = 30 * time.Second
+	r := NewRouter(threeNodePlacement(t, urls), opts, nil)
+
+	if got := r.RetryAfter(); got != time.Second {
+		t.Fatalf("RetryAfter with no open breaker = %v, want 1s", got)
+	}
+	r.state.Load().backends[1].br.failure()
+	got := r.RetryAfter()
+	if got%time.Second != 0 {
+		t.Errorf("RetryAfter = %v, want a whole second", got)
+	}
+	if got < 25*time.Second || got > 30*time.Second {
+		t.Errorf("RetryAfter = %v, want about the 30s cooldown", got)
+	}
+}
+
+// TestRouterJitterReplays pins the satellite: retry backoff jitter
+// flows from the injected source, so a pinned seed replays the exact
+// delays and stays inside [base/2, 3*base/2).
+func TestRouterJitterReplays(t *testing.T) {
+	s := testSharded(t)
+	var urls [3]string
+	for i := range urls {
+		urls[i] = newBackendServer(t, s).URL
+	}
+	sequence := func(seed int64) []time.Duration {
+		opts := fastOpts()
+		opts.Jitter = noise.NewSource(seed)
+		r := NewRouter(threeNodePlacement(t, urls), opts, nil)
+		out := make([]time.Duration, 16)
+		for i := range out {
+			out[i] = r.jittered(100 * time.Millisecond)
+		}
+		return out
+	}
+	a, b, c := sequence(5), sequence(5), sequence(6)
+	differ := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: same seed gave %v and %v", i, a[i], b[i])
+		}
+		if a[i] < 50*time.Millisecond || a[i] >= 150*time.Millisecond {
+			t.Errorf("draw %d: %v outside [50ms, 150ms)", i, a[i])
+		}
+		if a[i] != c[i] {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("different seeds produced identical jitter sequences")
+	}
+}
+
+// TestRouterReloadKeepsBreakerState: a hot reload swaps the placement
+// atomically (generation bumps, metrics follow) while the breakers of
+// unchanged nodes carry over — an open breaker on a dead node must not
+// reset to closed just because the placement was re-pushed.
+func TestRouterReloadKeepsBreakerState(t *testing.T) {
+	s := testSharded(t)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	var urls [3]string
+	for i := range urls {
+		urls[i] = newBackendServer(t, s).URL
+	}
+	opts := fastOpts()
+	opts.FailureThreshold = 1
+	r := NewRouter(threeNodePlacement(t, urls), opts, met)
+	if got := r.Generation(); got != 1 {
+		t.Fatalf("initial generation = %d, want 1", got)
+	}
+
+	r.state.Load().backends[1].br.failure()
+
+	// Reload the equivalent replicated placement: same nodes, so n1's
+	// open breaker must survive the swap.
+	if gen := r.Reload(replicatedThreeNodePlacement(t, urls)); gen != 2 {
+		t.Fatalf("Reload returned generation %d, want 2", gen)
+	}
+	if got := r.BackendStatuses()[1].State; got != BreakerOpen {
+		t.Errorf("n1 breaker = %s after reload, want open (state continuity)", got)
+	}
+	if _, ok := r.Placement().Release("checkins"); !ok {
+		t.Fatal("reloaded placement lost the release")
+	}
+
+	// A node at a new URL gets a fresh breaker.
+	urls[1] = newBackendServer(t, s).URL
+	if gen := r.Reload(threeNodePlacement(t, urls)); gen != 3 {
+		t.Fatalf("second Reload generation = %d, want 3", gen)
+	}
+	if got := r.BackendStatuses()[1].State; got != BreakerClosed {
+		t.Errorf("relocated n1 breaker = %s, want a fresh closed one", got)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"dpserve_cluster_placement_generation 3",
+		"dpserve_cluster_placement_reloads_total 2",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+
+	// Queries on the new generation still merge bit-identically.
+	full := geom.NewRect(0, 0, 100, 100)
+	res, err := r.Query(context.Background(), "checkins", []geom.Rect{full})
+	if err != nil {
+		t.Fatalf("post-reload query: %v", err)
+	}
+	if res.Generation != 3 {
+		t.Errorf("result generation = %d, want 3", res.Generation)
+	}
+	if want := s.Query(full); res.Counts[0] != want {
+		t.Errorf("post-reload merge %v != single-node %v", res.Counts[0], want)
+	}
+}
+
 func TestRouterProbeRecoversNodeWithoutTraffic(t *testing.T) {
 	s := testSharded(t)
 	var failing atomic.Bool

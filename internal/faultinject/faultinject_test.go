@@ -1,0 +1,273 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dpgrid/dpgrid/internal/noise"
+)
+
+func okBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, client *http.Client, url string) (*http.Response, string, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp, "", err
+	}
+	return resp, string(b), nil
+}
+
+func TestTransportPassthrough(t *testing.T) {
+	srv := okBackend(t, "hello")
+	client := &http.Client{Transport: New(nil, Plan{}, nil)}
+	resp, body, err := get(t, client, srv.URL)
+	if err != nil || resp.StatusCode != 200 || body != "hello" {
+		t.Fatalf("passthrough: %v %v %q", err, resp, body)
+	}
+}
+
+func TestTransportFlapWindows(t *testing.T) {
+	srv := okBackend(t, "ok")
+	tr := New(nil, Plan{Flaps: []Window{{From: 2, To: 5}}}, nil)
+	client := &http.Client{Transport: tr}
+
+	// Requests 0,1 pass; 2,3,4 fail; 5+ pass — exact, replayable edges.
+	for n := 0; n < 8; n++ {
+		_, _, err := get(t, client, srv.URL)
+		wantFail := n >= 2 && n < 5
+		if wantFail && err == nil {
+			t.Fatalf("request %d inside flap window succeeded", n)
+		}
+		if !wantFail && err != nil {
+			t.Fatalf("request %d outside flap window failed: %v", n, err)
+		}
+		if wantFail && !errors.Is(err, ErrInjected) {
+			t.Fatalf("request %d failed with %v, want ErrInjected", n, err)
+		}
+	}
+	if got := tr.Injected(); got != 3 {
+		t.Errorf("Injected = %d, want 3", got)
+	}
+	if got := tr.Requests(); got != 8 {
+		t.Errorf("Requests = %d, want 8", got)
+	}
+}
+
+func TestTransportSetDown(t *testing.T) {
+	srv := okBackend(t, "ok")
+	tr := New(nil, Plan{}, nil)
+	client := &http.Client{Transport: tr}
+
+	if _, _, err := get(t, client, srv.URL); err != nil {
+		t.Fatalf("up: %v", err)
+	}
+	tr.SetDown(true)
+	if !tr.Down() {
+		t.Fatal("Down() = false after SetDown(true)")
+	}
+	if _, _, err := get(t, client, srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("down: err = %v, want ErrInjected", err)
+	}
+	tr.SetDown(false)
+	if _, _, err := get(t, client, srv.URL); err != nil {
+		t.Fatalf("restored: %v", err)
+	}
+}
+
+// TestTransportErrorRateReplays pins determinism: the same seed yields
+// the same pass/fail pattern, a different seed a different one.
+func TestTransportErrorRateReplays(t *testing.T) {
+	srv := okBackend(t, "ok")
+	pattern := func(seed int64) string {
+		tr := New(nil, Plan{ErrorRate: 0.5}, noise.NewSource(seed))
+		client := &http.Client{Transport: tr}
+		var sb strings.Builder
+		for n := 0; n < 32; n++ {
+			if _, _, err := get(t, client, srv.URL); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					t.Fatalf("request %d: %v", n, err)
+				}
+				sb.WriteByte('x')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		return sb.String()
+	}
+	a, b := pattern(7), pattern(7)
+	if a != b {
+		t.Fatalf("same seed, different fault patterns:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "x") || !strings.Contains(a, ".") {
+		t.Fatalf("rate 0.5 produced a degenerate pattern %q", a)
+	}
+	if c := pattern(8); c == a {
+		t.Fatalf("different seeds produced the identical pattern %q", a)
+	}
+}
+
+func TestTransportBlackholeHangsUntilDeadline(t *testing.T) {
+	srv := okBackend(t, "ok")
+	tr := New(nil, Plan{BlackholeRate: 1}, noise.NewSource(1))
+	client := &http.Client{Transport: tr}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("blackhole released after %v, want ~the 50ms deadline", elapsed)
+	}
+}
+
+// TestTransportCloseReleasesBlackhole: Close frees a request parked in
+// a blackhole even when its context never cancels — the escape hatch
+// that lets a server whose handlers run through the transport shut
+// down cleanly.
+func TestTransportCloseReleasesBlackhole(t *testing.T) {
+	srv := okBackend(t, "ok")
+	tr := New(nil, Plan{BlackholeRate: 1}, noise.NewSource(2))
+	client := &http.Client{Transport: tr}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Get(srv.URL)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request park
+	tr.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("released blackhole returned %v, want ErrInjected", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the blackholed request")
+	}
+}
+
+func TestTransportLatencyAndJitter(t *testing.T) {
+	srv := okBackend(t, "ok")
+	tr := New(nil, Plan{Latency: 30 * time.Millisecond, LatencyJitter: 20 * time.Millisecond}, noise.NewSource(3))
+	client := &http.Client{Transport: tr}
+
+	start := time.Now()
+	if _, _, err := get(t, client, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency plan waited only %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestTransportSlowBodyDrips(t *testing.T) {
+	srv := okBackend(t, strings.Repeat("z", 64))
+	tr := New(nil, Plan{SlowBodyChunk: 16, SlowBodyDelay: 10 * time.Millisecond}, nil)
+	client := &http.Client{Transport: tr}
+
+	start := time.Now()
+	resp, body, err := get(t, client, srv.URL)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("slow body: %v %v", err, resp)
+	}
+	if len(body) != 64 {
+		t.Fatalf("dripped body lost bytes: %d of 64", len(body))
+	}
+	// 64 bytes at 16/chunk = at least 4 delayed reads.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("slow body arrived in %v, want >= 40ms of drip", elapsed)
+	}
+}
+
+func TestTransportConcurrentUse(t *testing.T) {
+	srv := okBackend(t, "ok")
+	tr := New(nil, Plan{ErrorRate: 0.3, LatencyJitter: time.Millisecond}, noise.NewSource(9))
+	client := &http.Client{Transport: tr}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 20; n++ {
+				resp, err := client.Get(srv.URL)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				} else if !errors.Is(err, ErrInjected) {
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Requests(); got != 160 {
+		t.Errorf("Requests = %d, want 160", got)
+	}
+}
+
+func TestProxyForwardsAndFails(t *testing.T) {
+	backend := okBackend(t, `{"status":"ok"}`)
+	proxy, err := NewProxy(backend.URL, Plan{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	t.Cleanup(front.Close)
+
+	resp, body, err := get(t, http.DefaultClient, front.URL)
+	if err != nil || resp.StatusCode != 200 || body != `{"status":"ok"}` {
+		t.Fatalf("proxy up: %v %v %q", err, resp, body)
+	}
+
+	// Injected faults surface as 502 — the router's "dead backend".
+	proxy.Transport.SetDown(true)
+	resp, _, err = get(t, http.DefaultClient, front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("down proxy returned %d, want 502", resp.StatusCode)
+	}
+
+	proxy.Transport.SetDown(false)
+	resp, _, err = get(t, http.DefaultClient, front.URL)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("restored proxy: %v %v", err, resp)
+	}
+}
+
+func TestProxyRejectsBadTarget(t *testing.T) {
+	for _, target := range []string{"", "not a url", "ftp://x", "http://"} {
+		if _, err := NewProxy(target, Plan{}, nil); err == nil {
+			t.Errorf("NewProxy(%q) accepted a bad target", target)
+		}
+	}
+}
